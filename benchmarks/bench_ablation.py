@@ -1,0 +1,16 @@
+"""Benchmark: external-signal coordination-channel ablation."""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_ablation(benchmark, context):
+    result = run_once(benchmark, ablation.run, context)
+    print()
+    print(result.render())
+    # Both variants must complete and stay in the same ballpark; see
+    # EXPERIMENTS.md for the (honest) finding that the frozen-externals
+    # variant is near parity in this reproduction.
+    for workload in result.workloads:
+        assert 0.5 < result.exd_ratio[workload] < 2.0

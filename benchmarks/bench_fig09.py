@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 9 (ExD and execution time, Table IV schemes)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, context):
+    result = run_once(benchmark, fig9.run, context, quick=True)
+    print()
+    print(result.render())
+    averages = result.averages("exd")["Avg"]
+    # Shape check: the schemes separate from the baseline.
+    assert averages[fig9.TABLE_IV_SCHEMES[0]] == 1.0
+    assert all(v > 0 for v in averages.values())

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figures 10/11 (blackscholes power and BIPS traces)."""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+from repro.experiments.schemes import DECOUPLED_HEURISTIC, YUKTA_HW_SSV_OS_SSV
+
+
+def test_fig10_fig11(benchmark, context):
+    result = run_once(benchmark, fig10.run, context)
+    print()
+    print(result.render())
+    # Shape: the decoupled scheme oscillates more than Yukta SSV+SSV.
+    dec = result.power_stats[DECOUPLED_HEURISTIC]
+    yukta = result.power_stats[YUKTA_HW_SSV_OS_SSV]
+    assert dec["peaks_over_limit"] >= yukta["peaks_over_limit"]

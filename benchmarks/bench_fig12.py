@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figures 12/13 (comparison to LQG designs)."""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_fig13(benchmark, context):
+    result = run_once(benchmark, fig12.run, context, quick=True)
+    print()
+    print(result.render())
+    averages = result.averages("exd")
+    assert all(v > 0 for v in averages.values())

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 14 (heterogeneous workload mixes)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14(benchmark, context):
+    result = run_once(benchmark, fig14.run, context)
+    print()
+    print(result.render())
+    assert set(result.mixes) == {"blmc", "stga", "blst", "mcga"}

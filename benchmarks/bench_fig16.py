@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 16 (uncertainty guardband sensitivity)."""
+
+from conftest import run_once
+
+from repro.experiments import fig16
+
+
+def test_fig16(benchmark, context):
+    result = run_once(benchmark, fig16.run, context,
+                      workloads=("blackscholes",), include_exd=True)
+    print()
+    print(result.render())
+    # Shape: controllers can still be synthesized at very large guardbands,
+    # with achieved bounds growing slowly (robust-control headline).
+    assert len(result.gamma) == len(result.guardbands)
+    assert result.achieved_bounds[result.guardbands[0]] == 1.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the Sec. VI-D hardware implementation analysis."""
+
+from conftest import run_once
+
+from repro.experiments import hwcost
+
+
+def test_hwimpl(benchmark, context):
+    result = run_once(benchmark, hwcost.run, context)
+    print()
+    print(result.render())
+    # Shape: the paper's ballpark (hundreds of MACs, low-KB storage).
+    assert 200 <= result.macs <= 1500
+    assert result.storage_kb < 8.0
+    assert result.fixed_point_error < 1e-2

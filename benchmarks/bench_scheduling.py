@@ -1,0 +1,18 @@
+"""Benchmark: the Table I Robust-vs-Gain-Scheduling ablation."""
+
+from conftest import run_once
+
+from repro.experiments import scheduling
+
+
+def test_scheduling(benchmark, context):
+    result = run_once(benchmark, scheduling.run, context,
+                      workloads=("mcf", "gamess"), samples_per_program=140)
+    print()
+    print(result.render())
+    # Both variants must complete; the measured outcome (scheduling loses
+    # on this simulator, confirming the paper's Table I rationale) is
+    # recorded in EXPERIMENTS.md rather than asserted as an ordering.
+    for workload in result.workloads:
+        assert result.single[workload] > 0
+        assert result.scheduled[workload] > 0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Tables I-IV from the live code objects."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_tables(benchmark):
+    text = run_once(benchmark, tables.render_all)
+    print()
+    print(text)
+    assert "Table I" in text
+    assert "Table II" in text
+    assert "Table III" in text
+    assert "Table IV" in text
+    assert "SSV" in text

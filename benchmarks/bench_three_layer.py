@@ -1,0 +1,16 @@
+"""Benchmark: the Sec. III-D three-layer scalability demonstration."""
+
+from conftest import run_once
+
+from repro.experiments import three_layer
+
+
+def test_three_layer(benchmark, context):
+    result = run_once(benchmark, three_layer.run, context)
+    print()
+    print(result.render())
+    # Shape: at the feasible target the three-layer stack tracks the QoS
+    # closely while shedding some quality.
+    row = result.by_label("three-layer @ 3.5")
+    assert abs(row[2] - 3.5) < 0.8
+    assert row[3] <= 1.0

@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+One :class:`~repro.experiments.DesignContext` (training campaign + all
+controller syntheses) is built per session and reused by every figure
+bench; individual benches then measure the experiment regeneration itself.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def context():
+    from repro.experiments import DesignContext
+
+    ctx = DesignContext.create(samples_per_program=140, seed=1234)
+    # Force every lazy design up front so benches measure runs, not synthesis.
+    ctx.get_hw_design()
+    ctx.get_sw_design()
+    ctx.get_lqg_hw()
+    ctx.get_lqg_sw()
+    ctx.get_lqg_mono()
+    return ctx
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

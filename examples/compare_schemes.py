@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Compare every controller scheme on a workload of your choice.
+
+Reproduces one column of Fig. 9 / Fig. 12 and prints the normalized bars.
+
+Run:  python examples/compare_schemes.py [workload]
+      (default workload: x264; any evaluation program or mix name works)
+"""
+
+import sys
+
+from repro.experiments import (
+    COORDINATED_HEURISTIC,
+    SCHEMES,
+    DesignContext,
+    normalize_to,
+    run_workload,
+)
+from repro.experiments.report import render_bars
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "x264"
+    print(f"Designing controllers and running {workload!r} under "
+          f"{len(SCHEMES)} schemes...")
+    context = DesignContext.create(samples_per_program=140)
+    results = {}
+    for scheme in SCHEMES:
+        metrics = run_workload(scheme, workload, context)
+        results[scheme] = metrics
+        print(f"  {metrics.summary()}")
+    print()
+    norm = normalize_to(results, COORDINATED_HEURISTIC, "exd")
+    print(render_bars(list(norm), list(norm.values()),
+                      title=f"Normalized ExD on {workload} (lower is better)"))
+
+
+if __name__ == "__main__":
+    main()

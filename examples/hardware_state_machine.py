@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Section VI-D: cost out the SSV controller as a fixed-point state machine.
+
+Builds the synthesized hardware controller, quantizes it to 32-bit fixed
+point at several Q formats, and reports operation counts, storage, and the
+fixed-point error against the floating-point reference.
+
+Run:  python examples/hardware_state_machine.py
+"""
+
+import numpy as np
+
+from repro.core import FixedPointController
+from repro.experiments import DesignContext
+from repro.experiments.report import render_table
+
+
+def main():
+    print("Synthesizing the hardware SSV controller...")
+    context = DesignContext.create(samples_per_program=140)
+    controller = context.get_hw_design().controller
+    sm = controller.state_machine
+    print(
+        f"Controller: N={sm.n_states} states, I={sm.n_outputs} inputs, "
+        f"O+E={sm.n_inputs} signals"
+    )
+    rng = np.random.default_rng(0)
+    dy = rng.uniform(-0.5, 0.5, size=(300, sm.n_inputs))
+    rows = []
+    for frac_bits in (8, 12, 16, 20, 24):
+        fixed = FixedPointController(sm, frac_bits=frac_bits)
+        error = fixed.max_output_error(dy)
+        rows.append([
+            f"Q{31 - frac_bits}.{frac_bits}",
+            fixed.cost.macs,
+            fixed.cost.storage_bytes / 1024.0,
+            error,
+        ])
+    print()
+    print(render_table(
+        ["format", "MACs/invocation", "storage (KB)", "max |fixed-float|"],
+        rows,
+        "Fixed-point implementation cost (paper: ~700 ops, ~2.6 KB)",
+    ))
+    print()
+    print("At a millisecond-level invocation rate this is a few mW of logic —")
+    print("the paper measured ~28 us per invocation on a Cortex A7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: design the two Yukta controllers and run one application.
+
+This walks the full pipeline of the paper in ~30 seconds:
+
+1. characterize the (simulated) ODROID XU3 with the training programs;
+2. design the hardware and software SSV controllers (system identification,
+   generalized plant, D-K iteration);
+3. run blackscholes under the full Yukta scheme and under the industry
+   coordinated-heuristic baseline;
+4. report Energy x Delay for both.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import (
+    COORDINATED_HEURISTIC,
+    YUKTA_HW_SSV_OS_SSV,
+    DesignContext,
+    run_workload,
+)
+
+
+def main():
+    print("Characterizing the board and synthesizing controllers...")
+    context = DesignContext.create(samples_per_program=140)
+    hw = context.get_hw_design()
+    sw = context.get_sw_design()
+    print()
+    print(hw.summary())
+    print()
+    print(sw.summary())
+    print()
+    for scheme in (COORDINATED_HEURISTIC, YUKTA_HW_SSV_OS_SSV):
+        metrics = run_workload(scheme, "blackscholes", context)
+        print(metrics.summary())
+    print()
+    print("Done. See repro.experiments.fig9 for the full evaluation sweep.")
+
+
+if __name__ == "__main__":
+    main()

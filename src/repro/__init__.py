@@ -1,0 +1,52 @@
+"""repro: a full-system reproduction of *Yukta: Multilayer Resource
+Controllers to Maximize Efficiency* (ISCA 2018).
+
+Subpackages
+-----------
+``repro.lti``
+    LTI systems substrate (state space, norms, LFTs, model reduction).
+``repro.sysid``
+    Black/gray-box system identification (ARX, Box-Jenkins-style,
+    subspace, graybox, validation).
+``repro.robust``
+    Robust control: generalized-plant construction, H-infinity synthesis,
+    structured-singular-value analysis, D-K iteration.
+``repro.lqg``
+    The LQG baseline synthesis.
+``repro.signals``
+    Signal metadata (quantized inputs, bounded outputs, external signals)
+    and interface exchange.
+``repro.board``
+    The simulated ODROID XU3 big.LITTLE board.
+``repro.workloads``
+    Synthetic PARSEC/SPEC-shaped applications and mixes.
+``repro.core``
+    Yukta itself: layer specs, the design flow, runtime controllers,
+    optimizers, multilayer coordination, fixed-point implementation.
+``repro.baselines``
+    The comparison controllers (heuristics and LQG variants).
+``repro.experiments``
+    The evaluation harness: one module per paper table/figure.
+
+Quickstart
+----------
+>>> from repro.experiments import DesignContext, run_workload
+>>> context = DesignContext.create(samples_per_program=120)
+>>> metrics = run_workload("yukta-hwssv-osssv", "blackscholes", context)
+>>> print(metrics.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "lti",
+    "sysid",
+    "robust",
+    "lqg",
+    "signals",
+    "board",
+    "workloads",
+    "core",
+    "baselines",
+    "experiments",
+]

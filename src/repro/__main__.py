@@ -1,0 +1,102 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``            render Tables I-IV
+``design``            run the two-layer design flow and print the summaries
+``run``               run one workload under one scheme
+``fig9`` .. ``fig17`` regenerate a paper figure (text rendering)
+``hwcost``            the Sec. VI-D hardware implementation analysis
+``exhaustion``        the guardband-exhaustion detection experiment
+``three-layer``       the Sec. III-D three-layer demonstration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_context_args(parser):
+    parser.add_argument("--samples", type=int, default=160,
+                        help="characterization samples per training program")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="characterization seed")
+
+
+def _make_context(args):
+    from repro.experiments import DesignContext
+
+    print("Building design context (characterization + synthesis)...",
+          file=sys.stderr)
+    return DesignContext.create(samples_per_program=args.samples,
+                                seed=args.seed)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Yukta (ISCA 2018) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="render Tables I-IV")
+
+    p_design = sub.add_parser("design", help="two-layer design flow summary")
+    _add_context_args(p_design)
+
+    p_run = sub.add_parser("run", help="run one workload under one scheme")
+    _add_context_args(p_run)
+    p_run.add_argument("scheme", help="scheme name (see 'tables')")
+    p_run.add_argument("workload", help="program or mix name")
+
+    figure_commands = {
+        "fig9": ("fig9", dict(quick=False)),
+        "fig10": ("fig10", {}),
+        "fig12": ("fig12", dict(quick=False)),
+        "fig14": ("fig14", {}),
+        "fig15": ("fig15", {}),
+        "fig16": ("fig16", {}),
+        "fig17": ("fig17", {}),
+        "hwcost": ("hwcost", {}),
+        "exhaustion": ("exhaustion", {}),
+        "three-layer": ("three_layer", {}),
+    }
+    for name in figure_commands:
+        p_fig = sub.add_parser(name, help=f"regenerate {name}")
+        _add_context_args(p_fig)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "tables":
+        from repro.experiments import tables
+
+        print(tables.render_all())
+        return 0
+
+    context = _make_context(args)
+
+    if args.command == "design":
+        print(context.get_hw_design().summary())
+        print()
+        print(context.get_sw_design().summary())
+        return 0
+
+    if args.command == "run":
+        from repro.experiments import run_workload
+
+        metrics = run_workload(args.scheme, args.workload, context)
+        print(metrics.summary())
+        return 0
+
+    module_name, kwargs = figure_commands[args.command]
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    result = module.run(context, **kwargs)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

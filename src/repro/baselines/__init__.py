@@ -1,0 +1,27 @@
+"""Baseline controllers the paper compares Yukta against (Table IV, Sec. VI-B)."""
+
+from .heuristics import (
+    CoordinatedHeuristicHW,
+    CoordinatedHeuristicOS,
+    DecoupledHeuristicHW,
+    DecoupledHeuristicOS,
+)
+from .lqg_runtime import (
+    LQGLayerController,
+    MonolithicLQGAdapter,
+    design_lqg_hw,
+    design_lqg_sw,
+    design_monolithic_lqg,
+)
+
+__all__ = [
+    "CoordinatedHeuristicHW",
+    "CoordinatedHeuristicOS",
+    "DecoupledHeuristicHW",
+    "DecoupledHeuristicOS",
+    "LQGLayerController",
+    "MonolithicLQGAdapter",
+    "design_lqg_hw",
+    "design_lqg_sw",
+    "design_monolithic_lqg",
+]

@@ -1,0 +1,257 @@
+"""Heuristic baseline controllers (Table IV, schemes a and b).
+
+*Coordinated heuristic* — the industry-standard pairing: an HMP-flavoured
+OS scheduler that uses the number/type/frequency of available cores to
+place threads, plus a hardware governor that pushes frequency and core
+counts up while operation is safe and backs off using the observed thread
+distribution.  This is the paper's baseline every figure normalizes to.
+
+*Decoupled heuristic* — the same layers with the coordination severed: the
+OS round-robins threads over all cores regardless of type, and the hardware
+governor is the Linux *performance* governor with emergency-style threshold
+backoff that ignores thread placement.
+
+Both expose the same ``step(outputs, externals) -> actuation`` interface as
+the SSV runtime controllers, so the coordinator can mix and match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..board.specs import BoardSpec
+
+__all__ = [
+    "CoordinatedHeuristicHW",
+    "CoordinatedHeuristicOS",
+    "DecoupledHeuristicHW",
+    "DecoupledHeuristicOS",
+]
+
+
+class _HeuristicBase:
+    """Shared plumbing: target setters are accepted and ignored."""
+
+    targets = np.zeros(0)
+
+    def set_targets(self, targets):
+        # Heuristics pursue their built-in policy; optimizer targets are
+        # ignored (they have no tracking machinery).
+        self.targets = np.asarray(targets, dtype=float)
+
+    def reset(self):
+        pass
+
+
+class CoordinatedHeuristicHW(_HeuristicBase):
+    """Threshold governor that *does* look at the thread distribution.
+
+    Policy: raise frequency (then cores) while all outputs are safely below
+    their limits; on pressure, shed the resource the thread distribution
+    says is cheapest — surplus cores first if cores outnumber threads,
+    frequency otherwise.  One step per invocation in either direction, with
+    hysteresis bands, which is exactly the slow-converging behaviour
+    threshold governors exhibit on real boards.
+    """
+
+    # Stock-generic thresholds: shipped firmware is tuned for safety across
+    # an entire device family, not for one board's ExD optimum (the paper's
+    # Sec. IV-A point about "several tens of interdependent settings that
+    # require tuning").  The margins below are deliberately generic.
+    RAISE_BAND = 0.90  # raise resources below this fraction of a limit
+    TRIM_BAND = 0.97  # shed resources above this fraction
+    SAFE_PERIODS = 5  # consecutive safe periods required before raising
+    PANIC_FACTOR = 1.04  # pressure above this sheds several notches at once
+    COOLING_FREQ = 0.9  # GHz: the stock TMU's fixed cooling state
+    COOLING_HYSTERESIS = 6.0  # degC below the limit before releasing
+
+    def __init__(self, spec: BoardSpec):
+        self._spec = spec
+        self.reset()
+
+    def reset(self):
+        # Start mid-range rather than flat out: industry governors boot at a
+        # conservative operating point and ramp.
+        spec = self._spec
+        self.n_big = spec.big.n_cores
+        self.n_little = spec.little.n_cores
+        self.f_big = spec.big.freq_range.snap(spec.big.freq_range.midpoint)
+        self.f_little = spec.little.freq_range.snap(spec.little.freq_range.midpoint)
+        self._safe_big = 0
+        self._safe_little = 0
+        self._cooling = False
+
+    def step(self, outputs, externals):
+        _, p_big, p_little, temp = np.asarray(outputs, dtype=float)
+        n_threads_big, tpc_big, tpc_little = np.asarray(externals, dtype=float)
+        spec = self._spec
+        step_big = spec.big.freq_range.step
+        step_little = spec.little.freq_range.step
+        # --- thermal rule (stock-TMU style) -------------------------------
+        # Threshold firmware clamps to a fixed cooling frequency when the
+        # limit is crossed and holds it through a hysteresis band; because
+        # temperature lags power by seconds, the result is the saw-tooth of
+        # Fig. 10(a) — the structural weakness formal control removes.
+        if self._cooling:
+            if temp <= spec.temp_limit - self.COOLING_HYSTERESIS:
+                self._cooling = False
+        elif temp >= spec.temp_limit:
+            self._cooling = True
+        # --- big cluster: power rule ---------------------------------------
+        pressure = p_big / spec.power_limit_big
+        if pressure > self.TRIM_BAND:
+            self._safe_big = 0
+            notches = 3 if pressure > self.PANIC_FACTOR else 1
+            threads_fit = n_threads_big >= self.n_big * max(tpc_big, 1.0)
+            if not threads_fit and self.n_big > 1:
+                self.n_big -= 1  # surplus cores: cheapest thing to shed
+            else:
+                self.f_big = max(
+                    self.f_big - notches * step_big, spec.big.freq_range.low
+                )
+        elif pressure < self.RAISE_BAND:
+            self._safe_big += 1
+            if self._safe_big >= self.SAFE_PERIODS:
+                if self.f_big < spec.big.freq_range.high:
+                    self.f_big += step_big
+                elif self.n_big < spec.big.n_cores and n_threads_big > self.n_big:
+                    self.n_big += 1
+        else:
+            self._safe_big = 0
+        # --- little cluster ----------------------------------------------
+        pressure_l = p_little / spec.power_limit_little
+        n_threads_little = max(0.0, 8.0 - n_threads_big)
+        if pressure_l > self.TRIM_BAND:
+            self._safe_little = 0
+            notches = 3 if pressure_l > self.PANIC_FACTOR else 1
+            threads_fit = n_threads_little >= self.n_little * max(tpc_little, 1.0)
+            if not threads_fit and self.n_little > 1:
+                self.n_little -= 1
+            else:
+                self.f_little = max(
+                    self.f_little - notches * step_little, spec.little.freq_range.low
+                )
+        elif pressure_l < self.RAISE_BAND:
+            self._safe_little += 1
+            if self._safe_little >= self.SAFE_PERIODS:
+                if self.f_little < spec.little.freq_range.high:
+                    self.f_little += step_little
+                elif (
+                    self.n_little < spec.little.n_cores
+                    and n_threads_little > self.n_little
+                ):
+                    self.n_little += 1
+        else:
+            self._safe_little = 0
+        f_big_out = min(self.f_big, self.COOLING_FREQ) if self._cooling else self.f_big
+        return [self.n_big, self.n_little, f_big_out, self.f_little]
+
+
+class CoordinatedHeuristicOS(_HeuristicBase):
+    """HMP/GTS-flavoured scheduler with an ExD consolidation tweak.
+
+    Stock global task scheduling is *big-first*: runnable CPU-bound threads
+    are heavy, so they up-migrate to the big cluster until it holds two per
+    core; only the overflow runs little.  (The paper notes the stock HMP
+    "sometimes packs multiple threads on a core while leaving another core
+    idle" — big-first packing is exactly that behaviour.)  The ExD tweak
+    the paper's baseline carries is spill-over awareness: when the big
+    cluster's frequency is *throttled* well below the little cluster's
+    relative capability, a share of threads is released to little cores.
+    """
+
+    BIG_PACK_LIMIT = 2.0  # threads per big core before spilling over
+    SPILL_RATIO = 1.9  # f_big/f_little below which spilling starts
+
+    def __init__(self, spec: BoardSpec, total_threads=8):
+        self._spec = spec
+        self.total_threads = total_threads
+
+    def step(self, outputs, externals):
+        n_big_cores, n_little_cores, f_big, f_little = np.asarray(
+            externals, dtype=float
+        )
+        n_threads = int(round(self.total_threads))
+        capacity_big = int(round(n_big_cores * self.BIG_PACK_LIMIT))
+        n_to_big = min(n_threads, capacity_big)
+        # ExD tweak: under heavy big-cluster throttling, release one thread
+        # per little core (the "type and frequency" awareness of Table IV).
+        if f_big < self.SPILL_RATIO * f_little and n_to_big > n_big_cores:
+            spill = min(int(n_little_cores), n_to_big - int(n_big_cores))
+            n_to_big -= spill
+        n_to_little = n_threads - n_to_big
+        tpc_big = max(1.0, n_to_big / max(n_big_cores, 1))
+        tpc_little = max(1.0, n_to_little / max(n_little_cores, 1))
+        return [n_to_big, tpc_big, tpc_little]
+
+    def observe_thread_count(self, n_threads):
+        self.total_threads = n_threads
+
+
+class DecoupledHeuristicHW(_HeuristicBase):
+    """The Linux *performance* governor with threshold emergency backoff.
+
+    Ignores the OS layer entirely: runs everything at maximum whenever the
+    outputs are under their limits; on a violation, steps frequency down
+    hard (and core counts next), then immediately climbs back — the classic
+    saw-tooth of Fig. 10(b).
+    """
+
+    def __init__(self, spec: BoardSpec):
+        self._spec = spec
+        self.f_big = spec.big.freq_range.high
+        self.f_little = spec.little.freq_range.high
+        self.n_big = spec.big.n_cores
+        self.n_little = spec.little.n_cores
+
+    def reset(self):
+        self.f_big = self._spec.big.freq_range.high
+        self.f_little = self._spec.little.freq_range.high
+        self.n_big = self._spec.big.n_cores
+        self.n_little = self._spec.little.n_cores
+
+    def step(self, outputs, externals):
+        _, p_big, p_little, temp = np.asarray(outputs, dtype=float)
+        spec = self._spec
+        violated_big = p_big > spec.power_limit_big or temp > spec.temp_limit
+        violated_little = p_little > spec.power_limit_little
+        if violated_big:
+            if self.f_big > spec.big.freq_range.low + 3 * spec.big.freq_range.step:
+                self.f_big -= 3 * spec.big.freq_range.step
+            elif self.n_big > 1:
+                self.n_big -= 1
+        else:
+            # Climb straight back toward maximum (no hysteresis): this is
+            # what makes the scheme oscillate against the emergency system.
+            self.f_big = spec.big.freq_range.high
+            self.n_big = spec.big.n_cores
+        if violated_little:
+            if self.f_little > spec.little.freq_range.low + 2 * spec.little.freq_range.step:
+                self.f_little -= 2 * spec.little.freq_range.step
+            elif self.n_little > 1:
+                self.n_little -= 1
+        else:
+            self.f_little = spec.little.freq_range.high
+            self.n_little = spec.little.n_cores
+        return [self.n_big, self.n_little, self.f_big, self.f_little]
+
+
+class DecoupledHeuristicOS(_HeuristicBase):
+    """Round-robin thread placement, blind to core asymmetry.
+
+    Threads are spread one per core over all eight cores in fixed order —
+    half land on the big cluster, half on the little — regardless of what
+    the hardware layer is doing.
+    """
+
+    def __init__(self, spec: BoardSpec, total_threads=8):
+        self._spec = spec
+        self.total_threads = total_threads
+
+    def step(self, outputs, externals):
+        n_threads = int(round(self.total_threads))
+        n_to_big = (n_threads + 1) // 2
+        return [n_to_big, 1.0, 1.0]
+
+    def observe_thread_count(self, n_threads):
+        self.total_threads = n_threads

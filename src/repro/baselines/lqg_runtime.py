@@ -1,0 +1,211 @@
+"""LQG baseline schemes (Sec. VI-B): decoupled per-layer and monolithic.
+
+The LQG controllers are synthesized from the same characterization data as
+the SSV designs, using :mod:`repro.lqg`.  Their documented limitations are
+preserved deliberately:
+
+* no external-signal channels — the decoupled variant's model sees only its
+  own layer's knobs;
+* no saturation/quantization awareness — the runtime passes the raw
+  commanded value to the board (which snaps it physically), so the
+  controller can spend intervals pushing a knob past its limit;
+* no uncertainty guardband — plain Kalman/LQR tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lqg import lqg_synthesize
+from ..lti import StateSpace
+from ..sysid import center_per_run, fit_graybox
+from ..core.characterize import CharacterizationResult
+from ..core.layer import HW_OUTPUTS, SW_OUTPUTS
+
+__all__ = [
+    "LQGLayerController",
+    "design_lqg_hw",
+    "design_lqg_sw",
+    "design_monolithic_lqg",
+    "MonolithicLQGAdapter",
+]
+
+
+class LQGLayerController:
+    """Runtime wrapper giving an LQG controller the layer interface.
+
+    ``step(outputs, externals)`` ignores ``externals`` (LQG has no channel
+    for them) and returns *unclamped* physical commands; the board applies
+    its own saturation, so the controller integrator winds along limits —
+    reproducing the paper's observation that LQG wastes intervals pushing
+    inputs beyond their physical range.
+    """
+
+    def __init__(self, name, controller: StateSpace, input_offsets, input_scales,
+                 output_offsets, output_scales, initial_targets):
+        self.name = name
+        self.state_machine = controller
+        self.input_offsets = np.asarray(input_offsets, dtype=float)
+        self.input_scales = np.asarray(input_scales, dtype=float)
+        self.output_offsets = np.asarray(output_offsets, dtype=float)
+        self.output_scales = np.asarray(output_scales, dtype=float)
+        self.targets = np.asarray(initial_targets, dtype=float).copy()
+        self.state = np.zeros(controller.n_states)
+        self._state_cap = 40.0
+
+    def set_targets(self, targets):
+        self.targets = np.asarray(targets, dtype=float).copy()
+
+    def reset(self):
+        self.state = np.zeros(self.state_machine.n_states)
+
+    def step(self, outputs, externals=None):
+        outputs = np.asarray(outputs, dtype=float)
+        y_norm = (outputs - self.output_offsets) / self.output_scales
+        r_norm = (self.targets - self.output_offsets) / self.output_scales
+        err = y_norm - r_norm  # LQG convention: controller input is y - r
+        self.state, u_norm = self.state_machine.step(self.state, err)
+        norm = np.linalg.norm(self.state)
+        if norm > self._state_cap:
+            self.state *= self._state_cap / norm
+        u_phys = self.input_offsets + self.input_scales * u_norm
+        return list(u_phys)
+
+
+def _identify(data, boundaries):
+    """Shared identification route: centered, normalized gray-box fit."""
+    centered = center_per_run(data, boundaries)
+    norm_data, u_scale, y_scale, _, _ = centered.normalized()
+    gb = fit_graybox(norm_data, boundaries=boundaries, center=False)
+    model_norm = gb.to_statespace()
+    return model_norm, u_scale, y_scale
+
+
+def _input_metadata(spec_signals):
+    spans = np.array([s.allowed.span / 2.0 for s in spec_signals])
+    mids = np.array([s.allowed.midpoint for s in spec_signals])
+    return spans, mids
+
+
+def design_lqg_hw(hw_spec, characterization: CharacterizationResult,
+                  initial_targets=None):
+    """Decoupled hardware LQG: model over the 4 hardware knobs only."""
+    data = characterization.hw_data
+    boundaries = characterization.hw_boundaries
+    n_u = 4
+    # Restrict the training inputs to the layer's own knobs (no externals).
+    from ..sysid import ExperimentData
+
+    own = ExperimentData(data.inputs[:, :n_u], data.outputs, data.dt)
+    model_norm, u_scale, y_scale = _identify(own, boundaries)
+    result = lqg_synthesize(
+        model_norm, n_u=n_u,
+        output_weights=[1.0, 2.0, 2.0, 2.0],  # heavier on the critical outputs
+        input_weights=[1.0] * n_u,
+    )
+    spans, mids = _input_metadata(hw_spec.inputs)
+    out_mids = np.array([characterization.mid_of(n) for n in HW_OUTPUTS])
+    out_ranges = np.array([characterization.range_of(n) for n in HW_OUTPUTS])
+    if initial_targets is None:
+        initial_targets = out_mids
+    return LQGLayerController(
+        "hw-lqg", result.controller,
+        input_offsets=mids, input_scales=spans,
+        output_offsets=out_mids, output_scales=out_ranges,
+        initial_targets=initial_targets,
+    ), result
+
+
+def design_lqg_sw(sw_spec, characterization: CharacterizationResult,
+                  initial_targets=None):
+    """Decoupled software LQG: model over the 3 placement knobs only."""
+    data = characterization.sw_data
+    boundaries = characterization.sw_boundaries
+    n_u = 3
+    from ..sysid import ExperimentData
+
+    own = ExperimentData(data.inputs[:, :n_u], data.outputs, data.dt)
+    model_norm, u_scale, y_scale = _identify(own, boundaries)
+    result = lqg_synthesize(
+        model_norm, n_u=n_u,
+        output_weights=[1.0, 1.0, 1.0],
+        input_weights=[2.0] * n_u,
+    )
+    spans, mids = _input_metadata(sw_spec.inputs)
+    out_mids = np.array([characterization.mid_of(n) for n in SW_OUTPUTS])
+    out_ranges = np.array([characterization.range_of(n) for n in SW_OUTPUTS])
+    if initial_targets is None:
+        initial_targets = out_mids
+    return LQGLayerController(
+        "sw-lqg", result.controller,
+        input_offsets=mids, input_scales=spans,
+        output_offsets=out_mids, output_scales=out_ranges,
+        initial_targets=initial_targets,
+    ), result
+
+
+def design_monolithic_lqg(hw_spec, sw_spec, characterization: CharacterizationResult):
+    """Monolithic LQG: one controller over all 7 knobs and all 7 outputs."""
+    joint = characterization.joint_data
+    boundaries = characterization.joint_boundaries
+    model_norm, u_scale, y_scale = _identify(joint, boundaries)
+    result = lqg_synthesize(
+        model_norm, n_u=7,
+        output_weights=[1.0, 2.0, 2.0, 2.0, 0.5, 0.5, 0.3],
+        input_weights=[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0],
+    )
+    spans_hw, mids_hw = _input_metadata(hw_spec.inputs)
+    spans_sw, mids_sw = _input_metadata(sw_spec.inputs)
+    spans = np.concatenate([spans_hw, spans_sw])
+    mids = np.concatenate([mids_hw, mids_sw])
+    names = list(HW_OUTPUTS) + list(SW_OUTPUTS)
+    out_mids = np.array([characterization.mid_of(n) for n in names])
+    out_ranges = np.array([characterization.range_of(n) for n in names])
+    controller = LQGLayerController(
+        "monolithic-lqg", result.controller,
+        input_offsets=mids, input_scales=spans,
+        output_offsets=out_mids, output_scales=out_ranges,
+        initial_targets=out_mids,
+    )
+    return controller, result
+
+
+class MonolithicLQGAdapter:
+    """Present a 7-knob monolithic controller as an (hw, sw) pair.
+
+    The coordinator calls the hw side first; the adapter runs the single
+    LQG once per period on the stacked output vector and splits the
+    actuation between the two layer calls.
+    """
+
+    def __init__(self, controller: LQGLayerController):
+        self.controller = controller
+        self._pending_sw = None
+
+    # hardware-side facade --------------------------------------------------
+    @property
+    def targets(self):
+        return self.controller.targets[:4]
+
+    def set_targets(self, targets):
+        merged = self.controller.targets.copy()
+        merged[: len(targets)] = targets
+        self.controller.set_targets(merged)
+
+    def set_sw_targets(self, targets):
+        merged = self.controller.targets.copy()
+        merged[4:] = targets
+        self.controller.set_targets(merged)
+
+    def reset(self):
+        self.controller.reset()
+        self._pending_sw = None
+
+    def step_joint(self, outputs_hw, outputs_sw):
+        stacked = np.concatenate([outputs_hw, outputs_sw])
+        u = self.controller.step(stacked)
+        self._pending_sw = u[4:]
+        return u[:4]
+
+    def pending_sw_actuation(self):
+        return self._pending_sw

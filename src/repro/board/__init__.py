@@ -1,0 +1,31 @@
+"""Simulated ODROID XU3 substrate: the board the controllers run against."""
+
+from .board import Board, BoardTrace, ClusterRuntime
+from .placement import PlacementState, plan_placement, spare_capacity
+from .power import PowerBreakdown, cluster_power
+from .sensors import PerformanceCounter, TemperatureSensor, WindowedPowerSensor
+from .specs import BIG, LITTLE, BoardSpec, ClusterSpec, default_xu3_spec
+from .thermal import ThermalModel
+from .tmu import EmergencyManager, EmergencyState
+
+__all__ = [
+    "Board",
+    "BoardTrace",
+    "ClusterRuntime",
+    "PlacementState",
+    "plan_placement",
+    "spare_capacity",
+    "PowerBreakdown",
+    "cluster_power",
+    "PerformanceCounter",
+    "TemperatureSensor",
+    "WindowedPowerSensor",
+    "BIG",
+    "LITTLE",
+    "BoardSpec",
+    "ClusterSpec",
+    "default_xu3_spec",
+    "ThermalModel",
+    "EmergencyManager",
+    "EmergencyState",
+]

@@ -1,0 +1,357 @@
+"""The simulated ODROID XU3 board.
+
+:class:`Board` glues together the cluster performance model, power model,
+thermal model, sensors, emergency firmware, and thread placement into one
+discrete-time simulator with the actuation/sensing interface the paper's
+controllers use:
+
+* actuation: per-cluster frequency (cpufreq), per-cluster powered-core
+  count (hotplug), and thread placement (sched_setaffinity);
+* sensing: 260 ms-windowed power sensors, a noisy temperature sensor, and
+  per-cluster retired-instruction counters.
+
+The board runs one or more :class:`~repro.workloads.app.Application`
+instances concurrently and records full traces for the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cores import core_execution, memory_traffic_gbs, thread_rate_gips
+from .placement import PlacementState, plan_placement, spare_capacity
+from .power import cluster_power
+from .sensors import PerformanceCounter, TemperatureSensor, WindowedPowerSensor
+from .specs import BIG, LITTLE, BoardSpec, default_xu3_spec
+from .thermal import ThermalModel
+from .tmu import EmergencyManager
+
+__all__ = ["Board", "BoardTrace", "ClusterRuntime"]
+
+
+@dataclass
+class ClusterRuntime:
+    """Mutable runtime state of one cluster."""
+
+    frequency: float
+    cores_on: int
+    pending_hotplug_stall: float = 0.0
+
+
+@dataclass
+class BoardTrace:
+    """Per-step history recorded during a run."""
+
+    times: list = field(default_factory=list)
+    power_big: list = field(default_factory=list)
+    power_little: list = field(default_factory=list)
+    temperature: list = field(default_factory=list)
+    bips_total: list = field(default_factory=list)
+    bips_big: list = field(default_factory=list)
+    bips_little: list = field(default_factory=list)
+    freq_big: list = field(default_factory=list)
+    freq_little: list = field(default_factory=list)
+    cores_big: list = field(default_factory=list)
+    cores_little: list = field(default_factory=list)
+    emergency: list = field(default_factory=list)
+
+    def as_arrays(self):
+        return {name: np.asarray(values) for name, values in vars(self).items()}
+
+
+class Board:
+    """Discrete-time simulator of the 8-core big.LITTLE board."""
+
+    def __init__(self, applications, spec: BoardSpec = None, seed=0, record=True):
+        self.spec = spec or default_xu3_spec()
+        self._rng = np.random.default_rng(seed)
+        if not isinstance(applications, (list, tuple)):
+            applications = [applications]
+        self.applications = list(applications)
+        self.time = 0.0
+        self.energy = 0.0
+        self.clusters = {
+            BIG: ClusterRuntime(self.spec.big.freq_range.high, self.spec.big.n_cores),
+            LITTLE: ClusterRuntime(
+                self.spec.little.freq_range.high, self.spec.little.n_cores
+            ),
+        }
+        self.placement = PlacementState()
+        self.thermal = ThermalModel(
+            self.spec.ambient_temp,
+            self.spec.thermal_resistance,
+            self.spec.thermal_tau,
+            self.spec.thermal_weight_little,
+        )
+        # Workloads arrive warm: start near a plausible loaded temperature.
+        self.thermal.reset(self.spec.ambient_temp + 15.0)
+        self.emergency = EmergencyManager(self.spec)
+        self.power_sensors = {
+            BIG: WindowedPowerSensor(self.spec.power_sensor_period, self.spec.sim_dt),
+            LITTLE: WindowedPowerSensor(self.spec.power_sensor_period, self.spec.sim_dt),
+        }
+        self.temp_sensor = TemperatureSensor(self.spec.temp_sensor_noise, self._rng)
+        self.perf_counters = {BIG: PerformanceCounter(), LITTLE: PerformanceCounter()}
+        self.trace = BoardTrace() if record else None
+        self._instant_power = {BIG: 0.0, LITTLE: 0.0}
+        self._instant_bips = {BIG: 0.0, LITTLE: 0.0}
+        self._default_placement()
+
+    # ------------------------------------------------------------------
+    # Actuation interface (what controllers may call)
+    # ------------------------------------------------------------------
+    def set_cluster_frequency(self, cluster_name, freq_ghz):
+        """Request a cluster frequency; snapped to the DVFS table."""
+        spec = self.spec.cluster(cluster_name)
+        self.clusters[cluster_name].frequency = spec.freq_range.snap(freq_ghz)
+
+    def set_active_cores(self, cluster_name, count):
+        """Hotplug cores on/off; clamped to [1, 4]; charges a stall."""
+        spec = self.spec.cluster(cluster_name)
+        runtime = self.clusters[cluster_name]
+        count = int(round(min(max(count, 1), spec.n_cores)))
+        if count != runtime.cores_on:
+            runtime.pending_hotplug_stall += self.spec.hotplug_cost_s
+            runtime.cores_on = count
+            self._repack_overflow(cluster_name)
+
+    def set_placement_knobs(self, n_threads_big, tpc_big, tpc_little):
+        """Software-layer actuation: the three aggregate placement knobs."""
+        threads = self._gather_runnable_threads()
+        new_assignment = plan_placement(
+            threads,
+            n_threads_big,
+            tpc_big,
+            tpc_little,
+            self.clusters[BIG].cores_on,
+            self.clusters[LITTLE].cores_on,
+        )
+        self.placement.apply(new_assignment, self.spec.migration_cost_s)
+
+    def set_raw_placement(self, assignment):
+        """Direct per-core assignment (used by heuristic OS controllers)."""
+        self.placement.apply(assignment, self.spec.migration_cost_s)
+
+    # ------------------------------------------------------------------
+    # Sensing interface
+    # ------------------------------------------------------------------
+    def read_power(self, cluster_name):
+        return self.power_sensors[cluster_name].read()
+
+    def read_temperature(self):
+        return self.temp_sensor.read()
+
+    def read_instructions_delta(self, cluster_name):
+        """Giga-instructions retired since the last delta read."""
+        return self.perf_counters[cluster_name].read_delta()
+
+    def observe_placement(self):
+        """What the layers can see of the current placement (Eq. 2 inputs)."""
+        result = {}
+        for name in (BIG, LITTLE):
+            threads = self.placement.threads_on(name)
+            busy = self.placement.busy_cores(name)
+            cores_on = self.clusters[name].cores_on
+            result[name] = {
+                "n_threads": len(threads),
+                "busy_cores": busy,
+                "cores_on": cores_on,
+                "threads_per_busy_core": len(threads) / busy if busy else 0.0,
+                "spare_capacity": spare_capacity(len(threads), busy, cores_on),
+            }
+        return result
+
+    def runnable_thread_count(self):
+        return len(self._gather_runnable_threads())
+
+    @property
+    def done(self):
+        return all(app.done for app in self.applications)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def step(self):
+        """Advance the board by one simulator step."""
+        dt = self.spec.sim_dt
+        self._refresh_placement_membership()
+        phase_of = {}
+        for app in self.applications:
+            if app.done:
+                continue
+            for thread in app.runnable_threads():
+                phase_of[thread] = (app, app.current_phase)
+        # --- bandwidth contention (one global saturating DRAM model) ----
+        bw_scale = self._bandwidth_scale(phase_of)
+        instructions = {BIG: 0.0, LITTLE: 0.0}
+        power = {}
+        for name in (BIG, LITTLE):
+            spec = self.spec.cluster(name)
+            runtime = self.clusters[name]
+            freq = self._effective_frequency(name)
+            cores_active = self._effective_cores(name)
+            busy_activity = []
+            stall = min(runtime.pending_hotplug_stall, dt)
+            runtime.pending_hotplug_stall -= stall
+            effective_dt = dt - stall
+            for idx in range(spec.n_cores):
+                if idx >= cores_active:
+                    busy_activity.append(0.0)
+                    continue
+                core_threads = [
+                    (t, phase_of[t][1])
+                    for t in self.placement.assignment[name][idx]
+                    if t in phase_of
+                ]
+                work, busy, activity = core_execution(
+                    spec, freq, core_threads, effective_dt,
+                    self.spec.mem_latency_ns, bw_scale,
+                )
+                for (thread, _), done in zip(core_threads, work):
+                    app, _ = phase_of[thread]
+                    app.execute(thread, done, self.time + dt)
+                    instructions[name] += done
+                busy_activity.append(busy * activity)
+            power[name] = cluster_power(
+                spec, freq, cores_active, busy_activity, self.thermal.temperature
+            ).total
+        # --- thermal, sensors, firmware ---------------------------------
+        self.thermal.step(power[BIG], power[LITTLE], dt)
+        total_power = power[BIG] + power[LITTLE] + self.spec.board_static_power
+        self.energy += total_power * dt
+        for name in (BIG, LITTLE):
+            self.power_sensors[name].update(power[name])
+            self.perf_counters[name].add(instructions[name])
+        self.temp_sensor.update(self.thermal.temperature)
+        self.emergency.update(self.thermal.temperature, power, dt)
+        self._instant_power = power
+        self._instant_bips = {
+            name: instructions[name] / dt for name in (BIG, LITTLE)
+        }
+        self.time += dt
+        if self.trace is not None:
+            self._record(power)
+
+    def run(self, duration=None, max_time=1e9, callback=None):
+        """Step until all applications finish (or limits hit).
+
+        ``callback(board)`` fires after every step; controllers are driven
+        by the experiment runner instead, so this is mostly for tests.
+        """
+        end = self.time + duration if duration is not None else max_time
+        while self.time < end:
+            if duration is None and self.done:
+                break
+            self.step()
+            if callback is not None:
+                callback(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _effective_frequency(self, cluster_name):
+        freq = self.clusters[cluster_name].frequency
+        cap = self.emergency.frequency_cap(cluster_name)
+        if cap is not None:
+            freq = min(freq, cap)
+        return freq
+
+    def _effective_cores(self, cluster_name):
+        cores = self.clusters[cluster_name].cores_on
+        cap = self.emergency.core_cap(cluster_name)
+        if cap is not None:
+            cores = min(cores, cap)
+        return cores
+
+    def _gather_runnable_threads(self):
+        threads = []
+        for app in self.applications:
+            threads.extend(app.runnable_threads())
+        return threads
+
+    def _default_placement(self):
+        threads = self._gather_runnable_threads()
+        assignment = plan_placement(
+            threads,
+            n_threads_big=min(len(threads), self.clusters[BIG].cores_on),
+            threads_per_core_big=1,
+            threads_per_core_little=1,
+            cores_on_big=self.clusters[BIG].cores_on,
+            cores_on_little=self.clusters[LITTLE].cores_on,
+        )
+        self.placement.assignment = assignment
+
+    def _refresh_placement_membership(self):
+        """Drop finished threads; pick up threads from new phases."""
+        live = set(self._gather_runnable_threads())
+        placed = set(self.placement.all_threads())
+        if placed == live:
+            return
+        # Keep surviving threads where they are; deal new ones round-robin
+        # over the busiest-available cores (cheap, deterministic).
+        for name in (BIG, LITTLE):
+            for core in self.placement.assignment[name]:
+                core[:] = [t for t in core if t in live]
+        new_threads = sorted(live - placed, key=lambda t: (t.app_name, t.thread_id))
+        if new_threads:
+            slots = []
+            for name in (BIG, LITTLE):
+                for idx in range(self.clusters[name].cores_on):
+                    slots.append((len(self.placement.assignment[name][idx]), name, idx))
+            slots.sort()
+            for i, thread in enumerate(new_threads):
+                _, name, idx = slots[i % len(slots)]
+                self.placement.assignment[name][idx].append(thread)
+
+    def _repack_overflow(self, cluster_name):
+        """Move threads off hotplugged-out cores onto remaining ones."""
+        runtime = self.clusters[cluster_name]
+        cores = self.placement.assignment[cluster_name]
+        overflow = []
+        for idx in range(runtime.cores_on, len(cores)):
+            overflow.extend(cores[idx])
+            cores[idx] = []
+        for i, thread in enumerate(overflow):
+            cores[i % runtime.cores_on].append(thread)
+            thread.migration_stall += self.spec.migration_cost_s
+
+    def _bandwidth_scale(self, phase_of):
+        """Global DRAM-saturation factor from the would-be traffic."""
+        demands = []
+        for name in (BIG, LITTLE):
+            spec = self.spec.cluster(name)
+            freq = self._effective_frequency(name)
+            for idx in range(self._effective_cores(name)):
+                core_threads = self.placement.assignment[name][idx]
+                live = [t for t in core_threads if t in phase_of]
+                if not live:
+                    continue
+                share = 1.0 / len(live)
+                for t in live:
+                    phase = phase_of[t][1]
+                    rate = thread_rate_gips(
+                        spec, freq, phase, self.spec.mem_latency_ns, share
+                    )
+                    demands.append((phase, rate))
+        traffic = memory_traffic_gbs(demands)
+        if traffic <= self.spec.mem_bandwidth_gbs:
+            return 1.0
+        return float(self.spec.mem_bandwidth_gbs / traffic)
+
+    def _record(self, power):
+        trace = self.trace
+        trace.times.append(self.time)
+        trace.power_big.append(power[BIG])
+        trace.power_little.append(power[LITTLE])
+        trace.temperature.append(self.thermal.temperature)
+        trace.bips_big.append(self._instant_bips[BIG])
+        trace.bips_little.append(self._instant_bips[LITTLE])
+        trace.bips_total.append(self._instant_bips[BIG] + self._instant_bips[LITTLE])
+        trace.freq_big.append(self._effective_frequency(BIG))
+        trace.freq_little.append(self._effective_frequency(LITTLE))
+        trace.cores_big.append(self.clusters[BIG].cores_on)
+        trace.cores_little.append(self.clusters[LITTLE].cores_on)
+        trace.emergency.append(self.emergency.state.any_active)

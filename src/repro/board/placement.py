@@ -1,0 +1,106 @@
+"""Thread-to-core placement mechanics.
+
+The software controller does not move individual threads; it actuates three
+aggregate knobs (Sec. IV-B): the number of threads on the big cluster, and
+the average threads-per-busy-core in each cluster.  :func:`plan_placement`
+turns those knob values into a concrete per-core assignment, and
+:class:`PlacementState` tracks the current assignment so migration penalties
+can be charged when it changes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .specs import BIG, LITTLE
+
+__all__ = ["PlacementState", "plan_placement", "spare_capacity"]
+
+
+@dataclass
+class PlacementState:
+    """Current assignment: cluster -> list of per-core thread lists."""
+
+    assignment: dict = field(
+        default_factory=lambda: {BIG: [[] for _ in range(4)], LITTLE: [[] for _ in range(4)]}
+    )
+
+    def threads_on(self, cluster_name):
+        return [t for core in self.assignment[cluster_name] for t in core]
+
+    def all_threads(self):
+        return self.threads_on(BIG) + self.threads_on(LITTLE)
+
+    def busy_cores(self, cluster_name):
+        return sum(1 for core in self.assignment[cluster_name] if core)
+
+    def core_of(self, thread):
+        for cluster_name in (BIG, LITTLE):
+            for idx, core in enumerate(self.assignment[cluster_name]):
+                if thread in core:
+                    return cluster_name, idx
+        return None, None
+
+    def apply(self, new_assignment, migration_cost_s):
+        """Install a new assignment, charging migration stalls for moves."""
+        old_location = {}
+        for cluster_name in (BIG, LITTLE):
+            for idx, core in enumerate(self.assignment[cluster_name]):
+                for thread in core:
+                    old_location[thread] = (cluster_name, idx)
+        moved = 0
+        for cluster_name in (BIG, LITTLE):
+            for idx, core in enumerate(new_assignment[cluster_name]):
+                for thread in core:
+                    if old_location.get(thread, (None, None)) != (cluster_name, idx):
+                        if thread in old_location:
+                            thread.migration_stall += migration_cost_s
+                            moved += 1
+        self.assignment = new_assignment
+        return moved
+
+
+def plan_placement(
+    threads,
+    n_threads_big,
+    threads_per_core_big,
+    threads_per_core_little,
+    cores_on_big,
+    cores_on_little,
+):
+    """Map the software controller's three knobs onto a concrete assignment.
+
+    Threads are dealt in order: the first ``n_threads_big`` go to the big
+    cluster packed ``threads_per_core_big`` to a core (without exceeding the
+    powered-core count), the rest to the little cluster likewise.  Knob
+    values are clamped to what the thread count and powered cores allow.
+    """
+    threads = list(threads)
+    total = len(threads)
+    n_big = int(round(min(max(n_threads_big, 0), total)))
+    big_threads = threads[:n_big]
+    little_threads = threads[n_big:]
+    assignment = {BIG: [[] for _ in range(4)], LITTLE: [[] for _ in range(4)]}
+
+    def pack(cluster_threads, per_core, cores_on, cluster_name):
+        if not cluster_threads:
+            return
+        per_core = max(1.0, float(per_core))
+        want_cores = max(1, math.ceil(len(cluster_threads) / per_core))
+        use_cores = min(want_cores, max(cores_on, 1))
+        for i, thread in enumerate(cluster_threads):
+            assignment[cluster_name][i % use_cores].append(thread)
+
+    pack(big_threads, threads_per_core_big, cores_on_big, BIG)
+    pack(little_threads, threads_per_core_little, cores_on_little, LITTLE)
+    return assignment
+
+
+def spare_capacity(n_threads, busy_cores, cores_on):
+    """The paper's Spare Compute metric (Eq. 2).
+
+    ``SC = idle_cores_on - (threads - cores_on)``.
+    """
+    idle_on = max(cores_on - busy_cores, 0)
+    return idle_on - (n_threads - cores_on)

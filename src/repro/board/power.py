@@ -1,0 +1,62 @@
+"""Cluster power model: dynamic CV^2f plus temperature-dependent leakage."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .specs import ClusterSpec
+
+__all__ = ["cluster_power", "PowerBreakdown"]
+
+_REFERENCE_TEMP = 55.0  # degC at which leak_coeff is specified
+
+
+class PowerBreakdown:
+    """Per-cluster power split into dynamic / leakage / idle components."""
+
+    def __init__(self, dynamic, leakage, idle):
+        self.dynamic = float(dynamic)
+        self.leakage = float(leakage)
+        self.idle = float(idle)
+
+    @property
+    def total(self):
+        return self.dynamic + self.leakage + self.idle
+
+    def __repr__(self):
+        return (
+            f"PowerBreakdown(dyn={self.dynamic:.3f}, leak={self.leakage:.3f}, "
+            f"idle={self.idle:.3f})"
+        )
+
+
+def cluster_power(
+    cluster: ClusterSpec, freq_ghz, cores_on, busy_activity, temperature
+):
+    """Instantaneous power (W) of one cluster.
+
+    Parameters
+    ----------
+    freq_ghz:
+        Current cluster frequency (all cores in a cluster share DVFS).
+    cores_on:
+        Number of powered cores (hotplugged-off cores draw nothing).
+    busy_activity:
+        Sequence of per-core ``busy_fraction * activity`` products for the
+        powered cores (zeros for idle cores).
+    temperature:
+        Hot-spot temperature (degC), driving leakage.
+    """
+    if cores_on <= 0 or freq_ghz <= 0:
+        return PowerBreakdown(0.0, 0.0, 0.0)
+    voltage = cluster.voltage(freq_ghz)
+    # Dynamic: Ceff (nF) * V^2 * f (GHz) yields Watts directly
+    # (1e-9 F * V^2 * 1e9 Hz = W).
+    activity_sum = float(np.sum(busy_activity[:cores_on])) if len(busy_activity) else 0.0
+    dynamic = cluster.ceff_dynamic * voltage**2 * freq_ghz * activity_sum
+    # Leakage: per powered core, linear in V, exponential-ish in T
+    # (linearized: fractional increase per degree).
+    temp_factor = 1.0 + cluster.leak_temp_coeff * (temperature - _REFERENCE_TEMP)
+    leakage = cores_on * cluster.leak_coeff * voltage * max(temp_factor, 0.2)
+    idle = cores_on * cluster.idle_power
+    return PowerBreakdown(dynamic, leakage, idle)

@@ -1,0 +1,83 @@
+"""On-board sensors: windowed power meters, temperature, perf counters.
+
+The XU3's INA231 power sensors integrate over ~260 ms and only then update
+their register — controllers never see instantaneous power.  That sensor
+delay is part of what makes the control problem interesting, so it is
+modelled faithfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WindowedPowerSensor", "TemperatureSensor", "PerformanceCounter"]
+
+
+class WindowedPowerSensor:
+    """Averages instantaneous power over a fixed window, then latches it."""
+
+    def __init__(self, period, dt):
+        self.period = float(period)
+        self.dt = float(dt)
+        self._accumulated = 0.0
+        self._elapsed = 0.0
+        self._latched = 0.0
+
+    def update(self, instantaneous_power):
+        """Feed one simulator step of instantaneous power."""
+        self._accumulated += instantaneous_power * self.dt
+        self._elapsed += self.dt
+        if self._elapsed + 1e-12 >= self.period:
+            self._latched = self._accumulated / self._elapsed
+            self._accumulated = 0.0
+            self._elapsed = 0.0
+
+    def read(self):
+        """The last latched average power (W)."""
+        return self._latched
+
+    def reset(self):
+        self._accumulated = 0.0
+        self._elapsed = 0.0
+        self._latched = 0.0
+
+
+class TemperatureSensor:
+    """Instantaneous on-die temperature readout with Gaussian noise."""
+
+    def __init__(self, noise_rms, rng):
+        self.noise_rms = float(noise_rms)
+        self._rng = rng
+        self._last = 0.0
+
+    def update(self, true_temperature):
+        noise = self._rng.normal(scale=self.noise_rms) if self.noise_rms > 0 else 0.0
+        self._last = true_temperature + noise
+        return self._last
+
+    def read(self):
+        return self._last
+
+
+class PerformanceCounter:
+    """Cumulative retired-instruction counter (per cluster)."""
+
+    def __init__(self):
+        self.total_giga = 0.0
+        self._last_read = 0.0
+
+    def add(self, giga_instructions):
+        self.total_giga += giga_instructions
+
+    def read_cumulative(self):
+        return self.total_giga
+
+    def read_delta(self):
+        """Instructions retired since the previous delta read (giga)."""
+        delta = self.total_giga - self._last_read
+        self._last_read = self.total_giga
+        return delta
+
+    def reset(self):
+        self.total_giga = 0.0
+        self._last_read = 0.0

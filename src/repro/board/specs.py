@@ -1,0 +1,140 @@
+"""Board specification: the simulated ODROID XU3 (Exynos 5422).
+
+All platform constants live here: cluster frequency tables, voltage curves,
+power-model coefficients, the thermal RC network, sensor periods, and the
+emergency thresholds of the stock firmware.  The default values are tuned so
+the paper's operating envelope is reproduced: four A15s flat out draw well
+over the 3.3 W big-cluster limit, the little cluster brushes its 0.33 W
+limit near 1 GHz, and sustained operation at the limits sits just below the
+79 degC thermal constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..signals import QuantizedRange
+
+__all__ = ["ClusterSpec", "BoardSpec", "default_xu3_spec", "BIG", "LITTLE"]
+
+BIG = "big"
+LITTLE = "little"
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of one core cluster."""
+
+    name: str
+    n_cores: int
+    freq_range: QuantizedRange  # GHz
+    voltage_base: float  # V at the lowest frequency
+    voltage_slope: float  # V per GHz above the lowest frequency
+    ceff_dynamic: float  # effective switched capacitance, nF per core
+    leak_coeff: float  # W per core per volt at the reference temperature
+    leak_temp_coeff: float  # fractional leakage increase per degC
+    cpi_execute: float  # baseline execute CPI of this core type
+    mem_stall_factor: float  # fraction of raw memory latency exposed (MLP)
+    idle_power: float  # W per powered-on idle core
+
+    def voltage(self, freq_ghz):
+        """Operating voltage at a given frequency (V)."""
+        return self.voltage_base + self.voltage_slope * (freq_ghz - self.freq_range.low)
+
+    def core_count_range(self):
+        return QuantizedRange(1, self.n_cores, step=1)
+
+
+@dataclass
+class BoardSpec:
+    """Full board description."""
+
+    big: ClusterSpec
+    little: ClusterSpec
+    sim_dt: float  # simulator step (s)
+    control_period: float  # controller invocation period (s)
+    power_sensor_period: float  # on-board INA231 update period (s)
+    ambient_temp: float  # degC
+    thermal_resistance: float  # degC per W (hot spot vs ambient)
+    thermal_tau: float  # s, first-order thermal time constant
+    thermal_weight_little: float  # fraction of little power heating the hot spot
+    board_static_power: float  # W, always-on board overhead (DRAM, IO)
+    mem_latency_ns: float  # effective DRAM latency per miss
+    mem_bandwidth_gbs: float  # saturating bandwidth model cap
+    migration_cost_s: float  # lost execution time per migrated thread
+    hotplug_cost_s: float  # lost execution time per hotplug event
+    # Paper Sec. V-A limits (what the controllers must respect).
+    power_limit_big: float
+    power_limit_little: float
+    temp_limit: float
+    # Stock-firmware emergency thresholds (Sec. V-A: limits sit below these).
+    emergency_power_factor: float  # emergency trips at factor * limit
+    emergency_temp_trip: float  # degC
+    emergency_temp_clear: float  # degC (hysteresis)
+    emergency_throttle_freq: float  # GHz forced on the big cluster when tripped
+    temp_sensor_noise: float  # degC rms
+    rng_seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def cluster(self, name):
+        if name == BIG:
+            return self.big
+        if name == LITTLE:
+            return self.little
+        raise KeyError(f"unknown cluster {name!r}")
+
+
+def default_xu3_spec(sim_dt=0.05) -> BoardSpec:
+    """The default simulated ODROID XU3 configuration."""
+    big = ClusterSpec(
+        name=BIG,
+        n_cores=4,
+        freq_range=QuantizedRange(0.2, 2.0, step=0.1),
+        voltage_base=0.90,
+        voltage_slope=0.26,
+        ceff_dynamic=0.42,  # nF -> ~1.3 W dynamic per core at 2.0 GHz
+        leak_coeff=0.085,
+        leak_temp_coeff=0.012,
+        cpi_execute=1.15,
+        mem_stall_factor=0.65,  # OoO MLP hides only part of DRAM latency
+        idle_power=0.045,
+    )
+    little = ClusterSpec(
+        name=LITTLE,
+        n_cores=4,
+        freq_range=QuantizedRange(0.2, 1.4, step=0.1),
+        voltage_base=0.90,
+        voltage_slope=0.18,
+        ceff_dynamic=0.085,
+        leak_coeff=0.016,
+        leak_temp_coeff=0.010,
+        cpi_execute=2.0,
+        mem_stall_factor=1.0,  # in-order core exposes the full latency
+        idle_power=0.008,
+    )
+    return BoardSpec(
+        big=big,
+        little=little,
+        sim_dt=sim_dt,
+        control_period=0.5,
+        power_sensor_period=0.25,  # 260 ms sensor rounded to the sim grid
+        ambient_temp=42.0,
+        thermal_resistance=12.5,
+        thermal_tau=8.0,
+        thermal_weight_little=0.45,
+        board_static_power=0.35,
+        mem_latency_ns=110.0,
+        mem_bandwidth_gbs=7.5,
+        migration_cost_s=0.002,
+        hotplug_cost_s=0.010,
+        power_limit_big=3.3,
+        power_limit_little=0.33,
+        temp_limit=79.0,
+        emergency_power_factor=1.6,
+        emergency_temp_trip=85.0,
+        emergency_temp_clear=76.0,
+        emergency_throttle_freq=0.8,
+        temp_sensor_noise=0.3,
+    )

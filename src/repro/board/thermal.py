@@ -1,0 +1,37 @@
+"""First-order RC thermal model of the SoC hot spot.
+
+The Exynos hot spot sits in the A15 cluster; little-cluster and board power
+contribute with a reduced coupling weight.  The model is the standard
+lumped RC:  ``tau * dT/dt = (T_amb + R * P_eff) - T``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ThermalModel"]
+
+
+class ThermalModel:
+    """Lumped hot-spot temperature state."""
+
+    def __init__(self, ambient, resistance, tau, little_weight):
+        self.ambient = float(ambient)
+        self.resistance = float(resistance)
+        self.tau = float(tau)
+        self.little_weight = float(little_weight)
+        self.temperature = float(ambient)
+
+    def steady_state(self, power_big, power_little):
+        """Equilibrium temperature for a constant power draw."""
+        effective = power_big + self.little_weight * power_little
+        return self.ambient + self.resistance * effective
+
+    def step(self, power_big, power_little, dt):
+        """Advance the hot-spot temperature by ``dt`` seconds."""
+        target = self.steady_state(power_big, power_little)
+        alpha = dt / max(self.tau, 1e-9)
+        alpha = min(alpha, 1.0)
+        self.temperature += alpha * (target - self.temperature)
+        return self.temperature
+
+    def reset(self, temperature=None):
+        self.temperature = self.ambient if temperature is None else float(temperature)

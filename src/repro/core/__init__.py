@@ -1,0 +1,69 @@
+"""Yukta core: layer specs, design flow, runtime controllers, coordination.
+
+This package is the paper's primary contribution made executable:
+
+* :mod:`~repro.core.layer` — the Table II/III layer declarations;
+* :mod:`~repro.core.characterize` — training-campaign data collection;
+* :mod:`~repro.core.design` — the Fig. 3 design flow (interface exchange,
+  system identification, D-K synthesis, runtime assembly);
+* :mod:`~repro.core.controller` — the deployable Eq. 3-4 state machine;
+* :mod:`~repro.core.optimizer` — the Sec. IV-D ExD target optimizer;
+* :mod:`~repro.core.coordinator` — the Fig. 4/5 multilayer runtime;
+* :mod:`~repro.core.hwimpl` — the Sec. VI-D fixed-point implementation.
+"""
+
+from .characterize import CharacterizationResult, characterize_board, sample_signals
+from .controller import RuntimeController, assemble_runtime_controller
+from .coordinator import ControlStepRecord, MultilayerCoordinator
+from .design import LayerDesign, design_layer, design_two_layer_system
+from .hwimpl import FixedPointController, ImplementationCost, implementation_cost
+from .layer import (
+    HW_OUTPUTS,
+    SW_OUTPUTS,
+    LayerSpec,
+    hardware_layer_spec,
+    software_layer_spec,
+)
+from .optimizer import ExDOptimizer, TargetChannel, exd_metric
+from .taxonomy import (
+    TAXONOMY_TABLE,
+    YUKTA_CHOICE,
+    Approach,
+    ControllerType,
+    DesignChoice,
+    Mode,
+    Modeling,
+    Organization,
+)
+
+__all__ = [
+    "CharacterizationResult",
+    "characterize_board",
+    "sample_signals",
+    "RuntimeController",
+    "assemble_runtime_controller",
+    "ControlStepRecord",
+    "MultilayerCoordinator",
+    "LayerDesign",
+    "design_layer",
+    "design_two_layer_system",
+    "FixedPointController",
+    "ImplementationCost",
+    "implementation_cost",
+    "LayerSpec",
+    "hardware_layer_spec",
+    "software_layer_spec",
+    "HW_OUTPUTS",
+    "SW_OUTPUTS",
+    "ExDOptimizer",
+    "TargetChannel",
+    "exd_metric",
+    "TAXONOMY_TABLE",
+    "YUKTA_CHOICE",
+    "Approach",
+    "ControllerType",
+    "DesignChoice",
+    "Mode",
+    "Modeling",
+    "Organization",
+]

@@ -1,0 +1,290 @@
+"""Runtime SSV controller: the Eq. 3-4 state machine plus its wrappers.
+
+The synthesized continuous controller is discretized, composed with the
+discrete measurement filters its design assumed, and wrapped with the
+normalization, saturation/quantization snapping, and guardband-exhaustion
+detection needed to drive the real (simulated) board.  The resulting object
+implements exactly the paper's hardware form:
+
+    x(T+1) = A x(T) + B dy(T)
+    u(T)   = C x(T) + D dy(T)
+
+where ``dy`` stacks the output deviations from their targets and the
+external signals (O + E entries) and ``u`` is the new input vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lti import StateSpace, append, continuous_to_discrete, series, ss
+from ..robust import AugmentedPlant
+
+__all__ = ["RuntimeController", "assemble_runtime_controller"]
+
+
+def _discrete_lag(pole_hz, dt, channels):
+    """Discrete first-order unity-DC-gain lag bank (one per channel)."""
+    # Continuous: a/(s+a); Tustin-discretized to match the synthesis model.
+    a = pole_hz
+    single = ss([[-a]], [[a]], [[1.0]], [[0.0]])
+    single_d = continuous_to_discrete(single, dt)
+    return append(*[single_d for _ in range(channels)])
+
+
+@dataclass
+class RuntimeController:
+    """A deployable Yukta layer controller.
+
+    Attributes
+    ----------
+    state_machine:
+        Discrete system mapping ``[err_norm; ext_norm] -> u_norm``.
+    input_ranges:
+        One :class:`~repro.signals.QuantizedRange` per actuated input.
+    targets:
+        Current output targets in physical units (set by the optimizer).
+    """
+
+    name: str
+    state_machine: StateSpace
+    input_ranges: list
+    input_offsets: np.ndarray
+    input_scales: np.ndarray
+    output_offsets: np.ndarray
+    output_scales: np.ndarray
+    external_offsets: np.ndarray
+    external_scales: np.ndarray
+    bound_fractions: np.ndarray
+    targets: np.ndarray
+    guardband: float = 0.4
+    limit_mask: np.ndarray = None  # True for limit-style (one-sided) outputs
+    dither_mask: np.ndarray = None  # True for knobs cheap enough to dither
+    model_gain: np.ndarray = None  # normalized DC gain (n_y x n_u), for the
+    # guardband-exhaustion innovation monitor
+    state: np.ndarray = None
+    guardband_exhausted: bool = False
+    _violation_streak: int = 0
+    _state_norm_cap: float = 25.0
+    history: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.state is None:
+            self.state = np.zeros(self.state_machine.n_states)
+        self.targets = np.asarray(self.targets, dtype=float).copy()
+        if self.limit_mask is None:
+            self.limit_mask = np.zeros(len(self.output_scales), dtype=bool)
+        if self.dither_mask is None:
+            self.dither_mask = np.zeros(self.n_inputs, dtype=bool)
+        self._snap_residual = np.zeros(self.n_inputs)
+        self._prev_u_norm = None
+        self._prev_y_norm = None
+        self._innovation_ema = 0.0
+        self._innovation_streak = 0
+
+    @property
+    def n_inputs(self):
+        return len(self.input_ranges)
+
+    @property
+    def n_outputs(self):
+        return len(self.output_scales)
+
+    def set_targets(self, targets):
+        self.targets = np.asarray(targets, dtype=float).copy()
+
+    def reset(self):
+        self.state = np.zeros(self.state_machine.n_states)
+        self.guardband_exhausted = False
+        self._violation_streak = 0
+        self._snap_residual = np.zeros(self.n_inputs)
+        self._prev_u_norm = None
+        self._prev_y_norm = None
+        self._innovation_ema = 0.0
+        self._innovation_streak = 0
+        self.history.clear()
+
+    def step(self, outputs, externals):
+        """One control period: measurements in, snapped actuation out.
+
+        Parameters
+        ----------
+        outputs:
+            Measured output vector (physical units).
+        externals:
+            External-signal vector (physical units, may be empty).
+
+        Returns
+        -------
+        List of snapped physical input values, one per actuated knob.
+        """
+        outputs = np.asarray(outputs, dtype=float)
+        externals = np.asarray(externals, dtype=float)
+        y_norm = (outputs - self.output_offsets) / self.output_scales
+        r_norm = (self.targets - self.output_offsets) / self.output_scales
+        # Clamp the error so unreachable targets degrade into bounded,
+        # proportional pressure instead of tearing the linear controller
+        # between irreconcilable extremes.  Limit-style outputs (e.g. the
+        # temperature constraint) are one-sided: full authority to pull an
+        # over-limit output down, almost none to push it up from below.
+        hi = np.where(self.limit_mask, 0.05, 0.6)
+        err = np.clip(r_norm - y_norm, -0.6, hi)
+        e_norm = (
+            (externals - self.external_offsets) / self.external_scales
+            if externals.size
+            else np.zeros(0)
+        )
+        dy = np.concatenate([err, e_norm])
+        self.state, u_norm = self.state_machine.step(self.state, dy)
+        # Mild state-norm clamp: keeps the (validated-stable) state machine
+        # from winding up when actuators sit saturated for long stretches.
+        norm = np.linalg.norm(self.state)
+        if norm > self._state_norm_cap:
+            self.state *= self._state_norm_cap / norm
+        u_phys = self.input_offsets + self.input_scales * u_norm
+        # Sigma-delta quantization on the *cheap* knobs (frequencies): carry
+        # the snap residual into the next period so persistent sub-notch
+        # pressure eventually crosses a level boundary (dithering between
+        # adjacent DVFS levels realizes the average command) instead of
+        # being discarded forever.  Expensive knobs (hotplug, migrations)
+        # snap plainly — dithering them would cost a stall every period.
+        snapped = []
+        for i, (rng, value) in enumerate(zip(self.input_ranges, u_phys)):
+            if self.dither_mask[i]:
+                candidate = value + self._snap_residual[i]
+                level = rng.snap(candidate)
+                half_gap = max(rng.quantization_radius(), 1e-9)
+                self._snap_residual[i] = float(
+                    np.clip(candidate - level, -half_gap, half_gap)
+                )
+            else:
+                level = rng.snap(value)
+            snapped.append(level)
+        self._update_guardband_monitor(err)
+        u_norm_applied = (np.asarray(snapped) - self.input_offsets) / self.input_scales
+        self._update_innovation_monitor(y_norm, u_norm_applied)
+        self.history.append(
+            {"outputs": outputs.copy(), "targets": self.targets.copy(), "u": snapped}
+        )
+        return snapped
+
+    # Only outputs with bounds at or below this fraction participate in
+    # the exhaustion monitor: those are the critical outputs whose targets
+    # the optimizer never deliberately leads (it walks performance targets
+    # ahead of the observation by design, which is not a fault).
+    _CRITICAL_BOUND = 0.12
+
+    def _update_guardband_monitor(self, err_norm):
+        """Detect guardband exhaustion (Sec. II-B).
+
+        If a *critical* output's deviation persistently exceeds its designed
+        bound by more than the modelling guardband allows (with a 1.5x noise
+        margin), the runtime flags that the declared Delta was too small.
+        """
+        margin = 1.0 + self.guardband
+        critical = self.bound_fractions <= self._CRITICAL_BOUND
+        thresholds = self.bound_fractions * margin * 1.5
+        violated = bool(
+            np.any(critical & (np.abs(err_norm) > thresholds))
+        )
+        if violated:
+            self._violation_streak += 1
+        else:
+            self._violation_streak = 0
+        if self._violation_streak >= 8:
+            self.guardband_exhausted = True
+
+    # The innovation monitor needs a minimum actuation move to attribute an
+    # output change to the inputs rather than to plant noise.
+    _INNOVATION_MIN_MOVE = 0.05
+    _INNOVATION_EMA_ALPHA = 0.25
+    _INNOVATION_STREAK = 6
+
+    def _update_innovation_monitor(self, y_norm, u_norm):
+        """Detect guardband exhaustion by model-innovation excess.
+
+        Compares the measured output change against the identified model's
+        predicted change for the applied input move; a prediction error
+        persistently exceeding the declared guardband (with margin) means
+        the true plant has left the designed-for uncertainty set.
+        """
+        prev_u, prev_y = self._prev_u_norm, self._prev_y_norm
+        self._prev_u_norm = np.asarray(u_norm, dtype=float).copy()
+        self._prev_y_norm = np.asarray(y_norm, dtype=float).copy()
+        if self.model_gain is None or prev_u is None:
+            return
+        du = self._prev_u_norm - prev_u
+        if np.linalg.norm(du) < self._INNOVATION_MIN_MOVE:
+            return
+        predicted = self.model_gain @ du
+        actual = self._prev_y_norm - prev_y
+        scale = max(np.linalg.norm(predicted), 0.05)
+        ratio = float(np.linalg.norm(actual - predicted) / scale)
+        alpha = self._INNOVATION_EMA_ALPHA
+        self._innovation_ema = (1 - alpha) * self._innovation_ema + alpha * ratio
+        threshold = 2.0 * (1.0 + self.guardband)
+        if self._innovation_ema > threshold:
+            self._innovation_streak += 1
+        else:
+            self._innovation_streak = max(self._innovation_streak - 1, 0)
+        if self._innovation_streak >= self._INNOVATION_STREAK:
+            self.guardband_exhausted = True
+
+
+def assemble_runtime_controller(
+    name,
+    synthesized_continuous: StateSpace,
+    augmented: AugmentedPlant,
+    input_ranges,
+    initial_targets,
+    guardband,
+    reduce_to=None,
+    limit_mask=None,
+    dither_mask=None,
+    model_gain=None,
+) -> RuntimeController:
+    """Build a deployable controller from a synthesis result.
+
+    Discretizes the continuous controller at the control period, prepends
+    the measurement-filter bank the design assumed, optionally reduces the
+    composite order by balanced truncation, and wraps everything with the
+    plant's normalization metadata.
+    """
+    dt = augmented.dt
+    if not np.isfinite(dt):
+        raise ValueError("augmented plant lacks a sampling period")
+    k_d = continuous_to_discrete(synthesized_continuous, dt)
+    n_y = augmented.channels.n_y
+    n_e = augmented.channels.n_e
+    pole = augmented.notes["measurement_pole"]
+    filters = _discrete_lag(pole, dt, n_y + n_e)
+    composite = series(filters, k_d)  # filters first, then the controller
+    if reduce_to is not None and composite.is_stable() and reduce_to < composite.n_states:
+        from ..lti import balanced_truncation
+
+        composite, _ = balanced_truncation(composite, reduce_to)
+    return RuntimeController(
+        name=name,
+        state_machine=composite,
+        input_ranges=list(input_ranges),
+        input_offsets=augmented.input_offsets,
+        input_scales=augmented.input_scales,
+        output_offsets=augmented.output_offsets,
+        output_scales=augmented.output_scales,
+        external_offsets=augmented.external_offsets,
+        external_scales=augmented.external_scales,
+        bound_fractions=augmented.bound_fractions,
+        targets=initial_targets,
+        guardband=guardband,
+        limit_mask=(
+            np.asarray(limit_mask, dtype=bool) if limit_mask is not None else None
+        ),
+        dither_mask=(
+            np.asarray(dither_mask, dtype=bool) if dither_mask is not None else None
+        ),
+        model_gain=(
+            np.asarray(model_gain, dtype=float) if model_gain is not None else None
+        ),
+    )

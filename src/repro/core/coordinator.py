@@ -1,0 +1,173 @@
+"""Multilayer runtime coordination (Fig. 4 / Fig. 5).
+
+The :class:`MultilayerCoordinator` owns the per-layer controllers and their
+optimizers, invokes them every control period, and wires the external
+signals: each controller reads, as external signals, the knob values the
+*other* layer actuated last period.  The hardware layer actuates cluster
+frequency and core counts; the software layer actuates the three placement
+knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..board import BIG, LITTLE, Board
+from .characterize import sample_signals
+from .layer import HW_OUTPUTS, SW_OUTPUTS
+from .optimizer import ExDOptimizer, exd_metric
+
+__all__ = ["MultilayerCoordinator", "ControlStepRecord"]
+
+
+@dataclass
+class ControlStepRecord:
+    """One control period's worth of observable state (for analysis)."""
+
+    time: float
+    outputs_hw: np.ndarray
+    outputs_sw: np.ndarray
+    targets_hw: np.ndarray
+    targets_sw: np.ndarray
+    actuation_hw: list
+    actuation_sw: list
+    exd_proxy: float
+
+
+class MultilayerCoordinator:
+    """Runs the two Yukta layers against a board.
+
+    Either layer may be a :class:`~repro.core.controller.RuntimeController`
+    (SSV) or any object with the same ``step(outputs, externals)`` /
+    ``set_targets`` interface (e.g. heuristic or LQG stand-ins), which is
+    how the mixed schemes of Table IV are assembled.
+    """
+
+    # Sustained firmware override (the TMU throttling *under* the
+    # controller) means the declared guarantees are no longer being met by
+    # the controller itself — the OS-visible form of guardband exhaustion.
+    FIRMWARE_OVERRIDE_PERIODS = 4
+
+    def __init__(
+        self,
+        hw_controller,
+        sw_controller=None,
+        hw_optimizer: ExDOptimizer = None,
+        sw_optimizer: ExDOptimizer = None,
+    ):
+        self.hw_controller = hw_controller
+        self.sw_controller = sw_controller
+        self.hw_optimizer = hw_optimizer
+        self.sw_optimizer = sw_optimizer
+        self.records = []
+        self._last_hw_actuation = None
+        self._last_sw_actuation = None
+        self._override_streak = 0
+
+    def reset(self):
+        for ctrl in (self.hw_controller, self.sw_controller):
+            if ctrl is not None and hasattr(ctrl, "reset"):
+                ctrl.reset()
+        for opt in (self.hw_optimizer, self.sw_optimizer):
+            if opt is not None:
+                opt.reset()
+        self.records.clear()
+        self._last_hw_actuation = None
+        self._last_sw_actuation = None
+        self._override_streak = 0
+
+    def control_step(self, board: Board, period_steps):
+        """One control period: sense, optimize targets, actuate both layers."""
+        # Firmware-override detection: the emergency TMU intervening under
+        # the controller is visible to the OS (throttle status in sysfs on
+        # real boards) and means the plant has left the designed-for
+        # envelope — the runtime equivalent of guardband exhaustion.
+        if board.emergency.state.any_active:
+            self._override_streak += 1
+        else:
+            self._override_streak = 0
+        if (
+            self._override_streak >= self.FIRMWARE_OVERRIDE_PERIODS
+            and hasattr(self.hw_controller, "guardband_exhausted")
+        ):
+            self.hw_controller.guardband_exhausted = True
+        signals = sample_signals(board, period_steps)
+        outputs_hw = np.array([signals[name] for name in HW_OUTPUTS])
+        outputs_sw = np.array([signals[name] for name in SW_OUTPUTS])
+        # The optimizer's ExD proxy must price the whole platform: leaving
+        # out the constant board power biases it against performance.
+        total_power = (
+            signals["power_big"]
+            + signals["power_little"]
+            + board.spec.board_static_power
+        )
+        exd = exd_metric(total_power, signals["bips_total"])
+
+        # --- target optimization (Fig. 5) -----------------------------
+        if self.hw_optimizer is not None:
+            self.hw_controller.set_targets(
+                self.hw_optimizer.update(exd, outputs_hw)
+            )
+        if self.sw_optimizer is not None and self.sw_controller is not None:
+            self.sw_controller.set_targets(
+                self.sw_optimizer.update(exd, outputs_sw)
+            )
+
+        # --- external signal wiring ------------------------------------
+        # Each layer reads the other layer's most recent actuation; before
+        # the first actuation it reads the current board state instead.
+        ext_for_hw = (
+            list(self._last_sw_actuation)
+            if self._last_sw_actuation is not None
+            else [signals["n_threads_big"], signals["tpc_big"], signals["tpc_little"]]
+        )
+        ext_for_sw = (
+            list(self._last_hw_actuation)
+            if self._last_hw_actuation is not None
+            else [
+                signals["n_big_cores"],
+                signals["n_little_cores"],
+                signals["freq_big"],
+                signals["freq_little"],
+            ]
+        )
+
+        # --- layer invocations ------------------------------------------
+        hw_u = self.hw_controller.step(outputs_hw, ext_for_hw)
+        n_big, n_little, f_big, f_little = hw_u
+        board.set_active_cores(BIG, n_big)
+        board.set_active_cores(LITTLE, n_little)
+        board.set_cluster_frequency(BIG, f_big)
+        board.set_cluster_frequency(LITTLE, f_little)
+        self._last_hw_actuation = hw_u
+
+        sw_u = None
+        if self.sw_controller is not None:
+            if hasattr(self.sw_controller, "observe_thread_count"):
+                self.sw_controller.observe_thread_count(
+                    board.runnable_thread_count()
+                )
+            sw_u = self.sw_controller.step(outputs_sw, ext_for_sw)
+            n_threads_big, tpc_big, tpc_little = sw_u
+            board.set_placement_knobs(n_threads_big, tpc_big, tpc_little)
+            self._last_sw_actuation = sw_u
+
+        self.records.append(
+            ControlStepRecord(
+                time=board.time,
+                outputs_hw=outputs_hw,
+                outputs_sw=outputs_sw,
+                targets_hw=np.asarray(getattr(self.hw_controller, "targets", [])),
+                targets_sw=np.asarray(
+                    getattr(self.sw_controller, "targets", [])
+                    if self.sw_controller is not None
+                    else []
+                ),
+                actuation_hw=hw_u,
+                actuation_sw=sw_u,
+                exd_proxy=exd,
+            )
+        )
+        return hw_u, sw_u

@@ -1,0 +1,193 @@
+"""Layer specifications: Tables II and III of the paper.
+
+A :class:`LayerSpec` is everything a design team declares about its
+controller before any modelling happens: actuated inputs (with quantization
+and weights), monitored outputs (with deviation-bound fractions), imported
+external signals, the goal, and the uncertainty guardband.  The two factory
+functions reproduce the paper's hardware and software controllers for the
+simulated XU3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..board.specs import BoardSpec, default_xu3_spec
+from ..signals import (
+    ExternalSignal,
+    InputSignal,
+    InterfaceRecord,
+    OutputSignal,
+    QuantizedRange,
+)
+
+__all__ = [
+    "LayerSpec",
+    "hardware_layer_spec",
+    "software_layer_spec",
+    "HW_OUTPUTS",
+    "SW_OUTPUTS",
+]
+
+HW_OUTPUTS = ("bips_total", "power_big", "power_little", "temperature")
+SW_OUTPUTS = ("bips_little", "bips_big", "delta_spare_capacity")
+
+
+@dataclass
+class LayerSpec:
+    """One layer's controller declaration (a row of Table II / III)."""
+
+    name: str
+    goal: str
+    inputs: list  # [InputSignal]
+    outputs: list  # [OutputSignal]
+    externals: list = field(default_factory=list)  # [ExternalSignal]
+    guardband: float = 0.4
+
+    @property
+    def n_inputs(self):
+        return len(self.inputs)
+
+    @property
+    def n_outputs(self):
+        return len(self.outputs)
+
+    @property
+    def n_externals(self):
+        return len(self.externals)
+
+    def input_names(self):
+        return [s.name for s in self.inputs]
+
+    def output_names(self):
+        return [s.name for s in self.outputs]
+
+    def external_names(self):
+        return [s.name for s in self.externals]
+
+    def interface_record(self) -> InterfaceRecord:
+        """What this layer publishes in the Fig. 3 hand-shake."""
+        return InterfaceRecord(
+            layer_name=self.name,
+            input_levels={s.name: s.allowed for s in self.inputs},
+            output_bounds={s.name: s.absolute_bound for s in self.outputs},
+        )
+
+    def with_output_ranges(self, ranges):
+        """Fill in characterization ranges (Sec. IV-A) per output."""
+        ranges = np.asarray(ranges, dtype=float)
+        if ranges.size != self.n_outputs:
+            raise ValueError(f"need {self.n_outputs} ranges, got {ranges.size}")
+        outputs = [
+            replace(out, value_range=float(rng))
+            for out, rng in zip(self.outputs, ranges)
+        ]
+        return replace(self, outputs=outputs)
+
+    def with_bounds(self, fractions):
+        """Override the deviation-bound fractions (Fig. 15 sensitivity)."""
+        fractions = np.asarray(fractions, dtype=float)
+        outputs = [
+            replace(out, bound_fraction=float(frac))
+            for out, frac in zip(self.outputs, fractions)
+        ]
+        return replace(self, outputs=outputs)
+
+    def with_input_weights(self, weight):
+        """Override all input weights (Fig. 17 sensitivity)."""
+        inputs = [replace(inp, weight=float(weight)) for inp in self.inputs]
+        return replace(self, inputs=inputs)
+
+    def with_guardband(self, guardband):
+        """Override the uncertainty guardband (Fig. 16 sensitivity)."""
+        return replace(self, guardband=float(guardband))
+
+    def describe(self):
+        lines = [f"Layer {self.name!r}: {self.goal}"]
+        lines.append("  inputs:")
+        lines.extend(f"    - {s.describe()}" for s in self.inputs)
+        lines.append("  outputs:")
+        lines.extend(f"    - {s.describe()}" for s in self.outputs)
+        if self.externals:
+            lines.append("  external signals:")
+            lines.extend(f"    - {s.describe()}" for s in self.externals)
+        lines.append(f"  uncertainty guardband: +-{100 * self.guardband:.0f}%")
+        return "\n".join(lines)
+
+
+def hardware_layer_spec(board: BoardSpec = None) -> LayerSpec:
+    """Table II: the hardware controller of the prototype.
+
+    Goal: minimize ExD subject to power/temperature limits.  Inputs are the
+    core counts and cluster frequencies; outputs are total BIPS, cluster
+    powers, and hot-spot temperature; external signals are the software
+    layer's three placement knobs.  Output value ranges are placeholders
+    until characterization fills them (``with_output_ranges``).
+    """
+    board = board or default_xu3_spec()
+    inputs = [
+        InputSignal("n_big_cores", board.big.core_count_range(), weight=1.0, unit="cores"),
+        InputSignal("n_little_cores", board.little.core_count_range(), weight=1.0, unit="cores"),
+        InputSignal("freq_big", board.big.freq_range, weight=1.0, unit="GHz"),
+        InputSignal("freq_little", board.little.freq_range, weight=1.0, unit="GHz"),
+    ]
+    outputs = [
+        OutputSignal("bips_total", 0.20, value_range=5.0, critical=False, unit="BIPS"),
+        OutputSignal("power_big", 0.10, value_range=4.0, critical=True, unit="W"),
+        OutputSignal("power_little", 0.10, value_range=0.5, critical=True, unit="W"),
+        OutputSignal("temperature", 0.10, value_range=40.0, critical=True,
+                     enforce_as_limit=True, unit="degC"),
+    ]
+    externals = [
+        ExternalSignal("n_threads_big", "software", allowed=QuantizedRange(0, 8, step=1)),
+        ExternalSignal("tpc_big", "software", allowed=QuantizedRange(1, 4, step=0.5)),
+        ExternalSignal("tpc_little", "software", allowed=QuantizedRange(1, 4, step=0.5)),
+    ]
+    return LayerSpec(
+        name="hardware",
+        goal=(
+            "minimize ExD subject to power_big < 3.3 W, power_little < 0.33 W, "
+            "temperature < 79 degC"
+        ),
+        inputs=inputs,
+        outputs=outputs,
+        externals=externals,
+        guardband=0.40,
+    )
+
+
+def software_layer_spec(board: BoardSpec = None) -> LayerSpec:
+    """Table III: the software (OS) controller of the prototype.
+
+    Inputs are the three placement knobs with weight 2 (deliberately more
+    sluggish than the hardware controller, Sec. IV-B); outputs are the
+    per-cluster performance and the spare-compute difference; external
+    signals are the hardware layer's four knobs.
+    """
+    board = board or default_xu3_spec()
+    inputs = [
+        InputSignal("n_threads_big", QuantizedRange(0, 8, step=1), weight=2.0, unit="threads"),
+        InputSignal("tpc_big", QuantizedRange(1, 4, step=0.5), weight=2.0, unit="threads/core"),
+        InputSignal("tpc_little", QuantizedRange(1, 4, step=0.5), weight=2.0, unit="threads/core"),
+    ]
+    outputs = [
+        OutputSignal("bips_little", 0.20, value_range=2.0, critical=False, unit="BIPS"),
+        OutputSignal("bips_big", 0.20, value_range=5.0, critical=False, unit="BIPS"),
+        OutputSignal("delta_spare_capacity", 0.20, value_range=8.0, critical=False),
+    ]
+    externals = [
+        ExternalSignal("n_big_cores", "hardware", allowed=board.big.core_count_range()),
+        ExternalSignal("n_little_cores", "hardware", allowed=board.little.core_count_range()),
+        ExternalSignal("freq_big", "hardware", allowed=board.big.freq_range),
+        ExternalSignal("freq_little", "hardware", allowed=board.little.freq_range),
+    ]
+    return LayerSpec(
+        name="software",
+        goal="minimize ExD",
+        inputs=inputs,
+        outputs=outputs,
+        externals=externals,
+        guardband=0.50,
+    )

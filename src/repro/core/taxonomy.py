@@ -1,0 +1,83 @@
+"""The controller-design taxonomy of Table I.
+
+Enumerations of the design space plus the combination Yukta selects.  Used
+by documentation, reports, and the table-reproduction bench.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Modeling", "Mode", "Organization", "Approach", "ControllerType",
+           "DesignChoice", "YUKTA_CHOICE", "TAXONOMY_TABLE"]
+
+
+class Modeling(enum.Enum):
+    WHITE_BOX = "White Box (Analytical)"
+    BLACK_BOX = "Black Box (Data Driven)"
+    GRAY_BOX = "Gray Box"
+
+
+class Mode(enum.Enum):
+    SISO = "SISO"
+    MISO = "MISO"
+    SIMO = "SIMO"
+    MIMO = "MIMO"
+
+
+class Organization(enum.Enum):
+    DECOUPLED = "Decoupled"
+    CENTRALIZED = "Centralized"
+    CASCADED = "Cascaded"
+    COLLABORATIVE = "Collaborative"
+
+
+class Approach(enum.Enum):
+    CLASSICAL = "Classical"
+    ROBUST = "Robust"
+    GAIN_SCHEDULING = "Gain Scheduling"
+    ADAPTIVE = "Adaptive"
+
+
+class ControllerType(enum.Enum):
+    PID = "PID"
+    LQG = "LQG"
+    MPC = "MPC"
+    SSV = "SSV"
+
+
+@dataclass(frozen=True)
+class DesignChoice:
+    """One point in the Table I design space."""
+
+    modeling: Modeling
+    mode: Mode
+    organization: Organization
+    approach: Approach
+    controller_type: ControllerType
+
+    def describe(self):
+        return (
+            f"{self.modeling.value} / {self.mode.value} / "
+            f"{self.organization.value} / {self.approach.value} / "
+            f"{self.controller_type.value}"
+        )
+
+
+# The combination the paper selects (italicized entries of Table I).
+YUKTA_CHOICE = DesignChoice(
+    modeling=Modeling.BLACK_BOX,
+    mode=Mode.MIMO,
+    organization=Organization.COLLABORATIVE,
+    approach=Approach.ROBUST,
+    controller_type=ControllerType.SSV,
+)
+
+TAXONOMY_TABLE = {
+    "Modeling": [m.value for m in Modeling],
+    "Mode": [m.value for m in Mode],
+    "Organization": [o.value for o in Organization],
+    "Approach": [a.value for a in Approach],
+    "Type": [t.value for t in ControllerType],
+}

@@ -1,0 +1,74 @@
+"""Experiment harness: one module per paper table/figure plus the runner.
+
+Every evaluation artifact of the paper has a ``run()`` entry point here
+(see the DESIGN.md experiment index) and a matching pytest-benchmark target
+under ``benchmarks/``.
+"""
+
+from . import (
+    ablation,
+    exhaustion,
+    fig9,
+    fig10,
+    fig12,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    hwcost,
+    scheduling,
+    tables,
+    three_layer,
+)
+from .metrics import RunMetrics, normalize_to, oscillation_stats
+from .report import render_bars, render_series, render_table
+from .runner import instantiate_workload, run_scheme_matrix, run_workload
+from .schemes import (
+    COORDINATED_HEURISTIC,
+    DECOUPLED_HEURISTIC,
+    DECOUPLED_LQG,
+    MONOLITHIC_LQG,
+    SCHEMES,
+    YUKTA_HW_SSV_OS_HEUR,
+    YUKTA_HW_SSV_OS_SSV,
+    DesignContext,
+    SchemeSession,
+    build_session,
+    scheme_descriptions,
+)
+
+__all__ = [
+    "ablation",
+    "exhaustion",
+    "scheduling",
+    "three_layer",
+    "fig9",
+    "fig10",
+    "fig12",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "hwcost",
+    "tables",
+    "RunMetrics",
+    "normalize_to",
+    "oscillation_stats",
+    "render_table",
+    "render_bars",
+    "render_series",
+    "run_workload",
+    "run_scheme_matrix",
+    "instantiate_workload",
+    "SCHEMES",
+    "COORDINATED_HEURISTIC",
+    "DECOUPLED_HEURISTIC",
+    "YUKTA_HW_SSV_OS_HEUR",
+    "YUKTA_HW_SSV_OS_SSV",
+    "DECOUPLED_LQG",
+    "MONOLITHIC_LQG",
+    "DesignContext",
+    "SchemeSession",
+    "build_session",
+    "scheme_descriptions",
+]

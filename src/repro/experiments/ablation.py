@@ -1,0 +1,134 @@
+"""Coordination-channel ablation: what do the external signals buy?
+
+The external signals are the paper's coordination mechanism (Sec. III-B).
+This ablation runs the full *Yukta: HW SSV + OS SSV* scheme twice on each
+workload — once with the cross-layer external signals wired normally, and
+once with each controller's externals frozen at their design midpoints
+(the controllers are otherwise identical) — and reports the ExD and
+control-quality cost of severing the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..board import Board
+from ..core import MultilayerCoordinator
+from .metrics import RunMetrics, oscillation_stats
+from .report import render_table
+from .runner import instantiate_workload
+from .schemes import YUKTA_HW_SSV_OS_SSV, DesignContext, build_session
+
+__all__ = ["AblationResult", "run", "FrozenExternalsController"]
+
+
+class FrozenExternalsController:
+    """Wrap a runtime controller, replacing its externals with constants.
+
+    The wrapped controller still *has* external-signal inputs (it was
+    synthesized with them); it simply receives their design midpoints every
+    period — information-free coordination.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self._frozen = (
+            inner.external_offsets.copy()
+            if getattr(inner, "external_offsets", None) is not None
+            else None
+        )
+
+    @property
+    def targets(self):
+        return self.inner.targets
+
+    @property
+    def guardband_exhausted(self):
+        return getattr(self.inner, "guardband_exhausted", False)
+
+    @guardband_exhausted.setter
+    def guardband_exhausted(self, value):
+        self.inner.guardband_exhausted = value
+
+    def set_targets(self, targets):
+        self.inner.set_targets(targets)
+
+    def reset(self):
+        self.inner.reset()
+
+    def step(self, outputs, externals):
+        frozen = self._frozen if self._frozen is not None else externals
+        return self.inner.step(outputs, frozen)
+
+
+@dataclass
+class AblationResult:
+    workloads: list
+    exd_ratio: dict = field(default_factory=dict)  # frozen / coordinated
+    ripple_ratio: dict = field(default_factory=dict)
+
+    def rows(self):
+        rows = [
+            [w, self.exd_ratio[w], self.ripple_ratio[w]] for w in self.workloads
+        ]
+        rows.append([
+            "mean",
+            float(np.mean(list(self.exd_ratio.values()))),
+            float(np.mean(list(self.ripple_ratio.values()))),
+        ])
+        return rows
+
+    def render(self):
+        return render_table(
+            ["workload", "ExD (frozen/coordinated)",
+             "power ripple (frozen/coordinated)"],
+            self.rows(),
+            "Ablation: severing the external-signal coordination channel",
+        )
+
+
+def _run(context, workload, freeze, seed, max_time=600.0):
+    session = build_session(YUKTA_HW_SSV_OS_SSV, context)
+    hw, sw = session.hw_controller, session.sw_controller
+    if freeze:
+        hw = FrozenExternalsController(hw)
+        sw = FrozenExternalsController(sw)
+    coordinator = MultilayerCoordinator(
+        hw, sw, session.hw_optimizer, session.sw_optimizer
+    )
+    board = Board(instantiate_workload(workload), spec=context.spec, seed=seed)
+    period_steps = int(round(context.spec.control_period / context.spec.sim_dt))
+    while not board.done and board.time < max_time:
+        for _ in range(period_steps):
+            board.step()
+            if board.done:
+                break
+        if board.done:
+            break
+        coordinator.control_step(board, period_steps)
+    trace = board.trace.as_arrays()
+    return RunMetrics(
+        scheme="frozen" if freeze else "coordinated",
+        workload=str(workload),
+        execution_time=board.time,
+        energy=board.energy,
+        completed=board.done,
+        trace=trace,
+    )
+
+
+def run(context: DesignContext = None,
+        workloads=("blackscholes", "gamess", "x264"), seed=7) -> AblationResult:
+    """Run the coordinated/frozen pair on each workload."""
+    context = context or DesignContext.create()
+    result = AblationResult(list(workloads))
+    for workload in workloads:
+        coordinated = _run(context, workload, freeze=False, seed=seed)
+        frozen = _run(context, workload, freeze=True, seed=seed)
+        result.exd_ratio[workload] = frozen.exd / coordinated.exd
+        ripple_c = oscillation_stats(coordinated.trace["power_big"])["ripple"]
+        ripple_f = oscillation_stats(frozen.trace["power_big"])["ripple"]
+        result.ripple_ratio[workload] = ripple_f / max(ripple_c, 1e-9)
+    return result

@@ -1,0 +1,81 @@
+"""Run metrics: Energy x Delay, normalization, and trace statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RunMetrics", "normalize_to", "oscillation_stats"]
+
+
+@dataclass
+class RunMetrics:
+    """Outcome of one application run under one scheme."""
+
+    scheme: str
+    workload: str
+    execution_time: float  # s
+    energy: float  # J
+    completed: bool
+    trace: dict = field(default_factory=dict)  # arrays from BoardTrace
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def exd(self):
+        """Energy x Delay (J*s)."""
+        return self.energy * self.execution_time
+
+    @property
+    def ed2(self):
+        """Energy x Delay^2 (for completeness)."""
+        return self.energy * self.execution_time**2
+
+    def summary(self):
+        flag = "" if self.completed else " [TIMEOUT]"
+        return (
+            f"{self.scheme:28s} {self.workload:16s} t={self.execution_time:7.1f}s "
+            f"E={self.energy:8.1f}J ExD={self.exd:10.0f}{flag}"
+        )
+
+
+def normalize_to(metrics_by_scheme, baseline_scheme, attribute="exd"):
+    """Normalize a per-scheme metric dict to one scheme (paper convention).
+
+    ``metrics_by_scheme`` maps scheme name -> RunMetrics (or number).
+    Returns scheme name -> normalized value.
+    """
+    def value(m):
+        return getattr(m, attribute) if hasattr(m, attribute) else float(m)
+
+    base = value(metrics_by_scheme[baseline_scheme])
+    if base <= 0:
+        raise ValueError(f"baseline {baseline_scheme!r} has nonpositive {attribute}")
+    return {name: value(m) / base for name, m in metrics_by_scheme.items()}
+
+
+def oscillation_stats(series, limit=None):
+    """Peak/valley statistics of a power trace (Fig. 10 commentary).
+
+    Counts excursions above ``limit`` (if given), and measures the ripple
+    (std of the detrended series) and the steady-state mean of the last
+    half of the run.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.size < 4:
+        return {"peaks_over_limit": 0, "ripple": 0.0, "steady_mean": float(series.mean() if series.size else 0.0)}
+    over = 0
+    if limit is not None:
+        above = series > limit
+        over = int(np.sum(np.diff(above.astype(int)) == 1))
+        if above[0]:
+            over += 1
+    # Detrend with an edge-normalized moving average to isolate ripple.
+    window = max(series.size // 20, 3)
+    kernel = np.ones(window)
+    smooth = np.convolve(series, kernel, mode="same") / np.convolve(
+        np.ones_like(series), kernel, mode="same"
+    )
+    ripple = float(np.std(series - smooth))
+    steady_mean = float(series[series.size // 2 :].mean())
+    return {"peaks_over_limit": over, "ripple": ripple, "steady_mean": steady_mean}

@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment results (tables and bar charts).
+
+The paper's figures are bar charts and time series; the harness renders the
+same content as aligned text so every table/figure can be regenerated and
+eyeballed from a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_table", "render_bars", "render_series", "format_float"]
+
+
+def format_float(value, width=8, precision=2):
+    if value is None:
+        return " " * (width - 1) + "-"
+    return f"{value:{width}.{precision}f}"
+
+
+def render_table(headers, rows, title=None):
+    """Render an aligned text table; cells may be strings or numbers."""
+    text_rows = []
+    for row in rows:
+        text_rows.append(
+            [cell if isinstance(cell, str) else format_float(cell).strip()
+             for cell in row]
+        )
+    widths = [len(str(h)) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(labels, values, title=None, width=50, reference=1.0):
+    """Horizontal ASCII bar chart (the Fig. 9/12/14 normalized-bar style)."""
+    values = [float(v) for v in values]
+    peak = max(max(values), reference, 1e-12)
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(str(l)) for l in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(width * value / peak)), 1)
+        lines.append(f"{str(label).ljust(label_width)} |{bar} {value:.2f}")
+    if reference is not None:
+        ref_col = int(round(width * reference / peak))
+        lines.append(f"{' ' * label_width} |{' ' * ref_col}^ baseline = {reference}")
+    return "\n".join(lines)
+
+
+def render_series(times, values, title=None, width=64, height=12):
+    """Down-sampled ASCII time-series plot (the Fig. 10/11/15/17 style)."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return (title or "") + "\n(empty series)"
+    # Downsample to the plot width by averaging buckets.
+    edges = np.linspace(times[0], times[-1], width + 1)
+    sampled = np.full(width, np.nan)
+    for i in range(width):
+        mask = (times >= edges[i]) & (times < edges[i + 1])
+        if np.any(mask):
+            sampled[i] = values[mask].mean()
+    finite = sampled[np.isfinite(sampled)]
+    low, high = float(finite.min()), float(finite.max())
+    if high - low < 1e-12:
+        high = low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for i, v in enumerate(sampled):
+        if not np.isfinite(v):
+            continue
+        row = int((v - low) / (high - low) * (height - 1))
+        grid[height - 1 - row][i] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:10.2f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{low:10.2f} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"t = {times[0]:.0f}s".ljust(width // 2)
+        + f"t = {times[-1]:.0f}s".rjust(width // 2)
+    )
+    return "\n".join(lines)

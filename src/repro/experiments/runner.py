@@ -1,0 +1,137 @@
+"""The experiment runner: one workload under one scheme on the board.
+
+The runner instantiates the workload, wires a scheme session to a fresh
+board, drives the 500 ms control loop until completion, and packages the
+resulting :class:`~repro.experiments.metrics.RunMetrics`.  The monolithic
+LQG scheme gets its own loop (single controller over both layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..board import BIG, LITTLE, Board
+from ..core import MultilayerCoordinator, exd_metric
+from ..core.characterize import sample_signals
+from ..core.layer import HW_OUTPUTS, SW_OUTPUTS
+from ..workloads import make_application, make_mix
+from .metrics import RunMetrics
+from .schemes import DesignContext, SchemeSession, build_session
+
+__all__ = ["run_workload", "run_scheme_matrix", "instantiate_workload"]
+
+
+def instantiate_workload(workload):
+    """Turn a workload name (program or mix) into application instances."""
+    if isinstance(workload, (list, tuple)):
+        return list(workload)
+    try:
+        return [make_application(workload)]
+    except KeyError:
+        return make_mix(workload)
+
+
+def _monolithic_loop(board, session, period_steps, max_time):
+    """Control loop for the single-controller (monolithic LQG) scheme."""
+    mono = session.monolithic
+    hw_opt, sw_opt = session.hw_optimizer, session.sw_optimizer
+    while not board.done and board.time < max_time:
+        for _ in range(period_steps):
+            board.step()
+            if board.done:
+                break
+        if board.done:
+            break
+        signals = sample_signals(board, period_steps)
+        outputs_hw = np.array([signals[name] for name in HW_OUTPUTS])
+        outputs_sw = np.array([signals[name] for name in SW_OUTPUTS])
+        total_power = (
+            signals["power_big"]
+            + signals["power_little"]
+            + board.spec.board_static_power
+        )
+        exd = exd_metric(total_power, signals["bips_total"])
+        if hw_opt is not None:
+            mono.set_targets(hw_opt.update(exd, outputs_hw))
+        if sw_opt is not None:
+            mono.set_sw_targets(sw_opt.update(exd, outputs_sw))
+        hw_u = mono.step_joint(outputs_hw, outputs_sw)
+        n_big, n_little, f_big, f_little = hw_u
+        board.set_active_cores(BIG, n_big)
+        board.set_active_cores(LITTLE, n_little)
+        board.set_cluster_frequency(BIG, f_big)
+        board.set_cluster_frequency(LITTLE, f_little)
+        sw_u = mono.pending_sw_actuation()
+        if sw_u is not None:
+            board.set_placement_knobs(*sw_u)
+
+
+def run_workload(
+    scheme_name,
+    workload,
+    context: DesignContext,
+    seed=7,
+    max_time=600.0,
+    record=True,
+) -> RunMetrics:
+    """Run one workload to completion under one scheme."""
+    session = build_session(scheme_name, context)
+    apps = instantiate_workload(workload)
+    board = Board(apps, spec=context.spec, seed=seed, record=record)
+    period_steps = int(round(context.spec.control_period / context.spec.sim_dt))
+    if session.monolithic is not None:
+        _monolithic_loop(board, session, period_steps, max_time)
+        coordinator = None
+    else:
+        coordinator = MultilayerCoordinator(
+            session.hw_controller,
+            session.sw_controller,
+            session.hw_optimizer,
+            session.sw_optimizer,
+        )
+        while not board.done and board.time < max_time:
+            for _ in range(period_steps):
+                board.step()
+                if board.done:
+                    break
+            if board.done:
+                break
+            coordinator.control_step(board, period_steps)
+    workload_name = workload if isinstance(workload, str) else "+".join(
+        a.name for a in apps
+    )
+    trace = board.trace.as_arrays() if record and board.trace else {}
+    notes = {
+        "emergency_trips": board.emergency.state.trip_count,
+        "coordinator_records": len(coordinator.records) if coordinator else 0,
+    }
+    if hasattr(session.hw_controller, "guardband_exhausted"):
+        notes["guardband_exhausted"] = session.hw_controller.guardband_exhausted
+    return RunMetrics(
+        scheme=scheme_name,
+        workload=workload_name,
+        execution_time=board.time,
+        energy=board.energy,
+        completed=board.done,
+        trace=trace,
+        notes=notes,
+    )
+
+
+def run_scheme_matrix(schemes, workloads, context, seed=7, max_time=600.0,
+                      record=False, progress=None):
+    """Run every (scheme, workload) pair; returns nested dict of metrics."""
+    results = {}
+    for workload in workloads:
+        per_scheme = {}
+        for scheme in schemes:
+            metrics = run_workload(
+                scheme, workload, context, seed=seed, max_time=max_time,
+                record=record,
+            )
+            per_scheme[scheme] = metrics
+            if progress is not None:
+                progress(metrics)
+        name = metrics.workload
+        results[name] = per_scheme
+    return results

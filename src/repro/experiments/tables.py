@@ -1,0 +1,74 @@
+"""Tables I-IV rendered from the code objects that implement them.
+
+Table I is the design-space taxonomy, Tables II/III the layer controller
+specifications, and Table IV the scheme registry — each regenerated from
+the live objects so the documentation can never drift from the code.
+"""
+
+from __future__ import annotations
+
+from ..board import default_xu3_spec
+from ..core import TAXONOMY_TABLE, YUKTA_CHOICE, hardware_layer_spec, software_layer_spec
+from .report import render_table
+from .schemes import SCHEMES, scheme_descriptions
+
+__all__ = ["table1", "table2", "table3", "table4", "render_all"]
+
+
+def table1():
+    """Table I: the space of design choices, with Yukta's picks marked."""
+    chosen = {
+        "Modeling": YUKTA_CHOICE.modeling.value,
+        "Mode": YUKTA_CHOICE.mode.value,
+        "Organization": YUKTA_CHOICE.organization.value,
+        "Approach": YUKTA_CHOICE.approach.value,
+        "Type": YUKTA_CHOICE.controller_type.value,
+    }
+    rows = []
+    for dimension, options in TAXONOMY_TABLE.items():
+        marked = [
+            f"*{opt}*" if opt == chosen[dimension] else opt for opt in options
+        ]
+        rows.append([dimension, ", ".join(marked)])
+    return render_table(["dimension", "choices (*Yukta's selection*)"], rows,
+                        "Table I: space of design choices from control theory")
+
+
+def _layer_table(spec, title):
+    rows = [["goal", spec.goal]]
+    for signal in spec.inputs:
+        rows.append(["input", signal.describe()])
+    for signal in spec.outputs:
+        rows.append(["output", signal.describe()])
+    for signal in spec.externals:
+        rows.append(["external", signal.describe()])
+    rows.append(["uncertainty", f"+-{100 * spec.guardband:.0f}%"])
+    return render_table(["kind", "description"], rows, title)
+
+
+def table2(board=None):
+    """Table II: the hardware controller parameters."""
+    return _layer_table(
+        hardware_layer_spec(board or default_xu3_spec()),
+        "Table II: hardware controller of the prototype",
+    )
+
+
+def table3(board=None):
+    """Table III: the software controller parameters."""
+    return _layer_table(
+        software_layer_spec(board or default_xu3_spec()),
+        "Table III: software controller of the prototype",
+    )
+
+
+def table4():
+    """Table IV (+ the Sec. VI-B LQG variants): scheme registry."""
+    descriptions = scheme_descriptions()
+    rows = [[name, descriptions[name]] for name in SCHEMES]
+    return render_table(["scheme", "description"], rows,
+                        "Table IV: controller schemes")
+
+
+def render_all():
+    return "\n\n".join([table1(), table2(), table3(), table4()])

@@ -1,0 +1,35 @@
+"""Extensions beyond the paper's prototype.
+
+The paper envisions (Sec. III-D) scaling Yukta to more than two layers with
+neighbour-only communication.  This package builds that out: a QoS-aware
+*application layer* whose SSV controller actuates the application's own
+knobs (approximation quality, requested parallelism), reads the OS layer's
+placement as external signals, and never talks to the hardware layer
+directly — exactly the layered-abstraction argument of the paper.
+"""
+
+from .qos_app import QosApplication
+from .app_layer import (
+    AppLayerRuntime,
+    ThreeLayerCoordinator,
+    app_layer_spec,
+    characterize_app_layer,
+    design_app_layer,
+)
+from .gain_scheduling import (
+    GainScheduledController,
+    capacity_utilization,
+    design_gain_scheduled_layers,
+)
+
+__all__ = [
+    "QosApplication",
+    "app_layer_spec",
+    "characterize_app_layer",
+    "design_app_layer",
+    "AppLayerRuntime",
+    "ThreeLayerCoordinator",
+    "GainScheduledController",
+    "capacity_utilization",
+    "design_gain_scheduled_layers",
+]

@@ -1,0 +1,207 @@
+"""The application (QoS) layer: a third Yukta layer per Sec. III-D.
+
+The application team declares its controller exactly like the hardware and
+software teams: inputs (approximation quality and requested parallelism,
+both quantized), outputs (heartbeat rate and delivered quality, with
+deviation bounds), external signals imported from the *neighbouring* layer
+only (the OS placement knobs — never the hardware layer's), and an
+uncertainty guardband.  The same characterize -> identify -> augment ->
+D-K-synthesize -> deploy flow produces its controller, and the
+:class:`ThreeLayerCoordinator` stacks it on top of the existing two-layer
+runtime at a slower invocation rate (layers higher in the stack act on
+longer timescales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..board import Board
+from ..core import MultilayerCoordinator, design_layer
+from ..core.layer import LayerSpec
+from ..signals import ExternalSignal, InputSignal, OutputSignal, QuantizedRange
+from ..sysid import ExperimentData, merge_experiments, multilevel_random
+from .qos_app import QosApplication
+
+__all__ = [
+    "app_layer_spec",
+    "characterize_app_layer",
+    "design_app_layer",
+    "AppLayerRuntime",
+    "ThreeLayerCoordinator",
+]
+
+APP_OUTPUTS = ("heartbeat_rate", "delivered_quality")
+
+
+def app_layer_spec() -> LayerSpec:
+    """The application team's controller declaration."""
+    inputs = [
+        InputSignal("quality", QuantizedRange(0.5, 1.0, step=0.05), weight=2.0),
+        InputSignal("requested_threads", QuantizedRange(2, 8, step=1), weight=2.0,
+                    unit="threads"),
+    ]
+    outputs = [
+        # QoS is the critical output (tight bound); quality is the soft one
+        # the optimizer trades away — same prioritization-by-bounds pattern
+        # as the hardware layer's power/performance split (Sec. IV-A).
+        OutputSignal("heartbeat_rate", 0.10, value_range=10.0, critical=True,
+                     unit="items/s"),
+        OutputSignal("delivered_quality", 0.40, value_range=0.5),
+    ]
+    externals = [
+        ExternalSignal("n_threads_big", "software",
+                       allowed=QuantizedRange(0, 8, step=1)),
+        ExternalSignal("tpc_big", "software",
+                       allowed=QuantizedRange(1, 4, step=0.5)),
+        ExternalSignal("tpc_little", "software",
+                       allowed=QuantizedRange(1, 4, step=0.5)),
+    ]
+    return LayerSpec(
+        name="application",
+        goal="meet the heartbeat (QoS) target at the highest quality",
+        inputs=inputs,
+        outputs=outputs,
+        externals=externals,
+        guardband=0.60,  # highest layer, most unmodeled churn below it
+    )
+
+
+def _sample_app_signals(app: QosApplication, period):
+    return {
+        "heartbeat_rate": app.read_heartbeats() / period,
+        "delivered_quality": app.quality,
+    }
+
+
+def make_qos_application(name="qos-stream", total_items=400,
+                         base_giga_per_item=0.8, mpki=1.5):
+    return QosApplication(name, total_items=total_items,
+                          base_giga_per_item=base_giga_per_item, mpki=mpki)
+
+
+def characterize_app_layer(base_context, samples=200, seed=77):
+    """Training campaign for the application layer.
+
+    Runs the QoS application under the *two-layer* Yukta stack (the layers
+    below behave as they will in deployment) while exciting the application
+    knobs, sampling heartbeat rate and delivered quality.
+    """
+    from ..experiments.schemes import YUKTA_HW_SSV_OS_SSV, build_session
+
+    spec = base_context.spec
+    period_steps = int(round(spec.control_period / spec.sim_dt))
+    runs = []
+    for run_idx in range(2):
+        app = make_qos_application(total_items=10_000)
+        board = Board(app, spec=spec, seed=seed + run_idx, record=False)
+        session = build_session(YUKTA_HW_SSV_OS_SSV, base_context)
+        coordinator = MultilayerCoordinator(
+            session.hw_controller, session.sw_controller,
+            session.hw_optimizer, session.sw_optimizer,
+        )
+        quality_seq = multilevel_random(
+            samples, [0.5, 0.6, 0.75, 0.9, 1.0], 6, seed=seed + 10 * run_idx
+        )
+        threads_seq = multilevel_random(
+            samples, [2, 4, 6, 8], 8, seed=seed + 10 * run_idx + 1
+        )
+        rows_u, rows_y, rows_e = [], [], []
+        for k in range(samples):
+            if board.done:
+                break
+            app.set_quality(quality_seq[k])
+            app.set_max_threads(int(threads_seq[k]))
+            for _ in range(period_steps):
+                board.step()
+                if board.done:
+                    break
+            coordinator.control_step(board, period_steps)
+            signals = _sample_app_signals(app, spec.control_period)
+            sw_u = coordinator.records[-1].actuation_sw or [4, 2, 2]
+            rows_u.append([quality_seq[k], threads_seq[k], *sw_u])
+            rows_y.append([signals["heartbeat_rate"],
+                           signals["delivered_quality"]])
+        if len(rows_u) >= 24:
+            runs.append(ExperimentData(
+                np.asarray(rows_u), np.asarray(rows_y), spec.control_period,
+                label=f"qos-run{run_idx}",
+            ))
+    if not runs:
+        raise RuntimeError("application-layer characterization produced no data")
+    return merge_experiments(runs)
+
+
+def design_app_layer(base_context, samples=200, seed=77, **kwargs):
+    """Design the application-layer SSV controller end to end."""
+    data, boundaries = characterize_app_layer(base_context, samples, seed)
+    heartbeat = data.outputs[:, 0]
+    hb_low, hb_high = np.percentile(heartbeat, [2, 98])
+    hb_range = max(hb_high - hb_low, 1.0)
+    spec = app_layer_spec()
+    design = design_layer(
+        spec,
+        characterization=None,
+        training_data=(data, boundaries),
+        output_ranges_override=[hb_range, 0.5],
+        output_mids_override=[(hb_low + hb_high) / 2.0, 0.75],
+        reduce_to=12,
+        effort_scale=kwargs.pop("effort_scale", 2.0),
+        accuracy_boost=kwargs.pop("accuracy_boost", 8.0),
+        **kwargs,
+    )
+    return design
+
+
+@dataclass
+class AppLayerRuntime:
+    """Deployable application-layer controller bound to one application."""
+
+    controller: object  # RuntimeController
+    application: QosApplication
+    heartbeat_target: float
+    quality_target: float = 1.0
+
+    def __post_init__(self):
+        self.controller.set_targets([self.heartbeat_target, self.quality_target])
+
+    def control_step(self, period, os_actuation):
+        signals = _sample_app_signals(self.application, period)
+        outputs = [signals["heartbeat_rate"], signals["delivered_quality"]]
+        externals = list(os_actuation) if os_actuation else [4.0, 2.0, 2.0]
+        quality, threads = self.controller.step(outputs, externals)
+        self.application.set_quality(quality)
+        self.application.set_max_threads(int(round(threads)))
+        return quality, threads
+
+
+class ThreeLayerCoordinator:
+    """Stack the application layer on the two-layer runtime.
+
+    The application layer runs every ``app_period_multiple`` control
+    periods (higher layers act on slower timescales, Sec. III-D) and talks
+    only to its neighbour: it reads the OS actuation and actuates the
+    application's own knobs.
+    """
+
+    def __init__(self, two_layer: MultilayerCoordinator,
+                 app_runtime: AppLayerRuntime, app_period_multiple=2):
+        self.two_layer = two_layer
+        self.app_runtime = app_runtime
+        self.app_period_multiple = int(app_period_multiple)
+        self._period = 0
+        self.app_actions = []
+
+    def control_step(self, board, period_steps):
+        result = self.two_layer.control_step(board, period_steps)
+        self._period += 1
+        if self._period % self.app_period_multiple == 0:
+            os_actuation = self.two_layer.records[-1].actuation_sw
+            action = self.app_runtime.control_step(
+                board.spec.control_period * self.app_period_multiple,
+                os_actuation,
+            )
+            self.app_actions.append((board.time, *action))
+        return result

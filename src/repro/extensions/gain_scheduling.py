@@ -1,0 +1,183 @@
+"""Gain-scheduled Yukta: per-workload-class SSV controllers (Table I).
+
+The paper's taxonomy lists *Gain Scheduling* — multiple controllers, each
+suited to a type of execution, with selection logic at runtime — and notes
+its extra modelling cost.  This extension builds it: the training programs
+are split into compute-bound and memory-bound classes, each class gets its
+own characterization campaign and its own pair of SSV controllers, and a
+hysteretic runtime selector switches on a capacity-utilization signal
+(delivered BIPS per provisioned core-GHz — low utilization at speed means
+the memory wall).
+
+The motivation is diagnostic: the single workload-agnostic linear model is
+this reproduction's weakest link on memory-bound programs (EXPERIMENTS.md),
+and scheduling is the classical remedy the paper itself names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import characterize_board, design_layer
+from ..core.layer import hardware_layer_spec, software_layer_spec
+
+__all__ = [
+    "GainScheduledController",
+    "capacity_utilization",
+    "design_gain_scheduled_layers",
+    "COMPUTE_TRAINING",
+    "MEMORY_TRAINING",
+]
+
+# Training split (all from the paper's training set, disjoint from eval).
+COMPUTE_TRAINING = ("swaptions", "namd", "perlbench")
+MEMORY_TRAINING = ("milc", "astar", "vips")
+
+
+def capacity_utilization(bips_total, n_big, n_little, f_big, f_little,
+                         big_cpi=1.15, little_cpi=2.0):
+    """Delivered BIPS over the provisioned peak BIPS of the powered cores.
+
+    Near 1.0 for compute-bound execution; well below it when the memory
+    wall (or idle provisioned cores) caps throughput.
+    """
+    peak = n_big * f_big / big_cpi + n_little * f_little / little_cpi
+    return float(bips_total) / max(peak, 1e-9)
+
+
+class GainScheduledController:
+    """Hysteretic selector over per-class runtime controllers.
+
+    Members share the layer interface (``step``/``set_targets``/``reset``);
+    the selector computes the class label from the measurements plus the
+    *last applied actuation* and switches only after ``hysteresis``
+    consecutive periods vote for the other class (cheap selection logic,
+    but logic nonetheless — the overhead the paper's taxonomy warns about).
+    """
+
+    # Utilization below this classifies the execution as memory-bound.
+    MEMORY_THRESHOLD = 0.55
+
+    def __init__(self, members, selector, hysteresis=4, initial="compute"):
+        self.members = dict(members)
+        if initial not in self.members:
+            raise ValueError(f"unknown initial member {initial!r}")
+        self.selector = selector
+        self.hysteresis = int(hysteresis)
+        self.active = initial
+        self._votes = 0
+        self._last_actuation = None
+        self.switches = 0
+
+    # -- layer interface -------------------------------------------------
+    @property
+    def targets(self):
+        return self.members[self.active].targets
+
+    @property
+    def guardband_exhausted(self):
+        return any(
+            getattr(m, "guardband_exhausted", False) for m in self.members.values()
+        )
+
+    @guardband_exhausted.setter
+    def guardband_exhausted(self, value):
+        for member in self.members.values():
+            if hasattr(member, "guardband_exhausted"):
+                member.guardband_exhausted = value
+
+    def set_targets(self, targets):
+        for member in self.members.values():
+            member.set_targets(targets)
+
+    def reset(self):
+        for member in self.members.values():
+            member.reset()
+        self._votes = 0
+        self._last_actuation = None
+        self.switches = 0
+
+    def step(self, outputs, externals):
+        label = self.selector(np.asarray(outputs, dtype=float),
+                              np.asarray(externals, dtype=float),
+                              self._last_actuation)
+        if label != self.active:
+            self._votes += 1
+            if self._votes >= self.hysteresis:
+                self.active = label
+                self._votes = 0
+                self.switches += 1
+        else:
+            self._votes = 0
+        actuation = self.members[self.active].step(outputs, externals)
+        self._last_actuation = actuation
+        return actuation
+
+
+def _hw_selector(outputs, externals, last_actuation):
+    """Classify from the hardware layer's own signals."""
+    if last_actuation is None:
+        return "compute"
+    bips = outputs[0]
+    n_big, n_little, f_big, f_little = last_actuation
+    util = capacity_utilization(bips, n_big, n_little, f_big, f_little)
+    return ("memory" if util < GainScheduledController.MEMORY_THRESHOLD
+            else "compute")
+
+
+def _sw_selector(outputs, externals, last_actuation):
+    """Classify from the software layer's view (cluster BIPS vs HW knobs)."""
+    if externals.size < 4:
+        return "compute"
+    bips = outputs[0] + outputs[1]
+    n_big, n_little, f_big, f_little = externals[:4]
+    util = capacity_utilization(bips, n_big, n_little, f_big, f_little)
+    return ("memory" if util < GainScheduledController.MEMORY_THRESHOLD
+            else "compute")
+
+
+@dataclass
+class GainScheduledDesign:
+    """Both layers' scheduled controllers plus the per-class designs."""
+
+    hw_controller: GainScheduledController
+    sw_controller: GainScheduledController
+    class_designs: dict
+
+    def summary(self):
+        lines = ["=== gain-scheduled Yukta design ==="]
+        for label, (hw, sw) in self.class_designs.items():
+            lines.append(f"[{label}] HW: {hw.dk_result.summary()}")
+            lines.append(f"[{label}] SW: {sw.dk_result.summary()}")
+        return "\n".join(lines)
+
+
+def design_gain_scheduled_layers(board_spec, samples_per_program=160,
+                                 seed=1234, hysteresis=4):
+    """Run both class campaigns and synthesize all four controllers."""
+    classes = {
+        "compute": COMPUTE_TRAINING,
+        "memory": MEMORY_TRAINING,
+    }
+    hw_members = {}
+    sw_members = {}
+    class_designs = {}
+    for label, programs in classes.items():
+        characterization = characterize_board(
+            board_spec, programs=programs,
+            samples_per_program=samples_per_program, seed=seed,
+        )
+        hw = design_layer(hardware_layer_spec(board_spec), characterization,
+                          reduce_to=20, effort_scale=5.0, accuracy_boost=10.0)
+        sw = design_layer(software_layer_spec(board_spec), characterization,
+                          reduce_to=20, effort_scale=2.5, accuracy_boost=10.0)
+        hw_members[label] = hw.controller
+        sw_members[label] = sw.controller
+        class_designs[label] = (hw, sw)
+    return GainScheduledDesign(
+        GainScheduledController(hw_members, _hw_selector, hysteresis),
+        GainScheduledController(sw_members, _sw_selector, hysteresis),
+        class_designs,
+    )

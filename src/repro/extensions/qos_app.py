@@ -1,0 +1,94 @@
+"""A QoS application with approximation and parallelism knobs.
+
+The application processes a stream of work items (frames, queries, ...) and
+exposes two knobs an application-layer controller can actuate:
+
+* ``quality`` in [0.5, 1.0] — the approximation level; each item costs
+  ``base_giga_per_item * (0.35 + 0.65 * quality)`` giga-instructions, so
+  dropping quality trades output fidelity for throughput (the classic
+  approximate-computing contract);
+* ``max_threads`` — the parallelism the application exposes to the OS.
+
+The measurable QoS signal is the *heartbeat rate*: items completed per
+second, read with the same cadence as the other layer signals.
+"""
+
+from __future__ import annotations
+
+from ..workloads.app import Application, Phase, Thread
+
+__all__ = ["QosApplication"]
+
+
+class QosApplication(Application):
+    """Work-item stream with quality/parallelism knobs and heartbeats."""
+
+    MIN_QUALITY = 0.5
+    MAX_QUALITY = 1.0
+
+    def __init__(self, name, total_items, base_giga_per_item, max_threads=8,
+                 cpi_scale=1.0, mpki=1.0, activity=1.0):
+        self.total_items = int(total_items)
+        self.base_giga_per_item = float(base_giga_per_item)
+        self.quality = 1.0
+        self._max_threads = int(max_threads)
+        self.items_completed = 0.0
+        self._heartbeat_marker = 0.0
+        # A single long shared-pool phase carries the execution character;
+        # its instruction budget is managed dynamically as items are drawn.
+        phase = Phase(
+            f"{name}:stream", n_threads=max_threads,
+            instructions=self._remaining_giga_at_current_quality(),
+            cpi_scale=cpi_scale, mpki=mpki, activity=activity,
+        )
+        super().__init__(name, [phase])
+        self.pool_remaining = self._remaining_giga_at_current_quality()
+
+    # ------------------------------------------------------------------
+    # Knobs
+    # ------------------------------------------------------------------
+    def giga_per_item(self):
+        return self.base_giga_per_item * (0.35 + 0.65 * self.quality)
+
+    def _remaining_giga_at_current_quality(self):
+        remaining_items = self.total_items - getattr(self, "items_completed", 0.0)
+        return max(remaining_items, 0.0) * self.giga_per_item()
+
+    def set_quality(self, quality):
+        """Change the approximation level; re-prices the remaining items."""
+        quality = min(max(float(quality), self.MIN_QUALITY), self.MAX_QUALITY)
+        if abs(quality - self.quality) < 1e-9:
+            return
+        self.quality = quality
+        if not self.done:
+            self.pool_remaining = self._remaining_giga_at_current_quality()
+
+    def set_max_threads(self, count):
+        self._max_threads = int(min(max(count, 1), len(self.threads)))
+
+    # ------------------------------------------------------------------
+    # Execution accounting
+    # ------------------------------------------------------------------
+    def runnable_threads(self):
+        runnable = super().runnable_threads()
+        return runnable[: self._max_threads]
+
+    def execute(self, thread: Thread, giga_instructions, now):
+        if self.done or giga_instructions <= 0:
+            return
+        work = min(giga_instructions, self.pool_remaining)
+        self.pool_remaining -= work
+        self.completed_instructions += work
+        self.items_completed += work / max(self.giga_per_item(), 1e-12)
+        if self.pool_remaining <= 1e-9 or self.items_completed >= self.total_items:
+            self.items_completed = float(self.total_items)
+            self.finish_time = now
+
+    def read_heartbeats(self):
+        """Items completed since the previous read."""
+        delta = self.items_completed - self._heartbeat_marker
+        self._heartbeat_marker = self.items_completed
+        return delta
+
+    def total_remaining(self):
+        return self.pool_remaining if not self.done else 0.0

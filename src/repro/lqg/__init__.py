@@ -1,0 +1,5 @@
+"""Discrete LQG synthesis (the Sec. VI-B comparison baseline)."""
+
+from .synthesis import LQGResult, lqg_synthesize
+
+__all__ = ["LQGResult", "lqg_synthesize"]

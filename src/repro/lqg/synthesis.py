@@ -1,0 +1,145 @@
+"""Discrete-time LQG controller synthesis.
+
+This reproduces the state-of-the-art MIMO LQG baseline the paper compares
+against (Pothukuchi et al., ISCA 2016): an LQR state feedback on output
+tracking errors combined with a Kalman filter, with integral action so
+constant targets are met.  Unlike the SSV design it accepts only input and
+output *weights* — no deviation bounds, no saturation/quantization
+description, no external-signal channels, and no uncertainty guardband;
+those limitations are exactly what Figs. 12-13 quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import solve_discrete_are
+
+from ..lti import StateSpace
+
+__all__ = ["LQGResult", "lqg_synthesize"]
+
+
+@dataclass
+class LQGResult:
+    """A synthesized LQG tracking controller.
+
+    The runtime form matches the paper's Eq. 3-4 state machine: the
+    controller state is the Kalman estimate plus the error integrator, the
+    input is the vector of output deviations from targets, and the output is
+    the (continuous, unclamped) plant input — LQG assumes unconstrained
+    inputs, which is one of its documented weaknesses.
+    """
+
+    controller: StateSpace  # discrete; maps output errors -> inputs
+    lqr_gain: np.ndarray
+    integral_gain: np.ndarray
+    kalman_gain: np.ndarray
+    closed_loop_stable: bool
+
+    def summary(self):
+        return (
+            f"LQG controller: order {self.controller.n_states}, "
+            f"closed loop {'stable' if self.closed_loop_stable else 'UNSTABLE'}"
+        )
+
+
+def lqg_synthesize(
+    model: StateSpace,
+    n_u: int,
+    output_weights,
+    input_weights,
+    integral_weight=0.05,
+    process_noise=1e-2,
+    measurement_noise=1e-2,
+):
+    """Synthesize a discrete LQG tracking controller for ``model``.
+
+    Parameters
+    ----------
+    model:
+        Discrete model mapping ``[u; e]`` to ``y``; only the first ``n_u``
+        inputs are actuated (external columns are ignored by LQG — it has no
+        coordination channel, by design of the baseline).
+    output_weights, input_weights:
+        Quadratic weights on output errors and input moves.
+    integral_weight:
+        Weight on the error integrator states (provides offset-free
+        tracking of the optimizer's targets).
+    """
+    if not model.is_discrete:
+        raise ValueError("lqg_synthesize expects a discrete-time model")
+    A = model.A
+    B = model.B[:, :n_u]
+    C = model.C
+    n = model.n_states
+    n_y = model.n_outputs
+    output_weights = np.asarray(output_weights, dtype=float)
+    input_weights = np.asarray(input_weights, dtype=float)
+    if output_weights.size != n_y or input_weights.size != n_u:
+        raise ValueError("weight vector lengths must match model dimensions")
+
+    # Augment with (slightly leaky) output-error integrators:
+    # xi[k+1] = rho*xi[k] + (y - r).  The leak keeps the augmented pencil
+    # off the unit circle when an output is nearly input-independent.
+    rho = 0.985
+    A_aug = np.block([[A, np.zeros((n, n_y))], [C, rho * np.eye(n_y)]])
+    B_aug = np.vstack([B, model.D[:, :n_u]])
+    Q = np.block(
+        [
+            [C.T @ np.diag(output_weights) @ C, np.zeros((n, n_y))],
+            [np.zeros((n_y, n)), integral_weight * np.eye(n_y)],
+        ]
+    )
+    Q += 1e-9 * np.eye(n + n_y)
+    R = np.diag(input_weights**2) + 1e-9 * np.eye(n_u)
+    try:
+        P = solve_discrete_are(A_aug, B_aug, Q, R)
+    except Exception as exc:
+        raise RuntimeError(f"LQR Riccati failed: {exc}") from exc
+    K_full = np.linalg.solve(R + B_aug.T @ P @ B_aug, B_aug.T @ P @ A_aug)
+    K_x = K_full[:, :n]
+    K_i = K_full[:, n:]
+
+    # Kalman filter on the un-augmented model.
+    W = process_noise * np.eye(n)
+    V = measurement_noise * np.eye(n_y)
+    try:
+        S = solve_discrete_are(A.T, C.T, W, V)
+    except Exception as exc:
+        raise RuntimeError(f"Kalman Riccati failed: {exc}") from exc
+    L = S @ C.T @ np.linalg.inv(C @ S @ C.T + V)
+
+    # Assemble the controller: state [xhat; xi], input err = y - r.
+    # xhat[k+1] = A xhat + B u + L (err - C xhat)   (deviation coordinates)
+    # xi[k+1]   = xi + err
+    # u         = -K_x xhat - K_i xi
+    Ak = np.block(
+        [
+            [A - L @ C - B @ K_x, -B @ K_i],
+            [np.zeros((n_y, n)), rho * np.eye(n_y)],
+        ]
+    )
+    Bk = np.vstack([L, np.eye(n_y)])
+    Ck = np.hstack([-K_x, -K_i])
+    Dk = np.zeros((n_u, n_y))
+    controller = StateSpace(Ak, Bk, Ck, Dk, dt=model.dt)
+
+    # Verify the nominal closed loop (plant + controller on error feedback).
+    plant_u = StateSpace(A, B, C, model.D[:, :n_u], dt=model.dt)
+    loop = _closed_loop(plant_u, controller)
+    stable = loop.is_stable(tol=1e-9)
+    return LQGResult(controller, K_x, K_i, L, stable)
+
+
+def _closed_loop(plant: StateSpace, controller: StateSpace) -> StateSpace:
+    """Closed loop with the controller driven by (y - r).
+
+    With u = K(y - r), the loop matrix is (I - G K): that is positive
+    feedback in the classical convention.
+    """
+    from ..lti import feedback, series
+
+    open_loop = series(controller, plant)
+    return feedback(open_loop, sign=+1)

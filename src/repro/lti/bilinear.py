@@ -1,0 +1,50 @@
+"""Bilinear (Tustin) transforms between discrete and continuous systems.
+
+The robust synthesis pipeline identifies discrete-time models (that is what
+sampled board data yields), maps them to the continuous w-plane, runs the
+two-Riccati H-infinity machinery there, and maps the controller back.  The
+bilinear map preserves the H-infinity norm exactly (it maps the unit circle
+onto the imaginary axis), which is what makes this round trip legitimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .statespace import StateSpace
+
+__all__ = ["discrete_to_continuous", "continuous_to_discrete"]
+
+
+def discrete_to_continuous(system: StateSpace) -> StateSpace:
+    """Inverse Tustin map: z = (1 + s T/2) / (1 - s T/2).
+
+    Requires ``-1`` not to be an eigenvalue of ``A`` (no pole at the Nyquist
+    point); raises ``ValueError`` otherwise.
+    """
+    if not system.is_discrete:
+        raise ValueError("system must be discrete")
+    dt = system.dt
+    n = system.n_states
+    eye = np.eye(n)
+    M = system.A + eye
+    try:
+        M_inv = np.linalg.inv(M)
+    except np.linalg.LinAlgError as exc:
+        raise ValueError("bilinear transform singular: pole at z = -1") from exc
+    scale = 2.0 / dt
+    Ac = scale * M_inv @ (system.A - eye)
+    Bc = scale * M_inv @ system.B  # factor chosen so the inverse map is exact
+    Cc = system.C @ M_inv * 2.0
+    Dc = system.D - system.C @ M_inv @ system.B
+    return StateSpace(Ac, Bc, Cc, Dc, dt=None)
+
+
+def continuous_to_discrete(system: StateSpace, dt: float) -> StateSpace:
+    """Tustin map: s = (2/T)(z - 1)/(z + 1), the exact inverse of the map above."""
+    if system.is_discrete:
+        raise ValueError("system must be continuous")
+    # Delegate to the StateSpace Tustin discretization, whose realization
+    # convention (Bd = (I - aA)^{-1} B dt) is what discrete_to_continuous
+    # inverts; the round trip is exact up to floating point.
+    return system.discretize(dt, method="tustin")

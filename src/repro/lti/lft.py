@@ -1,0 +1,138 @@
+"""Linear fractional transformations (LFTs) on partitioned systems.
+
+Robust control lives and dies by the lower LFT ``F_l(P, K)`` (closing the
+controller around the generalized plant) and the upper LFT ``F_u(N, Delta)``
+(closing the uncertainty around the nominal loop).  Both are provided here
+for :class:`~repro.lti.statespace.StateSpace` systems and for constant
+complex matrices (used per-frequency in the mu computation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .statespace import StateSpace
+
+__all__ = ["PartitionedSystem", "lft_lower", "lft_upper", "matrix_lft_lower", "matrix_lft_upper"]
+
+
+class PartitionedSystem:
+    """A state-space system with a 2x2 input/output channel partition.
+
+    The first ``n_w`` inputs / ``n_z`` outputs form the (exogenous)
+    performance channel; the remainder form the (control or uncertainty)
+    channel depending on which LFT is taken.
+    """
+
+    def __init__(self, system: StateSpace, n_w: int, n_z: int):
+        if not 0 <= n_w <= system.n_inputs:
+            raise ValueError(f"n_w={n_w} out of range for {system.n_inputs} inputs")
+        if not 0 <= n_z <= system.n_outputs:
+            raise ValueError(f"n_z={n_z} out of range for {system.n_outputs} outputs")
+        self.system = system
+        self.n_w = n_w
+        self.n_z = n_z
+
+    @property
+    def n_u(self):
+        return self.system.n_inputs - self.n_w
+
+    @property
+    def n_y(self):
+        return self.system.n_outputs - self.n_z
+
+    def blocks(self):
+        """Return (A, B1, B2, C1, C2, D11, D12, D21, D22)."""
+        sys_ = self.system
+        B1 = sys_.B[:, : self.n_w]
+        B2 = sys_.B[:, self.n_w :]
+        C1 = sys_.C[: self.n_z, :]
+        C2 = sys_.C[self.n_z :, :]
+        D11 = sys_.D[: self.n_z, : self.n_w]
+        D12 = sys_.D[: self.n_z, self.n_w :]
+        D21 = sys_.D[self.n_z :, : self.n_w]
+        D22 = sys_.D[self.n_z :, self.n_w :]
+        return sys_.A, B1, B2, C1, C2, D11, D12, D21, D22
+
+
+def lft_lower(plant: PartitionedSystem, controller: StateSpace) -> StateSpace:
+    """Close ``controller`` around the *lower* channel of ``plant``.
+
+    The controller reads the plant's lower outputs (measurements) and drives
+    its lower inputs (controls); the result maps w -> z.
+    """
+    if controller.dt != plant.system.dt:
+        raise ValueError("plant and controller must share dt")
+    A, B1, B2, C1, C2, D11, D12, D21, D22 = plant.blocks()
+    Ak, Bk, Ck, Dk = controller.A, controller.B, controller.C, controller.D
+    if controller.n_inputs != plant.n_y or controller.n_outputs != plant.n_u:
+        raise ValueError(
+            f"controller is {controller.n_inputs}x{controller.n_outputs}, plant "
+            f"lower channel expects {plant.n_y} measurements / {plant.n_u} controls"
+        )
+    m = np.eye(Dk.shape[0]) - Dk @ D22
+    try:
+        m_inv = np.linalg.inv(m)
+    except np.linalg.LinAlgError as exc:
+        raise ValueError("algebraic loop in lower LFT (I - Dk D22 singular)") from exc
+    n = np.eye(D22.shape[0]) - D22 @ Dk
+    n_inv = np.linalg.inv(n)
+    A_cl = np.block(
+        [
+            [A + B2 @ m_inv @ Dk @ C2, B2 @ m_inv @ Ck],
+            [Bk @ n_inv @ C2, Ak + Bk @ n_inv @ D22 @ Ck],
+        ]
+    )
+    B_cl = np.vstack([B1 + B2 @ m_inv @ Dk @ D21, Bk @ n_inv @ D21])
+    C_cl = np.hstack([C1 + D12 @ m_inv @ Dk @ C2, D12 @ m_inv @ Ck])
+    D_cl = D11 + D12 @ m_inv @ Dk @ D21
+    return StateSpace(A_cl, B_cl, C_cl, D_cl, dt=plant.system.dt)
+
+
+def lft_upper(plant: PartitionedSystem, delta: StateSpace) -> StateSpace:
+    """Close ``delta`` around the *upper* channel of ``plant``.
+
+    Here the partition is read as [perturbation channel; performance
+    channel]: the first n_w inputs / n_z outputs are the perturbation ports.
+    """
+    # Reuse lft_lower by flipping the partition ordering.
+    sys_ = plant.system
+    n_d, n_f = plant.n_w, plant.n_z
+    perm_in = np.concatenate([np.arange(n_d, sys_.n_inputs), np.arange(n_d)])
+    perm_out = np.concatenate([np.arange(n_f, sys_.n_outputs), np.arange(n_f)])
+    flipped = StateSpace(
+        sys_.A,
+        sys_.B[:, perm_in],
+        sys_.C[perm_out, :],
+        sys_.D[np.ix_(perm_out, perm_in)],
+        dt=sys_.dt,
+    )
+    flipped_part = PartitionedSystem(
+        flipped, n_w=sys_.n_inputs - n_d, n_z=sys_.n_outputs - n_f
+    )
+    return lft_lower(flipped_part, delta)
+
+
+def matrix_lft_lower(M, K, n_w, n_z):
+    """Constant-matrix lower LFT: ``F_l(M, K)`` with the same partition rules."""
+    M = np.asarray(M)
+    M11 = M[:n_z, :n_w]
+    M12 = M[:n_z, n_w:]
+    M21 = M[n_z:, :n_w]
+    M22 = M[n_z:, n_w:]
+    # F_l = M11 + M12 K (I - M22 K)^{-1} M21 = M11 + M12 (I - K M22)^{-1} K M21.
+    inner = np.eye(K.shape[0]) - K @ M22
+    return M11 + M12 @ np.linalg.solve(inner, K @ M21)
+
+
+def matrix_lft_upper(M, Delta, n_d, n_f):
+    """Constant-matrix upper LFT: ``F_u(M, Delta)``."""
+    M = np.asarray(M)
+    M11 = M[:n_f, :n_d]
+    M12 = M[:n_f, n_d:]
+    M21 = M[n_f:, :n_d]
+    M22 = M[n_f:, n_d:]
+    # F_u = M22 + M21 Delta (I - M11 Delta)^{-1} M12
+    #     = M22 + M21 (I - Delta M11)^{-1} Delta M12.
+    inner = np.eye(Delta.shape[0]) - Delta @ M11
+    return M22 + M21 @ np.linalg.solve(inner, Delta @ M12)

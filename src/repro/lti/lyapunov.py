@@ -1,0 +1,87 @@
+"""Lyapunov equations and gramians for LTI systems.
+
+These underpin the H2 norm, balanced truncation, and several sanity checks
+used throughout the robust-control stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_discrete_lyapunov, solve_lyapunov
+
+from .statespace import StateSpace
+
+__all__ = [
+    "lyapunov_solve",
+    "controllability_gramian",
+    "observability_gramian",
+    "controllability_matrix",
+    "observability_matrix",
+    "is_controllable",
+    "is_observable",
+]
+
+
+def lyapunov_solve(A, Q, discrete):
+    """Solve ``A X A' - X + Q = 0`` (discrete) or ``A X + X A' + Q = 0``."""
+    A = np.asarray(A, dtype=float)
+    Q = np.asarray(Q, dtype=float)
+    if discrete:
+        return solve_discrete_lyapunov(A, Q)
+    return solve_lyapunov(A, -Q)
+
+
+def controllability_gramian(system: StateSpace):
+    """Controllability gramian of a stable system."""
+    if not system.is_stable():
+        raise ValueError("gramians are only defined for stable systems")
+    if system.n_states == 0:
+        return np.zeros((0, 0))
+    return lyapunov_solve(system.A, system.B @ system.B.T, system.is_discrete)
+
+
+def observability_gramian(system: StateSpace):
+    """Observability gramian of a stable system."""
+    if not system.is_stable():
+        raise ValueError("gramians are only defined for stable systems")
+    if system.n_states == 0:
+        return np.zeros((0, 0))
+    return lyapunov_solve(system.A.T, system.C.T @ system.C, system.is_discrete)
+
+
+def controllability_matrix(system: StateSpace):
+    """Kalman controllability matrix ``[B, AB, ..., A^{n-1}B]``."""
+    n = system.n_states
+    blocks = []
+    block = system.B
+    for _ in range(max(n, 1)):
+        blocks.append(block)
+        block = system.A @ block
+    return np.hstack(blocks) if blocks else np.zeros((n, 0))
+
+
+def observability_matrix(system: StateSpace):
+    """Kalman observability matrix ``[C; CA; ...; CA^{n-1}]``."""
+    n = system.n_states
+    blocks = []
+    block = system.C
+    for _ in range(max(n, 1)):
+        blocks.append(block)
+        block = block @ system.A
+    return np.vstack(blocks) if blocks else np.zeros((0, n))
+
+
+def is_controllable(system: StateSpace, tol=None):
+    n = system.n_states
+    if n == 0:
+        return True
+    rank = np.linalg.matrix_rank(controllability_matrix(system), tol=tol)
+    return bool(rank == n)
+
+
+def is_observable(system: StateSpace, tol=None):
+    n = system.n_states
+    if n == 0:
+        return True
+    rank = np.linalg.matrix_rank(observability_matrix(system), tol=tol)
+    return bool(rank == n)

@@ -1,0 +1,127 @@
+"""Balanced truncation model reduction.
+
+Synthesized SSV controllers inherit the order of the augmented plant plus
+D-scales; the paper's hardware implementation (Sec. VI-D) uses a dimension-20
+state machine.  Balanced truncation lets us reduce synthesized controllers to
+a fixed order while keeping an error bound (twice the sum of the discarded
+Hankel singular values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cholesky, svd
+
+from .lyapunov import controllability_gramian, observability_gramian
+from .statespace import StateSpace
+
+__all__ = ["hankel_singular_values", "balanced_truncation", "stable_unstable_split"]
+
+
+def hankel_singular_values(system: StateSpace):
+    """Hankel singular values of a stable system."""
+    Wc = controllability_gramian(system)
+    Wo = observability_gramian(system)
+    if Wc.size == 0:
+        return np.array([])
+    eigvals = np.linalg.eigvals(Wc @ Wo)
+    eigvals = np.clip(eigvals.real, 0.0, None)
+    return np.sqrt(np.sort(eigvals)[::-1])
+
+
+def _safe_cholesky(P):
+    """Cholesky factor of a (numerically) PSD matrix, with jitter fallback."""
+    P = 0.5 * (P + P.T)
+    jitter = 0.0
+    scale = max(np.trace(P) / max(P.shape[0], 1), 1e-30)
+    for _ in range(12):
+        try:
+            return cholesky(P + jitter * np.eye(P.shape[0]), lower=True)
+        except np.linalg.LinAlgError:
+            jitter = max(jitter * 10.0, 1e-14 * scale)
+    raise np.linalg.LinAlgError("gramian is too indefinite for Cholesky")
+
+
+def balanced_truncation(system: StateSpace, order):
+    """Reduce a *stable* system to ``order`` states via balanced truncation.
+
+    Returns ``(reduced_system, error_bound)`` where the bound is the
+    classical twice-the-tail Hankel bound on the H-infinity error.
+    """
+    n = system.n_states
+    if order >= n:
+        return system, 0.0
+    if not system.is_stable():
+        raise ValueError("balanced truncation requires a stable system")
+    Wc = controllability_gramian(system)
+    Wo = observability_gramian(system)
+    Lc = _safe_cholesky(Wc)
+    Lo = _safe_cholesky(Wo)
+    U, sigma, Vt = svd(Lo.T @ Lc)
+    sigma = np.clip(sigma, 1e-300, None)
+    # Balancing transformation (square-root method).
+    sig_half_inv = np.diag(sigma ** -0.5)
+    T_inv = Lc @ Vt.T @ sig_half_inv  # maps balanced -> original
+    T = sig_half_inv @ U.T @ Lo.T  # maps original -> balanced
+    A_bal = T @ system.A @ T_inv
+    B_bal = T @ system.B
+    C_bal = system.C @ T_inv
+    keep = slice(0, order)
+    reduced = StateSpace(
+        A_bal[keep, keep], B_bal[keep, :], C_bal[:, keep], system.D, dt=system.dt
+    )
+    error_bound = float(2.0 * np.sum(sigma[order:]))
+    return reduced, error_bound
+
+
+def stable_unstable_split(system: StateSpace, tol=1e-9):
+    """Additively split a discrete system into stable + antistable parts.
+
+    Uses an ordered real Schur decomposition; the returned pair satisfies
+    ``system = stable + unstable`` (as transfer functions) with the
+    feed-through assigned to the stable part.
+    """
+    from scipy.linalg import schur
+
+    if system.n_states == 0:
+        return system, None
+    discrete = system.is_discrete
+
+    def select(eig_real, eig_imag=None):
+        if eig_imag is None:  # complex Schur callback signature
+            vals = eig_real
+        else:
+            vals = eig_real + 1j * eig_imag
+        if discrete:
+            return np.abs(vals) < 1.0 - tol
+        return np.real(vals) < -tol
+
+    T, Z, n_stable = schur(system.A, output="real", sort=select)
+    n = system.n_states
+    if n_stable == n:
+        return system, None
+    if n_stable == 0:
+        zero = StateSpace(
+            np.zeros((0, 0)),
+            np.zeros((0, system.n_inputs)),
+            np.zeros((system.n_outputs, 0)),
+            system.D,
+            dt=system.dt,
+        )
+        return zero, StateSpace(system.A, system.B, system.C, None, dt=system.dt)
+    # Block-diagonalize by solving a Sylvester equation for the coupling.
+    from scipy.linalg import solve_sylvester
+
+    A11 = T[:n_stable, :n_stable]
+    A12 = T[:n_stable, n_stable:]
+    A22 = T[n_stable:, n_stable:]
+    X = solve_sylvester(A11, -A22, -A12)
+    B_rot = Z.T @ system.B
+    C_rot = system.C @ Z
+    B1 = B_rot[:n_stable, :] + X @ B_rot[n_stable:, :]
+    B2 = B_rot[n_stable:, :]
+    C1 = C_rot[:, :n_stable]
+    C2 = C_rot[:, n_stable:] - C1 @ X
+    stable = StateSpace(A11, B1, C1, system.D, dt=system.dt)
+    unstable = StateSpace(A22, B2, C2, None, dt=system.dt)
+    return stable, unstable

@@ -1,0 +1,102 @@
+"""Time-domain response helpers: step, impulse, settling metrics.
+
+Used by the analysis figures and handy for users exploring synthesized
+controllers ("how fast does the loop settle?") without writing simulation
+boilerplate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .statespace import StateSpace
+
+__all__ = ["step_response", "impulse_response", "step_info", "StepInfo"]
+
+
+def _ensure_discrete(system: StateSpace, dt=None):
+    if system.is_discrete:
+        return system
+    if dt is None:
+        # Pick a step well inside the fastest time constant.
+        poles = system.poles()
+        fastest = np.max(np.abs(poles.real)) if poles.size else 1.0
+        dt = 0.1 / max(fastest, 1e-3)
+    return system.discretize(dt)
+
+
+def step_response(system: StateSpace, steps=None, input_channel=0, dt=None):
+    """Unit-step response: returns ``(times, outputs)`` with outputs (T, p)."""
+    disc = _ensure_discrete(system, dt)
+    if steps is None:
+        steps = _default_horizon(disc)
+    u = np.zeros((steps, disc.n_inputs))
+    u[:, input_channel] = 1.0
+    _, ys = disc.simulate(u)
+    times = np.arange(steps) * disc.dt
+    return times, ys
+
+
+def impulse_response(system: StateSpace, steps=None, input_channel=0, dt=None):
+    """Unit-impulse response (discrete impulse of height 1/dt)."""
+    disc = _ensure_discrete(system, dt)
+    if steps is None:
+        steps = _default_horizon(disc)
+    u = np.zeros((steps, disc.n_inputs))
+    u[0, input_channel] = 1.0 / disc.dt
+    _, ys = disc.simulate(u)
+    times = np.arange(steps) * disc.dt
+    return times, ys
+
+
+def _default_horizon(disc: StateSpace):
+    radius = disc.spectral_radius()
+    if radius <= 0 or radius >= 1:
+        return 200
+    # Steps for transients to decay to ~0.2%.
+    return int(min(max(np.log(0.002) / np.log(radius), 30), 5000))
+
+
+@dataclass
+class StepInfo:
+    """Classical step-response metrics for one output channel."""
+
+    final_value: float
+    rise_time: float  # 10% -> 90% of the final value
+    settling_time: float  # last exit from the +-2% band
+    overshoot_percent: float
+
+    def summary(self):
+        return (
+            f"final={self.final_value:.4g}, rise={self.rise_time:.4g}s, "
+            f"settle={self.settling_time:.4g}s, "
+            f"overshoot={self.overshoot_percent:.1f}%"
+        )
+
+
+def step_info(system: StateSpace, input_channel=0, output_channel=0,
+              settle_band=0.02, dt=None):
+    """Rise/settling/overshoot metrics of one SISO channel's step response."""
+    if not system.is_stable():
+        raise ValueError("step_info requires a stable system")
+    times, ys = step_response(system, input_channel=input_channel, dt=dt)
+    y = ys[:, output_channel]
+    final = float(system.dc_gain()[output_channel, input_channel])
+    if abs(final) < 1e-12:
+        return StepInfo(final, float("nan"), float("nan"), float("nan"))
+    normalized = y / final
+    # Rise time 10% -> 90%.
+    above10 = np.nonzero(normalized >= 0.1)[0]
+    above90 = np.nonzero(normalized >= 0.9)[0]
+    rise = (
+        float(times[above90[0]] - times[above10[0]])
+        if above10.size and above90.size
+        else float("nan")
+    )
+    # Settling: last time outside the band.
+    outside = np.nonzero(np.abs(normalized - 1.0) > settle_band)[0]
+    settle = float(times[outside[-1] + 1]) if outside.size and outside[-1] + 1 < len(times) else 0.0
+    overshoot = float(max(normalized.max() - 1.0, 0.0) * 100.0)
+    return StepInfo(final, rise, settle, overshoot)

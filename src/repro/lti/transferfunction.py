@@ -1,0 +1,142 @@
+"""SISO transfer functions and conversion to state space.
+
+The sysid layer fits polynomial (Box-Jenkins style) models whose natural
+representation is a ratio of polynomials in the delay operator ``q^-1``.
+This module provides that representation plus controllable-canonical-form
+realization, so identified models can flow into the state-space machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .statespace import StateSpace
+
+__all__ = ["TransferFunction", "tf", "tf_to_ss", "first_order_lag"]
+
+
+def _trim_leading_zeros(coeffs):
+    coeffs = np.atleast_1d(np.asarray(coeffs, dtype=float))
+    nonzero = np.nonzero(coeffs)[0]
+    if nonzero.size == 0:
+        return np.array([0.0])
+    return coeffs[nonzero[0] :]
+
+
+class TransferFunction:
+    """A SISO rational transfer function ``num(s)/den(s)``.
+
+    Coefficients are in descending powers, numpy-polynomial style.  ``dt``
+    follows the :class:`~repro.lti.statespace.StateSpace` convention.
+    """
+
+    def __init__(self, num, den, dt=None):
+        self.num = _trim_leading_zeros(num)
+        self.den = _trim_leading_zeros(den)
+        if np.allclose(self.den, 0.0):
+            raise ValueError("denominator must be nonzero")
+        if len(self.num) > len(self.den):
+            raise ValueError("transfer function must be proper (deg num <= deg den)")
+        # Normalize so the leading denominator coefficient is 1.
+        lead = self.den[0]
+        self.num = self.num / lead
+        self.den = self.den / lead
+        self.dt = dt
+
+    @property
+    def is_discrete(self):
+        return self.dt is not None
+
+    def order(self):
+        return len(self.den) - 1
+
+    def __call__(self, s):
+        """Evaluate at a complex point ``s`` (or ``z`` if discrete)."""
+        return np.polyval(self.num, s) / np.polyval(self.den, s)
+
+    def at_frequency(self, omega):
+        if self.is_discrete:
+            return self(np.exp(1j * omega * self.dt))
+        return self(1j * omega)
+
+    def poles(self):
+        return np.roots(self.den)
+
+    def zeros(self):
+        return np.roots(self.num)
+
+    def is_stable(self, tol=1e-9):
+        poles = self.poles()
+        if poles.size == 0:
+            return True
+        if self.is_discrete:
+            return bool(np.max(np.abs(poles)) < 1.0 - tol)
+        return bool(np.max(poles.real) < -tol)
+
+    def __mul__(self, other):
+        if np.isscalar(other):
+            return TransferFunction(self.num * other, self.den, dt=self.dt)
+        if self.dt != other.dt:
+            raise ValueError("cannot multiply systems with different dt")
+        return TransferFunction(
+            np.polymul(self.num, other.num), np.polymul(self.den, other.den), dt=self.dt
+        )
+
+    __rmul__ = __mul__
+
+    def __add__(self, other):
+        if np.isscalar(other):
+            other = TransferFunction([float(other)], [1.0], dt=self.dt)
+        if self.dt != other.dt:
+            raise ValueError("cannot add systems with different dt")
+        num = np.polyadd(
+            np.polymul(self.num, other.den), np.polymul(other.num, self.den)
+        )
+        den = np.polymul(self.den, other.den)
+        return TransferFunction(num, den, dt=self.dt)
+
+    def to_ss(self):
+        return tf_to_ss(self)
+
+    def __repr__(self):
+        kind = f"dt={self.dt}" if self.is_discrete else "continuous"
+        return f"TransferFunction(num={self.num}, den={self.den}, {kind})"
+
+
+def tf(num, den, dt=None):
+    """Convenience constructor for :class:`TransferFunction`."""
+    return TransferFunction(num, den, dt=dt)
+
+
+def tf_to_ss(sys_tf):
+    """Controllable canonical realization of a proper SISO transfer function."""
+    den = sys_tf.den
+    n = len(den) - 1
+    num = np.concatenate([np.zeros(n + 1 - len(sys_tf.num)), sys_tf.num])
+    d = num[0]
+    # Strictly proper part: num_sp = num - d * den.
+    num_sp = (num - d * den)[1:]
+    if n == 0:
+        return StateSpace(
+            np.zeros((0, 0)), np.zeros((0, 1)), np.zeros((1, 0)), [[d]], dt=sys_tf.dt
+        )
+    A = np.zeros((n, n))
+    A[0, :] = -den[1:]
+    A[1:, :-1] = np.eye(n - 1)
+    B = np.zeros((n, 1))
+    B[0, 0] = 1.0
+    C = num_sp.reshape(1, n)
+    D = np.array([[d]])
+    return StateSpace(A, B, C, D, dt=sys_tf.dt)
+
+
+def first_order_lag(gain, pole, dt):
+    """Discrete first-order lag ``gain * (1 - pole) / (z - pole)``.
+
+    Has unit DC gain scaled by ``gain`` and is strictly proper, which is the
+    shape the generalized-plant builder wants for performance weights (a
+    strictly proper weight keeps the augmented plant's D11 block zero).
+    """
+    if not 0.0 <= pole < 1.0:
+        raise ValueError(f"pole must be in [0, 1), got {pole}")
+    return TransferFunction([gain * (1.0 - pole)], [1.0, -pole], dt=dt).to_ss()

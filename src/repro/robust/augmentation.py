@@ -1,0 +1,333 @@
+"""Generalized-plant construction from a Yukta layer specification.
+
+This module encodes the paper's design inputs — output deviation *bounds* B,
+input *weights* W, the uncertainty *guardband*, external signals, and input
+quantization — into the Delta-N interconnection (Figs. 1-2) that the H-inf /
+SSV machinery consumes.
+
+Channel layout of the built (continuous-time) plant P:
+
+exogenous inputs  w = [ d (n_u, uncertainty perturbation)
+                      | r (n_y, output targets)
+                      | e (n_e, external signals)
+                      | n (n_meas, measurement-noise regularizer) ]
+controls          u   (n_u)
+exogenous outputs z = [ f (n_u, uncertainty channel, = normalized u)
+                      | z_err (n_y, bound-weighted tracking errors)
+                      | z_u (n_u, weight-scaled control effort) ]
+measurements    y_m = [ filtered tracking errors (n_y)
+                      | filtered external signals (n_e) ]  + eps * n
+
+All signals are normalized: outputs by their characterization ranges, inputs
+by their half-spans (so a unit control move spans half the knob range), and
+external signals by their interface scale.  The uncertainty enters as an
+input-multiplicative perturbation of size ``guardband + quantization``: with
+a unit-norm Delta closing f -> d, the actuated input is off by up to that
+fraction — exactly the guardband semantics of Sec. II-B.
+
+Design guarantees (what lets the two-Riccati synthesis run unmodified):
+strictly proper error weights and measurement filters make D11 = 0 and
+D22 = 0, static input weights make D12 = [0; 0; W] full column rank with
+D12'C1 = 0, and the tiny noise feed-through makes D21 = [0 ... eps*I] full
+row rank with B1 D21' = 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lti import PartitionedSystem, StateSpace, discrete_to_continuous
+from .uncertainty import BlockStructure, UncertaintyBlock
+
+__all__ = ["AugmentedPlant", "build_generalized_plant", "ChannelMap"]
+
+
+@dataclass
+class ChannelMap:
+    """Index bookkeeping for the augmented plant's channels."""
+
+    n_u: int
+    n_y: int
+    n_e: int
+    n_meas: int
+
+    @property
+    def n_w(self):
+        return self.n_u + self.n_y + self.n_e + self.n_meas
+
+    @property
+    def n_z(self):
+        return self.n_u + self.n_y + self.n_u
+
+    # --- w slices ---
+    @property
+    def w_delta(self):
+        return slice(0, self.n_u)
+
+    @property
+    def w_ref(self):
+        return slice(self.n_u, self.n_u + self.n_y)
+
+    @property
+    def w_ext(self):
+        return slice(self.n_u + self.n_y, self.n_u + self.n_y + self.n_e)
+
+    @property
+    def w_noise(self):
+        return slice(self.n_u + self.n_y + self.n_e, self.n_w)
+
+    # --- z slices ---
+    @property
+    def z_delta(self):
+        return slice(0, self.n_u)
+
+    @property
+    def z_err(self):
+        return slice(self.n_u, self.n_u + self.n_y)
+
+    @property
+    def z_effort(self):
+        return slice(self.n_u + self.n_y, self.n_z)
+
+
+@dataclass
+class AugmentedPlant:
+    """A synthesis-ready generalized plant plus its scaling metadata."""
+
+    plant: PartitionedSystem  # continuous time, partition [w; u] x [z; y_m]
+    channels: ChannelMap
+    structure: BlockStructure  # uncertainty block + performance block
+    input_scales: np.ndarray  # physical = mid + scale * normalized
+    input_offsets: np.ndarray
+    output_scales: np.ndarray
+    output_offsets: np.ndarray
+    external_scales: np.ndarray
+    external_offsets: np.ndarray
+    uncertainty_radius: float
+    bound_fractions: np.ndarray
+    input_weights: np.ndarray
+    dt: float
+    notes: dict = field(default_factory=dict)
+
+    def performance_channel_dims(self):
+        """(rows, cols) of the performance block for robust-performance mu."""
+        ch = self.channels
+        return ch.n_z - ch.n_u, ch.n_w - ch.n_u
+
+
+def _error_weight_states(n_y, bound_fractions, pole):
+    """First-order error weights We_i = (1/b_i) * pole/(s + pole) per output."""
+    A = -pole * np.eye(n_y)
+    gain = pole / np.asarray(bound_fractions)
+    return A, gain
+
+
+def build_generalized_plant(
+    model: StateSpace,
+    n_u: int,
+    input_spans,
+    input_mids,
+    output_ranges,
+    output_mids,
+    bound_fractions,
+    input_weights,
+    guardband: float,
+    external_scales=(),
+    external_mids=(),
+    quantization_radii=None,
+    error_weight_pole=None,
+    measurement_pole=None,
+    noise_epsilon=0.02,
+    accuracy_boost=6.0,
+    effort_scale=8.0,
+) -> AugmentedPlant:
+    """Build the Delta-N generalized plant for one Yukta layer.
+
+    Parameters
+    ----------
+    model:
+        Discrete-time identified model mapping ``[u_physical; e_physical]``
+        to ``y_physical`` (inputs first, external signals after).
+    n_u:
+        Number of actuated inputs (the first ``n_u`` model inputs).
+    input_spans, input_mids:
+        Physical half-spans and midpoints used to normalize each input.
+    output_ranges, output_mids:
+        Physical ranges/midpoints (from characterization) per output.
+    bound_fractions:
+        The paper's deviation bounds B, as fractions of the output range.
+    input_weights:
+        The paper's input weights W (one per actuated input).
+    guardband:
+        Uncertainty guardband as a fraction (0.40 for +-40%).
+    quantization_radii:
+        Optional per-input normalized quantization radii folded into the
+        uncertainty size.
+    accuracy_boost:
+        The error weight's DC gain is ``accuracy_boost / bound``: demanding
+        more accuracy than the bound forces the minimax synthesis to spend
+        its gain on low-frequency tracking instead of flat-lining at the
+        open-loop norm.  The *guaranteed* deviation bound is recovered as
+        ``gamma * bound / accuracy_boost`` after synthesis.
+    effort_scale:
+        Internal multiplier on the user input weights W.  Identified models
+        of a quantized platform are ill-conditioned; without a meaningful
+        effort penalty the minimax design "decouples" outputs with huge
+        opposing knob moves that the real plant cannot honour.  The scale
+        keeps the *relative* weight semantics (Fig. 17's 0.5/1/2 sweep)
+        while giving the penalty enough magnitude to suppress inversion
+        pathologies.
+    """
+    if model.is_discrete:
+        model_c = discrete_to_continuous(model)
+        dt = model.dt
+    else:
+        model_c = model
+        dt = None
+    n_e = model.n_inputs - n_u
+    n_y = model.n_outputs
+    input_spans = np.asarray(input_spans, dtype=float)
+    input_mids = np.asarray(input_mids, dtype=float)
+    output_ranges = np.asarray(output_ranges, dtype=float)
+    output_mids = np.asarray(output_mids, dtype=float)
+    bound_fractions = np.asarray(bound_fractions, dtype=float)
+    input_weights = np.asarray(input_weights, dtype=float)
+    external_scales = np.asarray(list(external_scales), dtype=float)
+    external_mids = np.asarray(list(external_mids), dtype=float)
+    if external_scales.size != n_e:
+        raise ValueError(f"need {n_e} external scales, got {external_scales.size}")
+    if external_mids.size == 0:
+        external_mids = np.zeros(n_e)
+    if len(input_spans) != n_u or len(input_weights) != n_u:
+        raise ValueError("input metadata length mismatch")
+    if len(output_ranges) != n_y or len(bound_fractions) != n_y:
+        raise ValueError("output metadata length mismatch")
+    if np.any(input_spans <= 0) or np.any(output_ranges <= 0):
+        raise ValueError("spans and ranges must be positive")
+
+    # Normalized plant: y_norm = Sy^-1 (G(Su u_norm + Se e_norm) - offsets).
+    # Offsets vanish because the controller works in deviation coordinates.
+    Su = np.diag(input_spans)
+    Se = np.diag(np.maximum(external_scales, 1e-9)) if n_e else np.zeros((0, 0))
+    Sy_inv = np.diag(1.0 / output_ranges)
+    A_g = model_c.A
+    B_gu = model_c.B[:, :n_u] @ Su
+    B_ge = model_c.B[:, n_u:] @ Se
+    C_g = Sy_inv @ model_c.C
+    # The bilinear transform introduces plant feed-through even when the
+    # identified discrete model is strictly proper; it is absorbed into the
+    # drive terms of the (strictly proper) weight and measurement filters,
+    # so the augmented plant's D11/D22 blocks stay exactly zero.
+    D_gu = Sy_inv @ model_c.D[:, :n_u] @ Su
+    D_ge = Sy_inv @ model_c.D[:, n_u:] @ Se
+
+    # Uncertainty radius: guardband plus worst-case quantization snap.
+    quant = 0.0
+    if quantization_radii is not None:
+        quant = float(np.max(np.asarray(quantization_radii, dtype=float), initial=0.0))
+    radius = float(guardband) + quant
+
+    # Filter poles: error weight slow (integral-like accuracy), measurement
+    # filter fast relative to the sampling rate.
+    if dt is not None:
+        error_weight_pole = error_weight_pole or 0.2 / dt
+        measurement_pole = measurement_pole or 4.0 / dt
+    else:
+        error_weight_pole = error_weight_pole or 0.5
+        measurement_pole = measurement_pole or 10.0
+
+    n_g = model_c.n_states
+    n_meas = n_y + n_e
+    channels = ChannelMap(n_u=n_u, n_y=n_y, n_e=n_e, n_meas=n_meas)
+    # State layout: [x_g | x_we (n_y) | x_fm_err (n_y) | x_fm_ext (n_e)].
+    n_total = n_g + n_y + n_y + n_e
+    A = np.zeros((n_total, n_total))
+    sl_g = slice(0, n_g)
+    sl_we = slice(n_g, n_g + n_y)
+    sl_fme = slice(n_g + n_y, n_g + 2 * n_y)
+    sl_fmx = slice(n_g + 2 * n_y, n_total)
+    a_e = error_weight_pole
+    a_m = measurement_pole
+    A[sl_g, sl_g] = A_g
+    # We driven by (r - y_norm): dx_we = -a_e x_we + a_e (r - C_g x_g).
+    A[sl_we, sl_we] = -a_e * np.eye(n_y)
+    A[sl_we, sl_g] = -a_e * C_g
+    # Error measurement filter, same drive, faster pole.
+    A[sl_fme, sl_fme] = -a_m * np.eye(n_y)
+    A[sl_fme, sl_g] = -a_m * C_g
+    # External-signal measurement filter: dx = -a_m x + a_m e.
+    A[sl_fmx, sl_fmx] = -a_m * np.eye(n_e)
+
+    n_w = channels.n_w
+    n_z = channels.n_z
+    B = np.zeros((n_total, n_w + n_u))
+    u_cols = slice(n_w, n_w + n_u)
+    # d (uncertainty) perturbs the plant input: x_g' += B_gu * radius * d.
+    B[sl_g, channels.w_delta] = B_gu * radius
+    # r drives the error weight and error measurement filter.
+    B[sl_we, channels.w_ref] = a_e * np.eye(n_y)
+    B[sl_fme, channels.w_ref] = a_m * np.eye(n_y)
+    # e drives the plant and the external measurement filter.
+    B[sl_g, channels.w_ext] = B_ge
+    B[sl_fmx, channels.w_ext] = a_m * np.eye(n_e)
+    # u drives the plant.
+    B[sl_g, u_cols] = B_gu
+    # Plant feed-through reaches y_norm instantaneously, so it enters the
+    # error-driven filters through their B rows (keeping D11/D22 at zero).
+    for sl_filt, pole in ((sl_we, a_e), (sl_fme, a_m)):
+        B[sl_filt, channels.w_delta] += -pole * D_gu * radius
+        if n_e:
+            B[sl_filt, channels.w_ext] += -pole * D_ge
+        B[sl_filt, u_cols] += -pole * D_gu
+
+    C = np.zeros((n_z + n_meas, n_total))
+    D = np.zeros((n_z + n_meas, n_w + n_u))
+    # f = u (normalized): pure feed-through from the control channel.
+    D[channels.z_delta, u_cols] = np.eye(n_u)
+    # z_err = (boost/b_i) x_we  (the weight gain sits at the readout).
+    C[channels.z_err, sl_we] = np.diag(accuracy_boost / bound_fractions)
+    # z_u = effort_scale * W u.
+    D[channels.z_effort, u_cols] = effort_scale * np.diag(input_weights)
+    # Measurements: filtered error + filtered externals + eps * n.
+    m_err = slice(n_z, n_z + n_y)
+    m_ext = slice(n_z + n_y, n_z + n_meas)
+    C[m_err, sl_fme] = np.eye(n_y)
+    C[m_ext, sl_fmx] = np.eye(n_e)
+    D[n_z : n_z + n_meas, channels.w_noise] = noise_epsilon * np.eye(n_meas)
+
+    plant = PartitionedSystem(
+        StateSpace(A, B, C, D, dt=None), n_w=n_w, n_z=n_z
+    )
+    perf_rows = n_z - n_u
+    perf_cols = n_w - n_u
+    # mu is computed on the closed-loop matrix with rows [f; z] and columns
+    # [d; w], so the performance block is (n_z - n_u) x (n_w - n_u).
+    structure = BlockStructure(
+        [
+            UncertaintyBlock("full", rows=n_u, cols=n_u, name="model+quantization"),
+            UncertaintyBlock("full", rows=perf_rows, cols=perf_cols, name="performance"),
+        ]
+    )
+    return AugmentedPlant(
+        plant=plant,
+        channels=channels,
+        structure=structure,
+        input_scales=input_spans,
+        input_offsets=input_mids,
+        output_scales=output_ranges,
+        output_offsets=output_mids,
+        external_scales=np.maximum(external_scales, 1e-9),
+        external_offsets=external_mids,
+        uncertainty_radius=radius,
+        bound_fractions=bound_fractions,
+        input_weights=input_weights,
+        dt=dt if dt is not None else float("nan"),
+        notes={
+            "error_weight_pole": error_weight_pole,
+            "measurement_pole": measurement_pole,
+            "noise_epsilon": noise_epsilon,
+            "accuracy_boost": accuracy_boost,
+        },
+    )

@@ -1,0 +1,194 @@
+"""H-infinity output-feedback synthesis (two-Riccati central controller).
+
+The synthesis runs in continuous time (the augmented plants built by
+:mod:`repro.robust.augmentation` are continuous by construction) under the
+standard regularity assumptions:
+
+* ``D11 = 0`` and ``D22 = 0`` (guaranteed by the plant builder's strictly
+  proper weights and filtered measurements);
+* ``D12`` full column rank, ``D21`` full row rank;
+* orthogonality ``D12' C1 = 0`` and ``B1 D21' = 0`` (again by construction).
+
+Under these assumptions the suboptimal-gamma central controller is given by
+the classical two-Riccati (DGKF) formulas.  Feasibility of a given gamma is
+checked three ways: the two Riccati equations admit stabilizing PSD
+solutions, the spectral-radius coupling condition holds, and — because we do
+not merely trust formulas — the resulting controller is validated by closing
+the loop and computing the achieved H-infinity norm.  A bisection then finds
+(approximately) the smallest achievable gamma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lti import PartitionedSystem, StateSpace, hinf_norm, lft_lower
+from .riccati import RiccatiError, solve_hinf_riccati
+
+__all__ = ["HinfResult", "hinf_synthesize", "SynthesisError"]
+
+
+class SynthesisError(RuntimeError):
+    """Raised when no stabilizing controller can be synthesized."""
+
+
+@dataclass
+class HinfResult:
+    """Outcome of an H-infinity synthesis."""
+
+    controller: StateSpace  # continuous-time controller
+    gamma: float  # gamma the design was accepted at
+    achieved_norm: float  # verified closed-loop H-infinity norm
+    closed_loop: StateSpace
+    bisection_steps: int
+
+    def summary(self):
+        return (
+            f"Hinf controller: order {self.controller.n_states}, "
+            f"gamma={self.gamma:.4f}, achieved ||Tzw||={self.achieved_norm:.4f}"
+        )
+
+
+def _check_assumptions(plant: PartitionedSystem, tol=1e-7):
+    A, B1, B2, C1, C2, D11, D12, D21, D22 = plant.blocks()
+    scale = max(1.0, np.abs(plant.system.D).max())
+    if np.abs(D11).max() > tol * scale:
+        raise SynthesisError("plant violates D11 = 0 (use strictly proper weights)")
+    if np.abs(D22).max() > tol * scale:
+        raise SynthesisError("plant violates D22 = 0 (filter the measurements)")
+    if np.linalg.matrix_rank(D12) < D12.shape[1]:
+        raise SynthesisError("D12 is column-rank deficient (add input weights)")
+    if np.linalg.matrix_rank(D21) < D21.shape[0]:
+        raise SynthesisError("D21 is row-rank deficient (add measurement noise)")
+    cross_u = np.abs(D12.T @ C1).max() if C1.size else 0.0
+    cross_y = np.abs(B1 @ D21.T).max() if B1.size else 0.0
+    if cross_u > 1e-6 * max(1.0, np.abs(C1).max()):
+        raise SynthesisError("D12'C1 != 0: plant violates the orthogonality structure")
+    if cross_y > 1e-6 * max(1.0, np.abs(B1).max()):
+        raise SynthesisError("B1 D21' != 0: plant violates the orthogonality structure")
+
+
+def _normalize(plant: PartitionedSystem):
+    """Rescale u and y_m so that D12'D12 = I and D21 D21' = I.
+
+    Returns the scaled plant and the matrices (Tu, Ty) needed to undo the
+    scaling on the synthesized controller: ``K_orig = Tu K_scaled Ty``.
+    """
+    A, B1, B2, C1, C2, D11, D12, D21, D22 = plant.blocks()
+    Ru = D12.T @ D12
+    Ry = D21 @ D21.T
+    # Symmetric inverse square roots.
+    def inv_sqrt(M):
+        vals, vecs = np.linalg.eigh(M)
+        if np.min(vals) <= 0:
+            raise SynthesisError("degenerate D12/D21 normalization")
+        return vecs @ np.diag(vals**-0.5) @ vecs.T
+
+    Tu = inv_sqrt(Ru)  # u = Tu u_tilde
+    Ty = inv_sqrt(Ry)  # y_tilde = Ty y_m
+    B2s = B2 @ Tu
+    D12s = D12 @ Tu
+    C2s = Ty @ C2
+    D21s = Ty @ D21
+    n_w, n_z = plant.n_w, plant.n_z
+    B = np.hstack([B1, B2s])
+    C = np.vstack([C1, C2s])
+    D = np.block([[D11, D12s], [D21s, np.zeros((C2s.shape[0], B2s.shape[1]))]])
+    scaled = PartitionedSystem(
+        StateSpace(A, B, C, D, dt=plant.system.dt), n_w=n_w, n_z=n_z
+    )
+    return scaled, Tu, Ty
+
+
+def _central_controller(plant: PartitionedSystem, gamma):
+    """DGKF central controller for a normalized, orthogonal plant."""
+    A, B1, B2, C1, C2, D11, D12, D21, D22 = plant.blocks()
+    X = solve_hinf_riccati(A, B1, B2, C1, gamma)
+    Y = solve_hinf_riccati(A.T, C1.T, C2.T, B1.T, gamma)
+    coupling = np.max(np.abs(np.linalg.eigvals(X @ Y))) if X.size else 0.0
+    if coupling >= gamma**2:
+        raise RiccatiError(
+            f"coupling condition failed: rho(XY)={coupling:.4g} >= gamma^2"
+        )
+    gi2 = 1.0 / gamma**2
+    F = -B2.T @ X
+    L = -Y @ C2.T
+    Z = np.linalg.inv(np.eye(A.shape[0]) - gi2 * Y @ X)
+    A_hat = A + gi2 * (B1 @ B1.T) @ X + B2 @ F + Z @ L @ C2
+    controller = StateSpace(A_hat, -Z @ L, F, np.zeros((F.shape[0], C2.shape[0])))
+    return controller
+
+
+def hinf_synthesize(
+    plant: PartitionedSystem,
+    gamma_min=1e-3,
+    gamma_max=1e4,
+    rel_tol=0.02,
+    margin=1.05,
+    max_bisections=40,
+):
+    """Find a near-minimal-gamma H-infinity controller for ``plant``.
+
+    The plant must be continuous-time and satisfy the module-level
+    assumptions (checked).  The returned controller is accepted only after
+    closed-loop verification; ``margin`` backs the final gamma off the
+    feasibility boundary for numerical headroom.
+    """
+    if plant.system.is_discrete:
+        raise SynthesisError("hinf_synthesize expects a continuous-time plant")
+    if plant.n_u == 0 or plant.n_y == 0:
+        raise SynthesisError("plant has no control inputs or no measurements")
+    _check_assumptions(plant)
+    scaled, Tu, Ty = _normalize(plant)
+
+    def try_gamma(gamma):
+        try:
+            k_scaled = _central_controller(scaled, gamma)
+        except RiccatiError:
+            return None
+        # Undo normalization: u = Tu u_tilde, y_tilde = Ty y.
+        controller = StateSpace(
+            k_scaled.A, k_scaled.B @ Ty, Tu @ k_scaled.C, Tu @ k_scaled.D @ Ty
+        )
+        closed = lft_lower(plant, controller)
+        if not closed.is_stable(tol=1e-10):
+            return None
+        achieved = hinf_norm(closed)
+        if not np.isfinite(achieved) or achieved > gamma * 1.02:
+            return None
+        return controller, closed, achieved
+
+    # Find a feasible upper gamma by doubling.
+    gamma_hi = max(gamma_min * 4.0, 1.0)
+    feasible = None
+    for _ in range(40):
+        feasible = try_gamma(gamma_hi)
+        if feasible is not None:
+            break
+        gamma_hi *= 2.0
+        if gamma_hi > gamma_max:
+            raise SynthesisError(
+                f"no stabilizing Hinf controller found up to gamma={gamma_max}"
+            )
+    gamma_lo = gamma_min
+    steps = 0
+    best_gamma = gamma_hi
+    best = feasible
+    while gamma_hi - gamma_lo > rel_tol * gamma_hi and steps < max_bisections:
+        steps += 1
+        gamma_mid = float(np.sqrt(gamma_lo * gamma_hi))
+        attempt = try_gamma(gamma_mid)
+        if attempt is not None:
+            gamma_hi = gamma_mid
+            best_gamma, best = gamma_mid, attempt
+        else:
+            gamma_lo = gamma_mid
+    # Re-synthesize slightly away from the boundary for numerical headroom.
+    final_gamma = best_gamma * margin
+    final = try_gamma(final_gamma)
+    if final is None:
+        final, final_gamma = best, best_gamma
+    controller, closed, achieved = final
+    return HinfResult(controller, float(final_gamma), float(achieved), closed, steps)

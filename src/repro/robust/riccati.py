@@ -1,0 +1,79 @@
+"""Algebraic Riccati solvers for H-infinity synthesis.
+
+H-infinity Riccati equations have an *indefinite* quadratic term
+(``gamma^{-2} B1 B1' - B2 B2'``), which general-purpose ARE routines are not
+always happy about.  We therefore solve them the classical way: build the
+Hamiltonian matrix, extract its stable invariant subspace with an ordered
+Schur decomposition, and recover the stabilizing solution.  Solutions are
+always verified by back-substituting into the equation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import schur
+
+__all__ = ["care_hamiltonian", "RiccatiError", "solve_hinf_riccati"]
+
+
+class RiccatiError(RuntimeError):
+    """Raised when a stabilizing Riccati solution does not exist."""
+
+
+def care_hamiltonian(A, S, Q, residual_tol=1e-6):
+    """Solve ``A'X + XA - X S X + Q = 0`` for the stabilizing X.
+
+    ``S`` and ``Q`` must be symmetric (``S`` may be indefinite — that is the
+    point).  Raises :class:`RiccatiError` if the Hamiltonian has eigenvalues
+    on the imaginary axis or the subspace is not complementary.
+    """
+    A = np.asarray(A, dtype=float)
+    S = np.asarray(S, dtype=float)
+    Q = np.asarray(Q, dtype=float)
+    n = A.shape[0]
+    if n == 0:
+        return np.zeros((0, 0))
+    H = np.block([[A, -S], [-Q, -A.T]])
+
+    def stable_half(val):
+        return val.real < 0.0
+
+    try:
+        T, Z, n_stable = schur(H, output="complex", sort=stable_half)
+    except Exception as exc:  # pragma: no cover - LAPACK failure
+        raise RiccatiError(f"Schur decomposition failed: {exc}") from exc
+    if n_stable != n:
+        raise RiccatiError(
+            f"Hamiltonian has {n_stable} stable eigenvalues, expected {n} "
+            "(eigenvalues on the imaginary axis: no stabilizing solution)"
+        )
+    X1 = Z[:n, :n]
+    X2 = Z[n:, :n]
+    cond = np.linalg.cond(X1)
+    if not np.isfinite(cond) or cond > 1e12:
+        raise RiccatiError("stable subspace is not complementary (X1 singular)")
+    X = np.real(X2 @ np.linalg.inv(X1))
+    X = 0.5 * (X + X.T)
+    residual = A.T @ X + X @ A - X @ S @ X + Q
+    scale = max(1.0, np.linalg.norm(X))
+    if np.linalg.norm(residual) > residual_tol * scale * max(1.0, np.linalg.norm(Q)):
+        raise RiccatiError(
+            f"Riccati residual too large: {np.linalg.norm(residual):.3e}"
+        )
+    return X
+
+
+def solve_hinf_riccati(A, B1, B2, C1, gamma):
+    """Stabilizing solution of the H-infinity control Riccati equation.
+
+    Solves ``A'X + XA + C1'C1 + X (gamma^-2 B1 B1' - B2 B2') X = 0`` and
+    checks positive semidefiniteness.  (Use with transposed/dual arguments
+    for the filtering equation.)
+    """
+    S = B2 @ B2.T - (1.0 / gamma**2) * (B1 @ B1.T)
+    Q = C1.T @ C1
+    X = care_hamiltonian(A, S, Q)
+    min_eig = float(np.min(np.linalg.eigvalsh(X))) if X.size else 0.0
+    if min_eig < -1e-7 * max(1.0, np.linalg.norm(X)):
+        raise RiccatiError(f"Riccati solution is indefinite (min eig {min_eig:.3e})")
+    return X

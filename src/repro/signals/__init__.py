@@ -1,0 +1,28 @@
+"""Signal metadata: the vocabulary of a Yukta controller interface.
+
+A Yukta layer declares three kinds of signals (Sec. III-C of the paper):
+
+* :class:`InputSignal` — an actuated knob with *saturation* (a range) and
+  *quantization* (the discrete levels the platform supports);
+* :class:`OutputSignal` — a monitored goal with a designer-specified
+  *deviation bound* expressed as a fraction of the output's observed range;
+* :class:`ExternalSignal` — a read-only signal imported from another layer,
+  carrying that layer's interface metadata.
+
+The :class:`InterfaceRecord` bundles the metadata two design teams exchange
+in the Fig. 3 design flow.
+"""
+
+from .interface import InterfaceRecord, exchange_interfaces
+from .quantization import QuantizedRange
+from .signal_types import ExternalSignal, InputSignal, OutputSignal, SignalDirection
+
+__all__ = [
+    "QuantizedRange",
+    "InputSignal",
+    "OutputSignal",
+    "ExternalSignal",
+    "SignalDirection",
+    "InterfaceRecord",
+    "exchange_interfaces",
+]

@@ -1,0 +1,71 @@
+"""Interface-metadata exchange between layer design teams (Fig. 3).
+
+Two teams designing controllers for neighbouring layers exchange:
+
+* for each signal one layer exports as an *external signal* to the other:
+  the allowed discrete levels (if it is an input in its home layer) or the
+  deviation bound (if it is an output there);
+* for outputs *common* to both layers (e.g. both limit temperature): each
+  layer's deviation bound, so the controllers can anticipate each other's
+  response.
+
+:func:`exchange_interfaces` performs that hand-shake mechanically given two
+layer specs, producing the :class:`ExternalSignal` declarations each side
+should use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .signal_types import ExternalSignal
+
+__all__ = ["InterfaceRecord", "exchange_interfaces"]
+
+
+@dataclass
+class InterfaceRecord:
+    """The metadata one layer publishes about its signals."""
+
+    layer_name: str
+    input_levels: dict = field(default_factory=dict)  # name -> QuantizedRange
+    output_bounds: dict = field(default_factory=dict)  # name -> absolute bound
+
+    def external_signal_for(self, name):
+        """Build the ExternalSignal declaration another layer should import."""
+        if name in self.input_levels:
+            return ExternalSignal(
+                name=name, source_layer=self.layer_name, allowed=self.input_levels[name]
+            )
+        if name in self.output_bounds:
+            return ExternalSignal(
+                name=name, source_layer=self.layer_name, bound=self.output_bounds[name]
+            )
+        raise KeyError(f"layer {self.layer_name!r} does not publish signal {name!r}")
+
+    @property
+    def published_names(self):
+        return sorted(set(self.input_levels) | set(self.output_bounds))
+
+
+def exchange_interfaces(record_a: InterfaceRecord, record_b: InterfaceRecord):
+    """Perform the Fig. 3 hand-shake between two layers.
+
+    Returns
+    -------
+    ``(externals_for_a, externals_for_b, common_outputs)`` where the first
+    two are lists of :class:`ExternalSignal` (everything the *other* layer
+    publishes), and ``common_outputs`` maps output names monitored by both
+    layers to the pair of absolute bounds ``(bound_a, bound_b)``.
+    """
+    externals_for_a = [
+        record_b.external_signal_for(name) for name in record_b.published_names
+    ]
+    externals_for_b = [
+        record_a.external_signal_for(name) for name in record_a.published_names
+    ]
+    common = {}
+    for name in record_a.output_bounds:
+        if name in record_b.output_bounds:
+            common[name] = (record_a.output_bounds[name], record_b.output_bounds[name])
+    return externals_for_a, externals_for_b, common

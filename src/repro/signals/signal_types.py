@@ -1,0 +1,144 @@
+"""Typed signal declarations for controller layers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .quantization import QuantizedRange
+
+__all__ = ["SignalDirection", "InputSignal", "OutputSignal", "ExternalSignal"]
+
+
+class SignalDirection(enum.Enum):
+    """Role of a signal as seen from one layer's controller."""
+
+    INPUT = "input"  # actuated by this layer's controller
+    OUTPUT = "output"  # observed goal of this layer's controller
+    EXTERNAL = "external"  # read-only, imported from another layer
+
+
+@dataclass(frozen=True)
+class InputSignal:
+    """An actuated knob (e.g. big-cluster frequency).
+
+    Attributes
+    ----------
+    name:
+        Globally unique signal name.
+    allowed:
+        Saturation + quantization of the knob.
+    weight:
+        Actuation-effort weight W (Sec. IV-A); higher means the controller
+        is more reluctant to move this knob.
+    unit:
+        Human-readable unit for reports.
+    """
+
+    name: str
+    allowed: QuantizedRange
+    weight: float = 1.0
+    unit: str = ""
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"input weight must be positive, got {self.weight}")
+
+    def describe(self):
+        return (
+            f"{self.name} in [{self.allowed.low}, {self.allowed.high}] "
+            f"({self.allowed.n_levels} levels), weight={self.weight}"
+        )
+
+
+@dataclass(frozen=True)
+class OutputSignal:
+    """An observed goal (e.g. big-cluster power).
+
+    Attributes
+    ----------
+    bound_fraction:
+        Allowed deviation from target as a fraction of ``value_range``
+        (e.g. 0.10 for the paper's +-10% power bounds).
+    value_range:
+        The output's observed range from the characterization runs
+        (Sec. IV-A); the absolute bound is ``bound_fraction * value_range``.
+    critical:
+        Whether the output is safety-critical (power/temperature in the
+        paper get the tighter +-10% bounds; performance gets +-20%).
+    enforce_as_limit:
+        Limit-style outputs (temperature in the prototype) only need
+        *upper-bound* enforcement: the runtime controller reacts strongly
+        when the output exceeds its target but barely pulls it up from
+        below — a chip running cool is not an error.
+    """
+
+    name: str
+    bound_fraction: float
+    value_range: float
+    critical: bool = False
+    enforce_as_limit: bool = False
+    unit: str = ""
+
+    def __post_init__(self):
+        if not 0.0 < self.bound_fraction <= 1.0:
+            raise ValueError(
+                f"bound_fraction must be in (0, 1], got {self.bound_fraction}"
+            )
+        if self.value_range <= 0:
+            raise ValueError(f"value_range must be positive, got {self.value_range}")
+
+    @property
+    def absolute_bound(self):
+        """Allowed absolute deviation of the output from its target."""
+        return self.bound_fraction * self.value_range
+
+    def describe(self):
+        tag = "critical" if self.critical else "non-critical"
+        return (
+            f"{self.name}: +-{100 * self.bound_fraction:.0f}% of range "
+            f"{self.value_range} ({tag})"
+        )
+
+
+@dataclass(frozen=True)
+class ExternalSignal:
+    """A read-only signal imported from another layer (Sec. III-B).
+
+    Exactly one of ``allowed`` / ``bound`` is set, depending on whether the
+    signal is an input or an output in its home layer — that is the interface
+    metadata the other team shares (Fig. 3).
+    """
+
+    name: str
+    source_layer: str
+    allowed: QuantizedRange | None = None
+    bound: float | None = None
+    unit: str = ""
+
+    def __post_init__(self):
+        if (self.allowed is None) == (self.bound is None):
+            raise ValueError(
+                "external signal needs exactly one of allowed levels "
+                "(if it is an input in its home layer) or a deviation bound "
+                "(if it is an output there)"
+            )
+
+    @property
+    def value_scale(self):
+        """A representative magnitude for normalization in the plant model."""
+        if self.allowed is not None:
+            return max(abs(self.allowed.low), abs(self.allowed.high), 1e-12)
+        return max(self.bound, 1e-12)
+
+    def describe(self):
+        if self.allowed is not None:
+            return (
+                f"{self.name} (from {self.source_layer}): levels in "
+                f"[{self.allowed.low}, {self.allowed.high}]"
+            )
+        return f"{self.name} (from {self.source_layer}): bound +-{self.bound}"
+
+
+# Convenience alias used in layer specs.
+Signal = InputSignal | OutputSignal | ExternalSignal

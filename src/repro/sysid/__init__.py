@@ -1,0 +1,46 @@
+"""Black-box system identification substrate.
+
+This package plays the role of MATLAB's System Identification toolbox in the
+paper's design flow (Sec. IV-C): staircase/PRBS excitation experiments are
+run on the (simulated) board, and the recorded input/output data is fit to a
+dynamic model — ARX by least squares, refined into a Box-Jenkins-style model
+by iterative prediction-error minimization, or realized directly in state
+space by subspace identification.
+"""
+
+from .arx import ARXModel, fit_arx
+from .boxjenkins import BoxJenkinsModel, fit_box_jenkins
+from .excitation import prbs, staircase, multilevel_random
+from .experiment import ExperimentData, merge_experiments
+from .graybox import GrayBoxModel, center_per_run, fit_graybox
+from .selection import (
+    OrderCandidate,
+    residual_input_correlation,
+    residual_whiteness,
+    select_arx_order,
+)
+from .subspace import fit_subspace
+from .validation import fit_percent, final_prediction_error, validate_model
+
+__all__ = [
+    "prbs",
+    "staircase",
+    "multilevel_random",
+    "ExperimentData",
+    "merge_experiments",
+    "ARXModel",
+    "fit_arx",
+    "BoxJenkinsModel",
+    "fit_box_jenkins",
+    "fit_subspace",
+    "GrayBoxModel",
+    "fit_graybox",
+    "center_per_run",
+    "OrderCandidate",
+    "select_arx_order",
+    "residual_whiteness",
+    "residual_input_correlation",
+    "fit_percent",
+    "final_prediction_error",
+    "validate_model",
+]

@@ -1,0 +1,172 @@
+"""ARX (AutoRegressive with eXogenous input) identification.
+
+The paper's models predict each output at time T from all outputs at
+T-1..T-4 and all inputs at T..T-3 (dimension four, Sec. IV-C).  That is a
+MIMO ARX structure; fitting it is a linear least-squares problem, which
+makes ARX both the workhorse model and the initializer for the iterative
+Box-Jenkins-style refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lti import StateSpace
+from .experiment import ExperimentData
+
+__all__ = ["ARXModel", "fit_arx", "build_regression"]
+
+
+@dataclass
+class ARXModel:
+    """y[t] = sum_i A_i y[t-i] + sum_j B_j u[t-j] + e[t].
+
+    ``A_coeffs`` has shape (na, n_y, n_y); ``B_coeffs`` has shape
+    (nb, n_y, n_u) with lags ``delay .. delay+nb-1``.
+    """
+
+    A_coeffs: np.ndarray
+    B_coeffs: np.ndarray
+    delay: int
+    dt: float
+    noise_variance: np.ndarray = None
+
+    @property
+    def na(self):
+        return self.A_coeffs.shape[0]
+
+    @property
+    def nb(self):
+        return self.B_coeffs.shape[0]
+
+    @property
+    def n_outputs(self):
+        return self.A_coeffs.shape[1]
+
+    @property
+    def n_inputs(self):
+        return self.B_coeffs.shape[2]
+
+    def predict_one_step(self, y_history, u_history):
+        """One-step-ahead prediction.
+
+        ``y_history[i]`` is y[t-1-i]; ``u_history[j]`` is u[t-delay-j].
+        """
+        y_hat = np.zeros(self.n_outputs)
+        for i in range(self.na):
+            y_hat += self.A_coeffs[i] @ y_history[i]
+        for j in range(self.nb):
+            y_hat += self.B_coeffs[j] @ u_history[j]
+        return y_hat
+
+    def simulate(self, u_sequence, y0=None):
+        """Free-run simulation (predictions fed back as outputs)."""
+        u_sequence = np.atleast_2d(np.asarray(u_sequence, dtype=float))
+        steps = u_sequence.shape[0]
+        ys = np.zeros((steps, self.n_outputs))
+        start = max(self.na, self.delay + self.nb - 1)
+        if y0 is not None:
+            y0 = np.atleast_2d(y0)
+            ys[: y0.shape[0]] = y0
+            start = max(start, y0.shape[0])
+        for t in range(start, steps):
+            y_hist = [ys[t - 1 - i] for i in range(self.na)]
+            u_hist = [u_sequence[t - self.delay - j] for j in range(self.nb)]
+            ys[t] = self.predict_one_step(y_hist, u_hist)
+        return ys
+
+    def to_statespace(self):
+        """Observer-style companion realization of the ARX deterministic part.
+
+        State is the stacked lagged outputs and inputs; the realization is
+        exact for the deterministic input/output map.
+        """
+        n_y, n_u = self.n_outputs, self.n_inputs
+        na, nb, delay = self.na, self.nb, self.delay
+        # Direct feed-through exists only when delay == 0.
+        d_gain = self.B_coeffs[0] if delay == 0 else np.zeros((n_y, n_u))
+        # Input lags that must live in the state: u[t-1] .. u[t-(delay+nb-1)].
+        n_u_lags = delay + nb - 1 if nb > 0 else 0
+        n_u_lags = max(n_u_lags, 0)
+        n = na * n_y + n_u_lags * n_u
+        A = np.zeros((n, n))
+        B = np.zeros((n, n_u))
+        C = np.zeros((n_y, n))
+        # Output-lag block occupies the first na*n_y states:
+        # x_y = [y[t-1]; ...; y[t-na]].
+        for i in range(na):
+            C[:, i * n_y : (i + 1) * n_y] = self.A_coeffs[i]
+        # Input-lag block: x_u = [u[t-1]; ...; u[t-n_u_lags]].
+        off = na * n_y
+        for j in range(nb):
+            lag = delay + j
+            if lag == 0:
+                continue
+            C[:, off + (lag - 1) * n_u : off + lag * n_u] += self.B_coeffs[j]
+        # State update: new y[t] enters the first output-lag slot.
+        if na > 0:
+            A[:n_y, :] = C
+            B[:n_y, :] = d_gain
+            for i in range(1, na):
+                A[i * n_y : (i + 1) * n_y, (i - 1) * n_y : i * n_y] = np.eye(n_y)
+        if n_u_lags > 0:
+            B[off : off + n_u, :] = np.eye(n_u)
+            for k in range(1, n_u_lags):
+                A[off + k * n_u : off + (k + 1) * n_u,
+                  off + (k - 1) * n_u : off + k * n_u] = np.eye(n_u)
+        return StateSpace(A, B, C, d_gain, dt=self.dt)
+
+
+def build_regression(data: ExperimentData, na, nb, delay, boundaries=None):
+    """Assemble the ARX least-squares regression matrices.
+
+    Rows whose lag window would cross a segment boundary (from
+    :func:`~repro.sysid.experiment.merge_experiments`) are dropped.
+    Returns ``(Phi, Y)`` with one row per usable sample.
+    """
+    y = data.outputs
+    u = data.inputs
+    steps = data.n_samples
+    start_lag = max(na, delay + nb - 1)
+    boundaries = sorted(boundaries or [0])
+    segment_starts = np.zeros(steps, dtype=int)
+    for b in boundaries:
+        segment_starts[b:] = b
+    rows_phi = []
+    rows_y = []
+    for t in range(start_lag, steps):
+        if t - start_lag < segment_starts[t]:
+            continue  # lag window crosses a run boundary
+        lags = [y[t - 1 - i] for i in range(na)]
+        lags += [u[t - delay - j] for j in range(nb)]
+        rows_phi.append(np.concatenate(lags))
+        rows_y.append(y[t])
+    if not rows_phi:
+        raise ValueError("not enough samples for the requested model orders")
+    return np.asarray(rows_phi), np.asarray(rows_y)
+
+
+def fit_arx(data: ExperimentData, na=4, nb=4, delay=1, boundaries=None, ridge=1e-8):
+    """Fit a MIMO ARX model by (ridge-regularized) least squares.
+
+    The default orders (na=4, nb=4, delay=1) match the paper's dimension-4
+    Box-Jenkins structure: outputs at T-1..T-4 and inputs at T-1..T-4.
+    """
+    Phi, Y = build_regression(data, na, nb, delay, boundaries)
+    n_y, n_u = data.n_outputs, data.n_inputs
+    gram = Phi.T @ Phi + ridge * np.eye(Phi.shape[1])
+    theta = np.linalg.solve(gram, Phi.T @ Y)  # (n_params, n_y)
+    A_coeffs = np.zeros((na, n_y, n_y))
+    B_coeffs = np.zeros((nb, n_y, n_u))
+    offset = 0
+    for i in range(na):
+        A_coeffs[i] = theta[offset : offset + n_y, :].T
+        offset += n_y
+    for j in range(nb):
+        B_coeffs[j] = theta[offset : offset + n_u, :].T
+        offset += n_u
+    residuals = Y - Phi @ theta
+    noise_var = residuals.var(axis=0)
+    return ARXModel(A_coeffs, B_coeffs, delay, data.dt, noise_var)

@@ -1,0 +1,111 @@
+"""Box-Jenkins-style prediction-error refinement.
+
+A Box-Jenkins model separates the deterministic dynamics from the noise
+colouring: ``y = G(q) u + H(q) e``.  The classic fitting route is iterative
+prediction-error minimization.  We implement the pragmatic pseudo-linear
+regression variant (a.k.a. extended least squares): start from an ARX fit,
+estimate the residual sequence, then re-fit including lagged residuals as
+extra regressors (the C-polynomial), iterating until the one-step
+prediction error stops improving.  The deterministic part ``G`` is what the
+controller synthesis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arx import ARXModel, build_regression, fit_arx
+from .experiment import ExperimentData
+
+__all__ = ["BoxJenkinsModel", "fit_box_jenkins"]
+
+
+@dataclass
+class BoxJenkinsModel:
+    """An ARX deterministic core plus a moving-average noise model."""
+
+    deterministic: ARXModel
+    C_coeffs: np.ndarray  # (nc, n_y, n_y) MA coefficients on residuals
+    prediction_error: float
+    iterations: int
+
+    @property
+    def dt(self):
+        return self.deterministic.dt
+
+    def to_statespace(self):
+        """State-space realization of the deterministic part (what K sees)."""
+        return self.deterministic.to_statespace()
+
+    def simulate(self, u_sequence, y0=None):
+        return self.deterministic.simulate(u_sequence, y0)
+
+
+def _theta_from(model: ARXModel):
+    n_y = model.n_outputs
+    blocks = [model.A_coeffs[i].T for i in range(model.na)]
+    blocks += [model.B_coeffs[j].T for j in range(model.nb)]
+    return np.vstack(blocks) if blocks else np.zeros((0, n_y))
+
+
+def fit_box_jenkins(
+    data: ExperimentData,
+    na=4,
+    nb=4,
+    nc=2,
+    delay=1,
+    boundaries=None,
+    max_iter=10,
+    tol=1e-6,
+    ridge=1e-8,
+):
+    """Fit a Box-Jenkins-style model by pseudo-linear regression.
+
+    Parameters mirror :func:`~repro.sysid.arx.fit_arx`, plus ``nc``, the
+    order of the moving-average residual model.
+    """
+    arx = fit_arx(data, na, nb, delay, boundaries, ridge)
+    Phi, Y = build_regression(data, na, nb, delay, boundaries)
+    theta = _theta_from(arx)
+    residuals = Y - Phi @ theta
+    n_y, n_u = data.n_outputs, data.n_inputs
+    best_error = float(np.mean(residuals ** 2))
+    best = (arx, np.zeros((nc, n_y, n_y)), best_error, 0)
+    for iteration in range(1, max_iter + 1):
+        # Extended regression: append lagged residuals as extra inputs.
+        rows = Phi.shape[0]
+        ext = np.zeros((rows, nc * n_y))
+        for lag in range(1, nc + 1):
+            ext[lag:, (lag - 1) * n_y : lag * n_y] = residuals[:-lag]
+        Phi_ext = np.hstack([Phi, ext])
+        gram = Phi_ext.T @ Phi_ext + ridge * np.eye(Phi_ext.shape[1])
+        theta_ext = np.linalg.solve(gram, Phi_ext.T @ Y)
+        new_residuals = Y - Phi_ext @ theta_ext
+        error = float(np.mean(new_residuals ** 2))
+        # Unpack deterministic part.
+        A_coeffs = np.zeros((na, n_y, n_y))
+        B_coeffs = np.zeros((nb, n_y, n_u))
+        offset = 0
+        for i in range(na):
+            A_coeffs[i] = theta_ext[offset : offset + n_y, :].T
+            offset += n_y
+        for j in range(nb):
+            B_coeffs[j] = theta_ext[offset : offset + n_u, :].T
+            offset += n_u
+        C_coeffs = np.zeros((nc, n_y, n_y))
+        for lag in range(nc):
+            C_coeffs[lag] = theta_ext[offset : offset + n_y, :].T
+            offset += n_y
+        candidate = ARXModel(
+            A_coeffs, B_coeffs, delay, data.dt, new_residuals.var(axis=0)
+        )
+        if error < best[2]:
+            best = (candidate, C_coeffs, error, iteration)
+        if abs(best_error - error) <= tol * max(best_error, 1e-30):
+            break
+        best_error = error
+        residuals = new_residuals
+    deterministic, C_coeffs, error, iterations = best
+    return BoxJenkinsModel(deterministic, C_coeffs, error, iterations)

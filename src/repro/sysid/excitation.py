@@ -1,0 +1,60 @@
+"""Excitation-signal design for identification experiments.
+
+System identification quality is bounded by how informative the excitation
+is.  The classic choices are provided: pseudo-random binary sequences (PRBS,
+rich in frequency content), staircases (good for quantized actuators such as
+DVFS levels), and multilevel random sequences with a dwell time (so slow
+outputs like temperature get time to respond).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["prbs", "staircase", "multilevel_random"]
+
+
+def prbs(steps, low, high, seed=0, dwell=1):
+    """Pseudo-random binary sequence alternating between two levels.
+
+    Parameters
+    ----------
+    steps:
+        Total length of the sequence.
+    dwell:
+        Hold each random draw for this many steps (shifts excitation energy
+        toward low frequencies, where thermal/power dynamics live).
+    """
+    if dwell < 1:
+        raise ValueError("dwell must be >= 1")
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(0, 2, size=(steps + dwell - 1) // dwell)
+    sequence = np.repeat(draws, dwell)[:steps]
+    return np.where(sequence == 1, float(high), float(low))
+
+
+def staircase(steps, levels, dwell):
+    """Sweep through ``levels`` in order, holding each for ``dwell`` steps.
+
+    Wraps around if the staircase is shorter than ``steps``; this is the
+    excitation used against quantized knobs (frequency levels, core counts).
+    """
+    levels = np.asarray(list(levels), dtype=float)
+    if levels.size == 0:
+        raise ValueError("levels must be non-empty")
+    if dwell < 1:
+        raise ValueError("dwell must be >= 1")
+    pattern = np.repeat(levels, dwell)
+    reps = int(np.ceil(steps / pattern.size))
+    return np.tile(pattern, reps)[:steps]
+
+
+def multilevel_random(steps, levels, dwell, seed=0):
+    """Random walk over a discrete level set with a dwell time."""
+    levels = np.asarray(list(levels), dtype=float)
+    if levels.size == 0:
+        raise ValueError("levels must be non-empty")
+    rng = np.random.default_rng(seed)
+    n_draws = (steps + dwell - 1) // dwell
+    draws = rng.integers(0, levels.size, size=n_draws)
+    return np.repeat(levels[draws], dwell)[:steps]

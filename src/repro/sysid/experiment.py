@@ -1,0 +1,119 @@
+"""Identification-experiment data containers.
+
+An :class:`ExperimentData` records the sampled inputs (actuated + external
+signals) and outputs of one training run.  Multiple runs (the paper trains
+on six programs) are merged for a single fit; each segment keeps its own
+regression window so transients at run boundaries never leak across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ExperimentData", "merge_experiments"]
+
+
+@dataclass
+class ExperimentData:
+    """Sampled input/output data from one identification run."""
+
+    inputs: np.ndarray  # (T, n_u)
+    outputs: np.ndarray  # (T, n_y)
+    dt: float
+    input_names: list = field(default_factory=list)
+    output_names: list = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self):
+        self.inputs = np.atleast_2d(np.asarray(self.inputs, dtype=float))
+        self.outputs = np.atleast_2d(np.asarray(self.outputs, dtype=float))
+        if self.inputs.shape[0] != self.outputs.shape[0]:
+            raise ValueError(
+                f"inputs ({self.inputs.shape[0]} samples) and outputs "
+                f"({self.outputs.shape[0]} samples) must be the same length"
+            )
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+
+    @property
+    def n_samples(self):
+        return self.inputs.shape[0]
+
+    @property
+    def n_inputs(self):
+        return self.inputs.shape[1]
+
+    @property
+    def n_outputs(self):
+        return self.outputs.shape[1]
+
+    def normalized(self):
+        """Return (data, input_scale, output_scale, input_offset, output_offset).
+
+        Centering and scaling per channel; identification on normalized data
+        is far better conditioned when signals span different magnitudes
+        (GHz next to Watts next to Kelvin).
+        """
+        u_off = self.inputs.mean(axis=0)
+        y_off = self.outputs.mean(axis=0)
+        u_scale = np.maximum(self.inputs.std(axis=0), 1e-9)
+        y_scale = np.maximum(self.outputs.std(axis=0), 1e-9)
+        data = ExperimentData(
+            (self.inputs - u_off) / u_scale,
+            (self.outputs - y_off) / y_scale,
+            self.dt,
+            self.input_names,
+            self.output_names,
+            self.label,
+        )
+        return data, u_scale, y_scale, u_off, y_off
+
+    def split(self, fraction=0.7):
+        """Chronological train/validation split."""
+        cut = int(self.n_samples * fraction)
+        train = ExperimentData(
+            self.inputs[:cut], self.outputs[:cut], self.dt,
+            self.input_names, self.output_names, self.label + ":train",
+        )
+        valid = ExperimentData(
+            self.inputs[cut:], self.outputs[cut:], self.dt,
+            self.input_names, self.output_names, self.label + ":valid",
+        )
+        return train, valid
+
+
+def merge_experiments(experiments):
+    """Concatenate runs, recording segment boundaries.
+
+    Returns ``(merged_data, boundaries)`` where ``boundaries`` holds the
+    starting sample index of each original run inside the merged arrays.
+    Fitting code uses the boundaries to drop regression rows whose lag
+    window crosses a run boundary.
+    """
+    experiments = list(experiments)
+    if not experiments:
+        raise ValueError("need at least one experiment")
+    dt = experiments[0].dt
+    for exp in experiments:
+        if exp.dt != dt:
+            raise ValueError("all experiments must share the same dt")
+        if exp.n_inputs != experiments[0].n_inputs:
+            raise ValueError("all experiments must have the same input channels")
+        if exp.n_outputs != experiments[0].n_outputs:
+            raise ValueError("all experiments must have the same output channels")
+    boundaries = []
+    offset = 0
+    for exp in experiments:
+        boundaries.append(offset)
+        offset += exp.n_samples
+    merged = ExperimentData(
+        np.vstack([e.inputs for e in experiments]),
+        np.vstack([e.outputs for e in experiments]),
+        dt,
+        experiments[0].input_names,
+        experiments[0].output_names,
+        "+".join(e.label for e in experiments),
+    )
+    return merged, boundaries

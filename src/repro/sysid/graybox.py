@@ -1,0 +1,155 @@
+"""Gray-box identification: static gain matrix behind per-output lags.
+
+The board's sampled dynamics are dominated by static maps (performance and
+power respond within a sample) seen through first-order lags (the windowed
+power sensors, the thermal RC).  That structure — ``y_i`` following
+``(G0 u)_i`` through a one-pole lag — is fit here by alternating least
+squares:
+
+1. estimate each output's pole from the partial autocorrelation of the
+   output, given the current gain estimate;
+2. filter the inputs through each output's lag and re-estimate the gain
+   matrix row by ordinary least squares;
+3. repeat.
+
+Per-run centering removes program-specific offsets before fitting (merged
+training runs have wildly different operating points), which is what keeps
+the estimated DC gains unbiased where one-shot ARX fits are badly shrunk.
+The result is a dimension-``n_y`` state-space model — the paper's
+"dimension four" for the four-output hardware layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lti import StateSpace
+from .experiment import ExperimentData
+
+__all__ = ["GrayBoxModel", "fit_graybox", "center_per_run"]
+
+
+@dataclass
+class GrayBoxModel:
+    """y_i[t+1] = a_i y_i[t] + (1 - a_i) (G0 u[t])_i."""
+
+    gain: np.ndarray  # (n_y, n_u) static gain
+    poles: np.ndarray  # (n_y,) in [0, 1)
+    dt: float
+    residual_rms: np.ndarray = None
+
+    @property
+    def n_outputs(self):
+        return self.gain.shape[0]
+
+    @property
+    def n_inputs(self):
+        return self.gain.shape[1]
+
+    def to_statespace(self):
+        A = np.diag(self.poles)
+        B = np.diag(1.0 - self.poles) @ self.gain
+        C = np.eye(self.n_outputs)
+        D = np.zeros_like(self.gain)
+        return StateSpace(A, B, C, D, dt=self.dt)
+
+    def simulate(self, u_sequence, y0=None):
+        u_sequence = np.atleast_2d(np.asarray(u_sequence, dtype=float))
+        steps = u_sequence.shape[0]
+        ys = np.zeros((steps, self.n_outputs))
+        state = np.zeros(self.n_outputs) if y0 is None else np.asarray(y0[0], float).copy()
+        for t in range(steps):
+            ys[t] = state
+            drive = self.gain @ u_sequence[t]
+            state = self.poles * state + (1.0 - self.poles) * drive
+        return ys
+
+
+def center_per_run(data: ExperimentData, boundaries):
+    """Subtract each training run's mean from its inputs and outputs."""
+    u = data.inputs.copy()
+    y = data.outputs.copy()
+    edges = sorted(boundaries) + [data.n_samples]
+    for a, b in zip(edges[:-1], edges[1:]):
+        if b > a:
+            u[a:b] -= u[a:b].mean(axis=0)
+            y[a:b] -= y[a:b].mean(axis=0)
+    return ExperimentData(u, y, data.dt, data.input_names, data.output_names,
+                          data.label + ":centered")
+
+
+def _fit_gain_given_poles(u, y, poles, boundaries, ridge):
+    """OLS for G0 rows with inputs pre-filtered through each output's lag."""
+    n_y = y.shape[1]
+    n_u = u.shape[1]
+    gain = np.zeros((n_y, n_u))
+    edges = sorted(boundaries) + [u.shape[0]]
+    for i in range(n_y):
+        a = poles[i]
+        rows_u = []
+        rows_y = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            filt = np.zeros(n_u)
+            for t in range(lo, hi):
+                filt = a * filt + (1.0 - a) * u[t]
+                if t + 1 < hi:
+                    rows_u.append(filt.copy())
+                    rows_y.append(y[t + 1, i])
+        Phi = np.asarray(rows_u)
+        target = np.asarray(rows_y)
+        gram = Phi.T @ Phi + ridge * np.eye(n_u)
+        gain[i] = np.linalg.solve(gram, Phi.T @ target)
+    return gain
+
+
+def _fit_poles_given_gain(u, y, gain, boundaries, pole_grid):
+    """Grid search per output for the best lag pole."""
+    n_y = y.shape[1]
+    poles = np.zeros(n_y)
+    edges = sorted(boundaries) + [u.shape[0]]
+    drives = u @ gain.T  # (T, n_y)
+    for i in range(n_y):
+        best_err = np.inf
+        best_a = 0.0
+        for a in pole_grid:
+            err = 0.0
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                state = y[lo, i]
+                for t in range(lo, hi - 1):
+                    state = a * state + (1.0 - a) * drives[t, i]
+                    err += (y[t + 1, i] - state) ** 2
+            if err < best_err:
+                best_err = err
+                best_a = a
+        poles[i] = best_a
+    return poles
+
+
+def fit_graybox(
+    data: ExperimentData,
+    boundaries=None,
+    iterations=3,
+    ridge=1e-6,
+    pole_grid=None,
+    center=True,
+) -> GrayBoxModel:
+    """Fit the lag-plus-static-gain model by alternating least squares."""
+    boundaries = list(boundaries or [0])
+    if center:
+        data = center_per_run(data, boundaries)
+    u = data.inputs
+    y = data.outputs
+    if pole_grid is None:
+        pole_grid = np.concatenate([[0.0], np.linspace(0.05, 0.97, 24)])
+    poles = np.full(y.shape[1], 0.3)
+    gain = None
+    for _ in range(iterations):
+        gain = _fit_gain_given_poles(u, y, poles, boundaries, ridge)
+        poles = _fit_poles_given_gain(u, y, gain, boundaries, pole_grid)
+    gain = _fit_gain_given_poles(u, y, poles, boundaries, ridge)
+    model = GrayBoxModel(gain, poles, data.dt)
+    residual = y - model.simulate(u, y0=y[:1])
+    model.residual_rms = np.sqrt(np.mean(residual**2, axis=0))
+    return model

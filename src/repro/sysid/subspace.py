@@ -1,0 +1,130 @@
+"""Subspace (N4SID-flavoured) state-space identification.
+
+Subspace identification realizes a state-space model directly from data via
+an SVD of projected block-Hankel matrices — no iterative optimization, and
+the model order is chosen by inspecting singular values.  We use the
+MOESP-style projection: project the future-output row space onto past data
+along the future-input row space, extract the extended observability matrix
+from the dominant left singular vectors, and recover (A, C) by the shift
+trick and (B, D) by linear regression on the simulated response.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lti import StateSpace
+from .experiment import ExperimentData
+
+__all__ = ["fit_subspace"]
+
+
+def _block_hankel(data, start, n_block_rows, n_cols):
+    """Stack ``n_block_rows`` shifted copies of ``data`` rows into a Hankel matrix."""
+    channels = data.shape[1]
+    H = np.zeros((n_block_rows * channels, n_cols))
+    for i in range(n_block_rows):
+        H[i * channels : (i + 1) * channels, :] = data[start + i : start + i + n_cols].T
+    return H
+
+
+def fit_subspace(data: ExperimentData, order=4, horizon=None, ridge=1e-9):
+    """Identify a discrete state-space model of the given order.
+
+    Parameters
+    ----------
+    order:
+        Desired state dimension.
+    horizon:
+        Block-Hankel depth (defaults to ``2 * order + 2``).
+
+    Returns
+    -------
+    ``(model, singular_values)`` — the model and the projection singular
+    values (useful for order selection).
+    """
+    n_u, n_y = data.n_inputs, data.n_outputs
+    horizon = horizon or (2 * order + 2)
+    n_cols = data.n_samples - 2 * horizon + 1
+    if n_cols < 4 * horizon * (n_u + n_y):
+        raise ValueError(
+            f"not enough data: {data.n_samples} samples for horizon {horizon}"
+        )
+    U_past = _block_hankel(data.inputs, 0, horizon, n_cols)
+    U_future = _block_hankel(data.inputs, horizon, horizon, n_cols)
+    Y_past = _block_hankel(data.outputs, 0, horizon, n_cols)
+    Y_future = _block_hankel(data.outputs, horizon, horizon, n_cols)
+    W_past = np.vstack([U_past, Y_past])
+
+    # Project future outputs orthogonally to future inputs (MOESP).
+    def project_out(M, basis):
+        gram = basis @ basis.T + ridge * np.eye(basis.shape[0])
+        return M - (M @ basis.T) @ np.linalg.solve(gram, basis)
+
+    Yf_perp = project_out(Y_future, U_future)
+    Wp_perp = project_out(W_past, U_future)
+    # Oblique-ish projection: regression of Yf_perp onto Wp_perp.
+    gram = Wp_perp @ Wp_perp.T + ridge * np.eye(Wp_perp.shape[0])
+    O_proj = (Yf_perp @ Wp_perp.T) @ np.linalg.solve(gram, Wp_perp)
+    U_svd, s, _ = np.linalg.svd(O_proj, full_matrices=False)
+    order = min(order, int(np.sum(s > 1e-10)))
+    if order == 0:
+        raise ValueError("data has no identifiable dynamics")
+    # Extended observability matrix Gamma = U_svd * sqrt(S).
+    gamma = U_svd[:, :order] * np.sqrt(s[:order])
+    C = gamma[:n_y, :]
+    # Shift trick for A: gamma_up * A = gamma_down.
+    gamma_up = gamma[: (horizon - 1) * n_y, :]
+    gamma_down = gamma[n_y:, :]
+    A, *_ = np.linalg.lstsq(gamma_up, gamma_down, rcond=None)
+    # Clamp any marginally unstable eigenvalues introduced by noise.
+    eigvals = np.linalg.eigvals(A)
+    radius = np.max(np.abs(eigvals)) if eigvals.size else 0.0
+    if radius >= 1.0:
+        A = A * (0.995 / radius)
+    # Recover B, D (and x0) by least squares on the measured response:
+    # y[t] = C A^t x0 + sum_k C A^{t-1-k} B u[k] + D u[t]  — linear in (x0, B, D).
+    B, D = _estimate_b_d(A, C, data, ridge)
+    model = StateSpace(A, B, C, D, dt=data.dt)
+    return model, s
+
+
+def _estimate_b_d(A, C, data: ExperimentData, ridge, estimate_d=False):
+    """Linear regression for B (and optionally D) given A and C."""
+    n = A.shape[0]
+    n_u, n_y = data.n_inputs, data.n_outputs
+    steps = min(data.n_samples, 600)  # cap cost; plenty for low-order models
+    u = data.inputs[:steps]
+    y = data.outputs[:steps]
+    # Precompute C A^k.
+    CAk = np.zeros((steps, n_y, n))
+    CAk[0] = C
+    for t in range(1, steps):
+        CAk[t] = CAk[t - 1] @ A
+    # Unknowns: x0 (n), vec(B) (n*n_u), vec(D) (n_y*n_u if estimated).
+    n_params = n + n * n_u + (n_y * n_u if estimate_d else 0)
+    Phi = np.zeros((steps * n_y, n_params))
+    for t in range(steps):
+        rows = slice(t * n_y, (t + 1) * n_y)
+        Phi[rows, :n] = CAk[t]
+        # Contribution of B: sum_{k<t} C A^{t-1-k} (u[k] kron ...)
+        for k in range(t):
+            block = CAk[t - 1 - k]  # (n_y, n)
+            for j in range(n_u):
+                cols = slice(n + j * n, n + (j + 1) * n)
+                Phi[rows, cols] += block * u[k, j]
+        if estimate_d:
+            for j in range(n_u):
+                cols = slice(n + n_u * n + j * n_y, n + n_u * n + (j + 1) * n_y)
+                Phi[rows, cols] = np.eye(n_y) * u[t, j]
+    target = y.reshape(-1)
+    gram = Phi.T @ Phi + ridge * np.eye(n_params)
+    theta = np.linalg.solve(gram, Phi.T @ target)
+    B = np.zeros((n, n_u))
+    for j in range(n_u):
+        B[:, j] = theta[n + j * n : n + (j + 1) * n]
+    if estimate_d:
+        D = theta[n + n_u * n :].reshape(n_u, n_y).T
+    else:
+        D = np.zeros((n_y, n_u))
+    return B, D

@@ -1,0 +1,27 @@
+"""Synthetic workloads shaped after the paper's PARSEC/SPEC evaluation set."""
+
+from .app import Application, Phase, Thread
+from .library import (
+    EVALUATION_PROGRAMS,
+    PARSEC_PROGRAMS,
+    SPEC_PROGRAMS,
+    TRAINING_PROGRAMS,
+    make_application,
+    program_names,
+)
+from .mixes import MIXES, make_mix, mix_names
+
+__all__ = [
+    "Application",
+    "Phase",
+    "Thread",
+    "PARSEC_PROGRAMS",
+    "SPEC_PROGRAMS",
+    "TRAINING_PROGRAMS",
+    "EVALUATION_PROGRAMS",
+    "make_application",
+    "program_names",
+    "MIXES",
+    "make_mix",
+    "mix_names",
+]

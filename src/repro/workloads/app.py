@@ -1,0 +1,149 @@
+"""Synthetic phase-structured applications.
+
+An :class:`Application` is a sequence of :class:`Phase` objects.  Each phase
+declares how many threads run, the instruction budget, and the execution
+character (execute-CPI multiplier, memory misses per kilo-instruction,
+switching activity).  Threads inside a phase draw work from a shared pool
+unless the phase is ``barrier``-style, in which case each thread owns an
+equal share and stragglers idle at the barrier — that is how the simulated
+programs reproduce the dynamics (phase changes, thread-count changes,
+memory-boundedness) that the paper's controllers react to.
+
+Instruction budgets are expressed in giga-instructions; the defaults in
+:mod:`repro.workloads.library` are scaled so full runs take tens to a couple
+of hundred simulated seconds, preserving the paper's relative timing shape
+at a tractable simulation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Phase", "Application", "Thread"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase of an application."""
+
+    name: str
+    n_threads: int
+    instructions: float  # total giga-instructions in the phase
+    cpi_scale: float = 1.0  # multiplies the core's execute CPI
+    mpki: float = 1.0  # last-level misses per kilo-instruction
+    activity: float = 1.0  # switching-activity factor (power)
+    barrier: bool = False  # per-thread budgets with a barrier at the end
+
+    def __post_init__(self):
+        if self.n_threads < 1:
+            raise ValueError("phase needs at least one thread")
+        if self.instructions <= 0:
+            raise ValueError("phase needs a positive instruction budget")
+
+
+@dataclass
+class Thread:
+    """Runtime state of one application thread."""
+
+    thread_id: int
+    app_name: str
+    remaining: float = 0.0  # giga-instructions left (barrier phases)
+    active: bool = True
+    migration_stall: float = 0.0  # seconds of pending migration penalty
+
+    def __hash__(self):
+        return hash((self.app_name, self.thread_id))
+
+
+class Application:
+    """Runtime state machine over a phase list."""
+
+    def __init__(self, name, phases, arrival_time=0.0):
+        if not phases:
+            raise ValueError("application needs at least one phase")
+        self.name = name
+        self.phases = list(phases)
+        self.arrival_time = arrival_time
+        self.phase_index = 0
+        self.pool_remaining = 0.0  # shared-pool giga-instructions
+        self.threads = []
+        self.completed_instructions = 0.0
+        self.finish_time = None
+        self._enter_phase(0)
+
+    # ------------------------------------------------------------------
+    def _enter_phase(self, index):
+        self.phase_index = index
+        phase = self.phases[index]
+        self.threads = [
+            Thread(thread_id=i, app_name=self.name) for i in range(phase.n_threads)
+        ]
+        if phase.barrier:
+            share = phase.instructions / phase.n_threads
+            for thread in self.threads:
+                thread.remaining = share
+        else:
+            self.pool_remaining = phase.instructions
+
+    @property
+    def current_phase(self) -> Phase:
+        return self.phases[self.phase_index]
+
+    @property
+    def done(self):
+        return self.finish_time is not None
+
+    def runnable_threads(self):
+        """Threads that still have work in the current phase."""
+        if self.done:
+            return []
+        phase = self.current_phase
+        if phase.barrier:
+            return [t for t in self.threads if t.remaining > 0]
+        if self.pool_remaining > 0:
+            return list(self.threads)
+        return []
+
+    def total_remaining(self):
+        """Giga-instructions left across all remaining phases."""
+        if self.done:
+            return 0.0
+        phase = self.current_phase
+        current = (
+            sum(t.remaining for t in self.threads)
+            if phase.barrier
+            else self.pool_remaining
+        )
+        future = sum(p.instructions for p in self.phases[self.phase_index + 1 :])
+        return current + future
+
+    def execute(self, thread: Thread, giga_instructions, now):
+        """Credit executed work to a thread; advances phases when done."""
+        if self.done or giga_instructions <= 0:
+            return
+        phase = self.current_phase
+        if phase.barrier:
+            work = min(giga_instructions, thread.remaining)
+            thread.remaining -= work
+        else:
+            work = min(giga_instructions, self.pool_remaining)
+            self.pool_remaining -= work
+        self.completed_instructions += work
+        self._maybe_advance(now)
+
+    def _maybe_advance(self, now):
+        phase = self.current_phase
+        if phase.barrier:
+            finished = all(t.remaining <= 1e-12 for t in self.threads)
+        else:
+            finished = self.pool_remaining <= 1e-12
+        if not finished:
+            return
+        if self.phase_index + 1 < len(self.phases):
+            self._enter_phase(self.phase_index + 1)
+        else:
+            self.finish_time = now
+
+    def __repr__(self):
+        status = "done" if self.done else f"phase {self.phase_index}"
+        return f"Application({self.name}, {status})"

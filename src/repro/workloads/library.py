@@ -1,0 +1,192 @@
+"""The named program set used in the paper's evaluation.
+
+These are *synthetic* applications shaped after the cited PARSEC / SPEC2006
+programs: thread structure, phase behaviour, and compute-vs-memory character
+follow the public characterization literature (serial ramp in blackscholes,
+variable-thread phases in x264, strongly memory-bound mcf/canneal/
+streamcluster, compute-bound gamess/gromacs, and so on).  Instruction
+budgets are scaled to keep full simulations tractable while preserving the
+relative run lengths.
+
+Evaluation set (Sec. V-A): 8-threaded PARSEC programs and 8 copies of SPEC
+programs.  Training set: swaptions, vips, astar, perlbench, milc, namd.
+"""
+
+from __future__ import annotations
+
+from .app import Application, Phase
+
+# Global scale on instruction budgets.  At 2.0 the full runs take roughly
+# 120-250 simulated seconds under a reasonable controller — matching the
+# paper's run lengths closely enough that controller start-up transients
+# carry a realistic (small) share of each run.
+SCALE = 2.0
+
+__all__ = [
+    "PARSEC_PROGRAMS",
+    "SPEC_PROGRAMS",
+    "TRAINING_PROGRAMS",
+    "EVALUATION_PROGRAMS",
+    "make_application",
+    "program_names",
+]
+
+
+def _parallel_app(name, giga, threads=8, cpi=1.0, mpki=1.0, activity=1.0,
+                  serial_fraction=0.0, barrier=False, phases=None):
+    """Helper: optional serial ramp followed by a parallel bulk phase."""
+    if phases is None:
+        giga = giga * SCALE
+        phases = []
+        if serial_fraction > 0:
+            phases.append(
+                Phase(f"{name}:serial", 1, giga * serial_fraction, cpi, mpki, activity)
+            )
+        phases.append(
+            Phase(
+                f"{name}:parallel",
+                threads,
+                giga * (1.0 - serial_fraction),
+                cpi,
+                mpki,
+                activity,
+                barrier=barrier,
+            )
+        )
+    return lambda: Application(name, phases_copy(phases))
+
+
+def phases_copy(phases):
+    return [
+        Phase(p.name, p.n_threads, p.instructions, p.cpi_scale, p.mpki, p.activity,
+              p.barrier)
+        for p in phases
+    ]
+
+
+def _spec_rate_app(name, giga_per_copy, copies=8, cpi=1.0, mpki=1.0, activity=1.0):
+    """8 independent single-thread copies = one barrier phase of 8 threads."""
+    phases = [
+        Phase(
+            f"{name}:rate",
+            copies,
+            giga_per_copy * copies * SCALE,
+            cpi,
+            mpki,
+            activity,
+            barrier=True,
+        )
+    ]
+    return lambda: Application(name, phases_copy(phases))
+
+
+# ---------------------------------------------------------------------------
+# PARSEC (8-threaded, native-input shaped)
+# ---------------------------------------------------------------------------
+PARSEC_PROGRAMS = {
+    # blackscholes: single-thread start, then a steady 8-way parallel phase
+    # with little variation (the paper leans on this structure in Fig. 10/11).
+    "blackscholes": _parallel_app(
+        "blackscholes", giga=330.0, cpi=0.95, mpki=0.5, activity=1.0,
+        serial_fraction=0.06,
+    ),
+    # bodytrack: alternating high/low-parallelism stages per frame.
+    "bodytrack": lambda: Application(
+        "bodytrack",
+        [
+            phase
+            for frame in range(6)
+            for phase in (
+                Phase(f"bodytrack:track{frame}", 8, 34.0 * SCALE, 1.05, 1.6, 0.95),
+                Phase(f"bodytrack:refine{frame}", 2, 7.0 * SCALE, 1.0, 1.0, 0.9),
+            )
+        ],
+    ),
+    "facesim": _parallel_app(
+        "facesim", giga=300.0, cpi=1.15, mpki=3.2, activity=0.9, barrier=True,
+    ),
+    "fluidanimate": _parallel_app(
+        "fluidanimate", giga=290.0, cpi=1.1, mpki=2.4, activity=0.95, barrier=True,
+    ),
+    "raytrace": _parallel_app(
+        "raytrace", giga=320.0, cpi=0.9, mpki=0.9, activity=1.0,
+        serial_fraction=0.03,
+    ),
+    # x264: bursty, variable thread counts across encode stages.
+    "x264": lambda: Application(
+        "x264",
+        [
+            phase
+            for gop in range(4)
+            for phase in (
+                Phase(f"x264:analyze{gop}", 4, 22.0 * SCALE, 0.95, 1.2, 1.0),
+                Phase(f"x264:encode{gop}", 8, 52.0 * SCALE, 1.0, 1.8, 1.0),
+                Phase(f"x264:flush{gop}", 2, 5.0 * SCALE, 1.0, 0.8, 0.85),
+            )
+        ],
+    ),
+    "canneal": _parallel_app(
+        "canneal", giga=160.0, cpi=1.2, mpki=14.0, activity=0.65,
+    ),
+    "streamcluster": _parallel_app(
+        "streamcluster", giga=200.0, cpi=1.1, mpki=10.0, activity=0.7, barrier=True,
+    ),
+}
+
+# ---------------------------------------------------------------------------
+# SPEC2006 (8 copies, train-input shaped)
+# ---------------------------------------------------------------------------
+SPEC_PROGRAMS = {
+    "h264ref": _spec_rate_app("h264ref", 42.0, cpi=0.9, mpki=0.8, activity=1.0),
+    "mcf": _spec_rate_app("mcf", 20.0, cpi=1.25, mpki=22.0, activity=0.55),
+    "omnetpp": _spec_rate_app("omnetpp", 28.0, cpi=1.15, mpki=8.5, activity=0.75),
+    "gamess": _spec_rate_app("gamess", 45.0, cpi=0.85, mpki=0.4, activity=1.05),
+    "gromacs": _spec_rate_app("gromacs", 40.0, cpi=0.9, mpki=1.1, activity=1.0),
+    "dealII": _spec_rate_app("dealII", 36.0, cpi=1.0, mpki=3.0, activity=0.9),
+}
+
+# ---------------------------------------------------------------------------
+# Training set (Sec. V-A: disjoint from evaluation)
+# ---------------------------------------------------------------------------
+TRAINING_PROGRAMS = {
+    "swaptions": _parallel_app(
+        "swaptions", giga=200.0, cpi=0.95, mpki=0.6, activity=1.0,
+    ),
+    "vips": lambda: Application(
+        "vips",
+        [
+            Phase("vips:setup", 1, 6.0, 1.0, 1.5, 0.9),
+            Phase("vips:pipeline", 8, 150.0, 1.05, 2.8, 0.9),
+        ],  # training runs stay short: characterization cost, not fidelity
+    ),
+    "astar": _spec_rate_app("astar", 24.0, cpi=1.1, mpki=6.0, activity=0.8),
+    "perlbench": _spec_rate_app("perlbench", 30.0, cpi=1.0, mpki=1.8, activity=0.95),
+    "milc": _spec_rate_app("milc", 22.0, cpi=1.15, mpki=12.0, activity=0.65),
+    "namd": _spec_rate_app("namd", 38.0, cpi=0.9, mpki=0.7, activity=1.0),
+}
+
+EVALUATION_PROGRAMS = {**SPEC_PROGRAMS, **PARSEC_PROGRAMS}
+
+_ALL = {**PARSEC_PROGRAMS, **SPEC_PROGRAMS, **TRAINING_PROGRAMS}
+
+
+def make_application(name) -> Application:
+    """Instantiate a fresh run of a named program."""
+    try:
+        factory = _ALL[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; known: {sorted(_ALL)}"
+        ) from None
+    return factory()
+
+
+def program_names(group="evaluation"):
+    """Names in a group: 'parsec', 'spec', 'training', or 'evaluation'."""
+    groups = {
+        "parsec": PARSEC_PROGRAMS,
+        "spec": SPEC_PROGRAMS,
+        "training": TRAINING_PROGRAMS,
+        "evaluation": EVALUATION_PROGRAMS,
+    }
+    return list(groups[group])

@@ -1,0 +1,83 @@
+"""Heterogeneous workload mixes (Sec. VI-C).
+
+Each mix combines a 4-threaded PARSEC program with 4 copies of a SPEC
+program, matching the paper's blmc / stga / blst / mcga combinations.  A mix
+is just a list of concurrently-running applications; the runner measures
+energy and delay until the *last* member finishes.
+"""
+
+from __future__ import annotations
+
+from .app import Application, Phase
+from .library import PARSEC_PROGRAMS, SPEC_PROGRAMS, make_application
+
+__all__ = ["MIXES", "make_mix", "mix_names"]
+
+
+def _halved_parsec(name):
+    """A 4-threaded, half-sized instance of a PARSEC program."""
+    base = make_application(name)
+    phases = []
+    for phase in base.phases:
+        threads = max(1, phase.n_threads // 2)
+        phases.append(
+            Phase(
+                phase.name,
+                threads,
+                phase.instructions * 0.5,
+                phase.cpi_scale,
+                phase.mpki,
+                phase.activity,
+                phase.barrier,
+            )
+        )
+    return Application(f"{name}@4t", phases)
+
+
+def _halved_spec(name):
+    """4 copies (half-sized rate run) of a SPEC program."""
+    base = make_application(name)
+    phases = []
+    for phase in base.phases:
+        threads = max(1, phase.n_threads // 2)
+        phases.append(
+            Phase(
+                phase.name,
+                threads,
+                phase.instructions * 0.5,
+                phase.cpi_scale,
+                phase.mpki,
+                phase.activity,
+                phase.barrier,
+            )
+        )
+    return Application(f"{name}@4c", phases)
+
+
+MIXES = {
+    "blmc": ("blackscholes", "mcf"),
+    "stga": ("streamcluster", "gamess"),
+    "blst": ("blackscholes", "streamcluster"),
+    "mcga": ("mcf", "gamess"),
+}
+
+
+def make_mix(name):
+    """Instantiate the two concurrent members of a named mix."""
+    try:
+        first, second = MIXES[name]
+    except KeyError:
+        raise KeyError(f"unknown mix {name!r}; known: {sorted(MIXES)}") from None
+    members = []
+    for member in (first, second):
+        if member in PARSEC_PROGRAMS:
+            members.append(_halved_parsec(member))
+        elif member in SPEC_PROGRAMS:
+            members.append(_halved_spec(member))
+        else:
+            raise KeyError(f"mix member {member!r} is not a known program")
+    return members
+
+
+def mix_names():
+    return list(MIXES)

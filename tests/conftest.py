@@ -1,0 +1,53 @@
+"""Shared fixtures: a small design context reused by integration tests.
+
+Building a :class:`~repro.experiments.DesignContext` involves the training
+campaign plus two D-K syntheses (~5 s), so it is session-scoped and built
+with a reduced sample budget.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def design_context():
+    from repro.experiments import DesignContext
+
+    return DesignContext.create(samples_per_program=120, seed=99)
+
+
+@pytest.fixture(scope="session")
+def hw_design(design_context):
+    return design_context.get_hw_design()
+
+
+@pytest.fixture(scope="session")
+def sw_design(design_context):
+    return design_context.get_sw_design()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def stable_discrete_system(rng):
+    """A random stable discrete MIMO system."""
+    from repro.lti import StateSpace
+
+    A = rng.normal(size=(4, 4))
+    A *= 0.8 / max(np.max(np.abs(np.linalg.eigvals(A))), 1e-9)
+    return StateSpace(A, rng.normal(size=(4, 2)), rng.normal(size=(3, 4)),
+                      rng.normal(size=(3, 2)), dt=0.5)
+
+
+@pytest.fixture
+def stable_continuous_system(rng):
+    """A random stable continuous MIMO system."""
+    from repro.lti import StateSpace
+
+    A = rng.normal(size=(4, 4))
+    A = A - (np.max(np.linalg.eigvals(A).real) + 0.5) * np.eye(4)
+    return StateSpace(A, rng.normal(size=(4, 2)), rng.normal(size=(3, 4)),
+                      rng.normal(size=(3, 2)))

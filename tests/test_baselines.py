@@ -1,0 +1,129 @@
+"""Tests for the baseline controllers (heuristics and LQG variants)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CoordinatedHeuristicHW,
+    CoordinatedHeuristicOS,
+    DecoupledHeuristicHW,
+    DecoupledHeuristicOS,
+)
+from repro.board import default_xu3_spec
+
+
+@pytest.fixture
+def spec():
+    return default_xu3_spec()
+
+
+class TestCoordinatedHW:
+    def test_ramps_up_when_safe(self, spec):
+        ctrl = CoordinatedHeuristicHW(spec)
+        f_start = ctrl.f_big
+        for _ in range(4 * ctrl.SAFE_PERIODS):
+            u = ctrl.step([3.0, 1.0, 0.1, 60.0], [8, 2, 1])
+        assert u[2] > f_start
+
+    def test_backs_off_on_power_pressure(self, spec):
+        ctrl = CoordinatedHeuristicHW(spec)
+        f_start = ctrl.f_big
+        u = ctrl.step([3.0, spec.power_limit_big * 1.1, 0.1, 60.0], [8, 2, 1])
+        assert u[2] < f_start
+
+    def test_sheds_surplus_cores_first(self, spec):
+        ctrl = CoordinatedHeuristicHW(spec)
+        # Two threads on four cores: surplus cores are the cheap shed.
+        u = ctrl.step([3.0, spec.power_limit_big * 1.0, 0.1, 60.0], [2, 1, 1])
+        assert u[0] == 3  # one core shed, frequency untouched
+
+    def test_thermal_cooling_clamp_with_hysteresis(self, spec):
+        ctrl = CoordinatedHeuristicHW(spec)
+        u = ctrl.step([3.0, 1.0, 0.1, spec.temp_limit + 0.5], [8, 2, 1])
+        assert u[2] <= ctrl.COOLING_FREQ
+        # Still clamped just below the limit (hysteresis).
+        u = ctrl.step([3.0, 1.0, 0.1, spec.temp_limit - 2.0], [8, 2, 1])
+        assert u[2] <= ctrl.COOLING_FREQ
+        # Released after cooling past the band.
+        u = ctrl.step(
+            [3.0, 1.0, 0.1, spec.temp_limit - ctrl.COOLING_HYSTERESIS - 1],
+            [8, 2, 1],
+        )
+        assert u[2] > ctrl.COOLING_FREQ or ctrl.f_big <= ctrl.COOLING_FREQ
+
+    def test_reset_restores_midpoint(self, spec):
+        ctrl = CoordinatedHeuristicHW(spec)
+        for _ in range(30):
+            ctrl.step([3.0, 1.0, 0.1, 60.0], [8, 2, 1])
+        ctrl.reset()
+        assert ctrl.f_big == spec.big.freq_range.snap(spec.big.freq_range.midpoint)
+
+
+class TestCoordinatedOS:
+    def test_big_first_packing(self, spec):
+        ctrl = CoordinatedHeuristicOS(spec, total_threads=8)
+        n_big, tpc_big, tpc_little = ctrl.step([], [4, 4, 2.0, 1.0])
+        assert n_big == 8  # all heavy threads go big (2 per core)
+        assert tpc_big == pytest.approx(2.0)
+
+    def test_spills_over_when_big_throttled(self, spec):
+        ctrl = CoordinatedHeuristicOS(spec, total_threads=8)
+        n_big, *_ = ctrl.step([], [4, 4, 0.6, 1.0])  # big deeply throttled
+        assert n_big < 8
+
+    def test_observes_thread_count(self, spec):
+        ctrl = CoordinatedHeuristicOS(spec)
+        ctrl.observe_thread_count(3)
+        n_big, *_ = ctrl.step([], [4, 4, 1.4, 1.0])
+        assert n_big == 3
+
+
+class TestDecoupled:
+    def test_hw_races_to_maximum(self, spec):
+        ctrl = DecoupledHeuristicHW(spec)
+        u = ctrl.step([3.0, 1.0, 0.1, 60.0], [])
+        assert u[2] == spec.big.freq_range.high
+        assert u[0] == spec.big.n_cores
+
+    def test_hw_threshold_backoff_then_re_max(self, spec):
+        ctrl = DecoupledHeuristicHW(spec)
+        u = ctrl.step([3.0, spec.power_limit_big * 1.5, 0.1, 60.0], [])
+        assert u[2] < spec.big.freq_range.high
+        u = ctrl.step([3.0, 1.0, 0.1, 60.0], [])
+        assert u[2] == spec.big.freq_range.high  # instant re-max: the saw-tooth
+
+    def test_os_round_robin_ignores_everything(self, spec):
+        ctrl = DecoupledHeuristicOS(spec, total_threads=8)
+        n_big, tpc_big, tpc_little = ctrl.step([], [])
+        assert n_big == 4
+        assert tpc_big == 1.0
+
+    def test_targets_are_ignored(self, spec):
+        ctrl = DecoupledHeuristicHW(spec)
+        ctrl.set_targets([1, 2, 3, 4])  # accepted, ignored
+        u = ctrl.step([3.0, 1.0, 0.1, 60.0], [])
+        assert u[2] == spec.big.freq_range.high
+
+
+@pytest.mark.slow
+class TestLQGBaselines:
+    def test_decoupled_lqg_builds(self, design_context):
+        controller, result = design_context.get_lqg_hw()
+        assert result.closed_loop_stable
+        assert controller.state_machine.n_outputs == 4
+
+    def test_monolithic_lqg_builds(self, design_context):
+        controller, result = design_context.get_lqg_mono()
+        assert controller.state_machine.n_outputs == 7
+
+    def test_lqg_runtime_returns_unclamped(self, design_context):
+        """LQG does not know about saturation: raw values come back."""
+        import copy
+
+        controller = copy.deepcopy(design_context.get_lqg_hw()[0])
+        controller.reset()
+        controller.set_targets([50.0, 50.0, 50.0, 500.0])  # absurd targets
+        u = None
+        for _ in range(60):
+            u = controller.step([1.0, 0.5, 0.1, 50.0])
+        assert any(abs(v) > 10.0 for v in u)  # way past physical limits

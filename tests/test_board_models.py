@@ -1,0 +1,195 @@
+"""Tests for the board's component models: cores, power, thermal, sensors."""
+
+import numpy as np
+import pytest
+
+from repro.board import (
+    BIG,
+    LITTLE,
+    EmergencyManager,
+    PerformanceCounter,
+    TemperatureSensor,
+    ThermalModel,
+    WindowedPowerSensor,
+    cluster_power,
+    default_xu3_spec,
+)
+from repro.board.cores import core_execution, memory_traffic_gbs, thread_rate_gips
+from repro.workloads import Phase, Thread
+
+
+@pytest.fixture
+def spec():
+    return default_xu3_spec()
+
+
+@pytest.fixture
+def compute_phase():
+    return Phase("compute", 4, 100.0, cpi_scale=1.0, mpki=0.5)
+
+
+@pytest.fixture
+def memory_phase():
+    return Phase("memory", 4, 100.0, cpi_scale=1.0, mpki=20.0)
+
+
+class TestCores:
+    def test_rate_scales_with_frequency_when_compute_bound(self, spec, compute_phase):
+        slow = thread_rate_gips(spec.big, 1.0, compute_phase, spec.mem_latency_ns)
+        fast = thread_rate_gips(spec.big, 2.0, compute_phase, spec.mem_latency_ns)
+        assert fast / slow > 1.8  # near-linear scaling
+
+    def test_rate_saturates_when_memory_bound(self, spec, memory_phase):
+        slow = thread_rate_gips(spec.big, 1.0, memory_phase, spec.mem_latency_ns)
+        fast = thread_rate_gips(spec.big, 2.0, memory_phase, spec.mem_latency_ns)
+        assert fast / slow < 1.4  # memory wall
+
+    def test_big_faster_than_little(self, spec, compute_phase):
+        big = thread_rate_gips(spec.big, 1.4, compute_phase, spec.mem_latency_ns)
+        little = thread_rate_gips(spec.little, 1.4, compute_phase, spec.mem_latency_ns)
+        assert big > 1.5 * little
+
+    def test_time_share_divides_rate(self, spec, compute_phase):
+        full = thread_rate_gips(spec.big, 1.0, compute_phase, spec.mem_latency_ns)
+        half = thread_rate_gips(spec.big, 1.0, compute_phase, spec.mem_latency_ns,
+                                time_share=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_core_execution_splits_work(self, spec, compute_phase):
+        threads = [(Thread(i, "t"), compute_phase) for i in range(2)]
+        work, busy, activity = core_execution(
+            spec.big, 1.0, threads, dt=0.1, mem_latency_ns=spec.mem_latency_ns
+        )
+        assert len(work) == 2
+        assert work[0] == pytest.approx(work[1])
+        assert busy == pytest.approx(1.0)
+        assert 0 < activity <= 1.0
+
+    def test_migration_stall_reduces_work(self, spec, compute_phase):
+        stalled = Thread(0, "t", migration_stall=0.05)
+        clean = Thread(1, "t")
+        work_stalled, *_ = core_execution(
+            spec.big, 1.0, [(stalled, compute_phase)], 0.1, spec.mem_latency_ns
+        )
+        work_clean, *_ = core_execution(
+            spec.big, 1.0, [(clean, compute_phase)], 0.1, spec.mem_latency_ns
+        )
+        assert work_stalled[0] < work_clean[0]
+        assert stalled.migration_stall == pytest.approx(0.0)
+
+    def test_memory_traffic_positive(self, memory_phase):
+        traffic = memory_traffic_gbs([(memory_phase, 1.0)])
+        assert traffic > 0
+
+
+class TestPower:
+    def test_monotone_in_frequency(self, spec):
+        low = cluster_power(spec.big, 1.0, 4, [1.0] * 4, 60.0).total
+        high = cluster_power(spec.big, 2.0, 4, [1.0] * 4, 60.0).total
+        assert high > low
+
+    def test_monotone_in_cores(self, spec):
+        few = cluster_power(spec.big, 1.5, 2, [1.0] * 2, 60.0).total
+        many = cluster_power(spec.big, 1.5, 4, [1.0] * 4, 60.0).total
+        assert many > few
+
+    def test_leakage_grows_with_temperature(self, spec):
+        cold = cluster_power(spec.big, 1.5, 4, [0.0] * 4, 45.0)
+        hot = cluster_power(spec.big, 1.5, 4, [0.0] * 4, 85.0)
+        assert hot.leakage > cold.leakage
+
+    def test_off_cluster_draws_nothing(self, spec):
+        assert cluster_power(spec.big, 1.5, 0, [], 60.0).total == 0.0
+
+    def test_big_cluster_can_exceed_limit(self, spec):
+        """Flat out, the big cluster must be able to violate 3.3 W."""
+        flat_out = cluster_power(spec.big, 2.0, 4, [1.0] * 4, 80.0).total
+        assert flat_out > spec.power_limit_big * 1.5
+
+    def test_little_cluster_brushes_its_limit(self, spec):
+        flat_out = cluster_power(spec.little, 1.4, 4, [1.0] * 4, 70.0).total
+        assert flat_out > spec.power_limit_little
+
+
+class TestThermal:
+    def test_steady_state_formula(self):
+        model = ThermalModel(40.0, 10.0, 5.0, 0.5)
+        assert model.steady_state(2.0, 1.0) == pytest.approx(40 + 10 * 2.5)
+
+    def test_converges_to_steady_state(self):
+        model = ThermalModel(40.0, 10.0, 2.0, 0.5)
+        for _ in range(2000):
+            model.step(2.0, 0.0, 0.01)
+        assert model.temperature == pytest.approx(60.0, abs=0.5)
+
+    def test_limit_binds_at_cap_power(self, spec):
+        """The paper's operating point: near the caps, temperature matters."""
+        model = ThermalModel(spec.ambient_temp, spec.thermal_resistance,
+                             spec.thermal_tau, spec.thermal_weight_little)
+        steady = model.steady_state(spec.power_limit_big, spec.power_limit_little)
+        assert steady > spec.temp_limit  # caps are thermally infeasible sustained
+
+
+class TestSensors:
+    def test_power_sensor_latches_average(self):
+        sensor = WindowedPowerSensor(period=0.2, dt=0.1)
+        sensor.update(1.0)
+        assert sensor.read() == 0.0  # not yet latched
+        sensor.update(3.0)
+        assert sensor.read() == pytest.approx(2.0)
+
+    def test_power_sensor_holds_between_windows(self):
+        sensor = WindowedPowerSensor(period=0.2, dt=0.1)
+        for p in (1.0, 1.0, 5.0):
+            sensor.update(p)
+        assert sensor.read() == pytest.approx(1.0)  # mid-window: still old value
+
+    def test_temp_sensor_noise_free(self):
+        sensor = TemperatureSensor(0.0, np.random.default_rng(0))
+        assert sensor.update(70.0) == 70.0
+
+    def test_perf_counter_delta(self):
+        counter = PerformanceCounter()
+        counter.add(1.5)
+        assert counter.read_delta() == pytest.approx(1.5)
+        counter.add(0.5)
+        assert counter.read_delta() == pytest.approx(0.5)
+        assert counter.read_cumulative() == pytest.approx(2.0)
+
+
+class TestEmergency:
+    def test_thermal_trip_and_hysteresis(self, spec):
+        manager = EmergencyManager(spec)
+        manager.update(spec.emergency_temp_trip + 1, {BIG: 0, LITTLE: 0}, 0.05)
+        assert manager.state.thermal_throttled
+        assert manager.frequency_cap(BIG) == spec.emergency_throttle_freq
+        # Clears only below the hysteresis point.
+        manager.update(spec.emergency_temp_clear + 1, {BIG: 0, LITTLE: 0}, 0.05)
+        assert manager.state.thermal_throttled
+        manager.update(spec.emergency_temp_clear - 1, {BIG: 0, LITTLE: 0}, 0.05)
+        assert not manager.state.thermal_throttled
+
+    def test_power_trip_needs_sustained_violation(self, spec):
+        manager = EmergencyManager(spec)
+        over = spec.power_limit_big * spec.emergency_power_factor * 1.1
+        manager.update(50.0, {BIG: over, LITTLE: 0}, 0.1)
+        assert not manager.state.power_throttled[BIG]
+        for _ in range(10):
+            manager.update(50.0, {BIG: over, LITTLE: 0}, 0.1)
+        assert manager.state.power_throttled[BIG]
+        assert manager.core_cap(BIG) == 2
+
+    def test_power_trip_holds_minimum_time(self, spec):
+        manager = EmergencyManager(spec)
+        over = spec.power_limit_big * spec.emergency_power_factor * 1.1
+        for _ in range(12):
+            manager.update(50.0, {BIG: over, LITTLE: 0}, 0.1)
+        assert manager.state.power_throttled[BIG]
+        # Despite instantly-low power, the hold keeps it tripped.
+        manager.update(50.0, {BIG: 0.1, LITTLE: 0}, 0.1)
+        assert manager.state.power_throttled[BIG]
+
+    def test_no_cap_when_clear(self, spec):
+        manager = EmergencyManager(spec)
+        assert manager.frequency_cap(BIG) is None
+        assert manager.core_cap(BIG) is None

@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+
+class TestCli:
+    def test_tables_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table IV" in out
+
+    def test_requires_command(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])
+
+    @pytest.mark.slow
+    def test_run_command(self, capsys, monkeypatch):
+        """The run command builds a context and prints run metrics."""
+        from repro.__main__ import main
+
+        code = main(["run", "coordinated-heuristic", "h264ref",
+                     "--samples", "60", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ExD" in out
+        assert "h264ref" in out

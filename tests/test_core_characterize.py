@@ -1,0 +1,66 @@
+"""Tests for the characterization (training campaign) machinery."""
+
+import numpy as np
+import pytest
+
+from repro.board import Board, default_xu3_spec
+from repro.core import characterize_board, sample_signals
+from repro.core.layer import HW_OUTPUTS, SW_OUTPUTS
+from repro.workloads import make_application
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    return characterize_board(default_xu3_spec(), samples_per_program=60,
+                              programs=("swaptions", "milc"), seed=5)
+
+
+class TestSampleSignals:
+    def test_all_signals_present(self):
+        spec = default_xu3_spec()
+        board = Board(make_application("swaptions"), spec=spec, seed=1,
+                      record=False)
+        steps = int(round(spec.control_period / spec.sim_dt))
+        for _ in range(steps):
+            board.step()
+        signals = sample_signals(board, steps)
+        expected = set(HW_OUTPUTS) | set(SW_OUTPUTS) | {
+            "n_threads_big", "tpc_big", "tpc_little",
+            "n_big_cores", "n_little_cores", "freq_big", "freq_little",
+        }
+        assert expected <= set(signals)
+        assert signals["bips_total"] == pytest.approx(
+            signals["bips_big"] + signals["bips_little"]
+        )
+
+
+class TestCharacterization:
+    def test_datasets_have_right_shapes(self, characterization):
+        assert characterization.hw_data.n_inputs == 7
+        assert characterization.hw_data.n_outputs == 4
+        assert characterization.sw_data.n_inputs == 7
+        assert characterization.sw_data.n_outputs == 3
+        assert characterization.joint_data.n_outputs == 7
+
+    def test_boundaries_align_with_runs(self, characterization):
+        assert characterization.hw_boundaries[0] == 0
+        assert len(characterization.hw_boundaries) >= 2
+
+    def test_ranges_are_sane(self, characterization):
+        low, high = characterization.output_ranges["power_big"]
+        assert 0.0 <= low < high < 10.0
+        low, high = characterization.output_ranges["temperature"]
+        assert 40.0 < low < high < 100.0
+
+    def test_range_helpers(self, characterization):
+        rng = characterization.range_of("bips_total")
+        mid = characterization.mid_of("bips_total")
+        low, high = characterization.output_ranges["bips_total"]
+        assert rng == pytest.approx(high - low)
+        assert mid == pytest.approx((high + low) / 2)
+
+    def test_excitation_visits_many_levels(self, characterization):
+        freqs = np.unique(characterization.hw_data.inputs[:, 2])
+        assert freqs.size >= 4  # f_big swept several levels
+        threads = np.unique(characterization.sw_data.inputs[:, 0])
+        assert threads.size >= 3  # t_big swept

@@ -1,0 +1,170 @@
+"""Tests for the runtime controller wrapper and the ExD optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExDOptimizer, RuntimeController, TargetChannel, exd_metric
+from repro.lti import ss
+from repro.signals import QuantizedRange
+
+
+def _simple_runtime_controller(gain=0.5, limit_mask=None, dither=None):
+    """A one-state proportional-ish controller for wrapper testing."""
+    sm = ss([[0.0]], [[1.0, 0.0]], [[gain]], [[gain, 0.0]], dt=0.5)
+    return RuntimeController(
+        name="toy",
+        state_machine=sm,
+        input_ranges=[QuantizedRange(0.2, 2.0, step=0.1)],
+        input_offsets=np.array([1.1]),
+        input_scales=np.array([0.9]),
+        output_offsets=np.array([2.0]),
+        output_scales=np.array([4.0]),
+        external_offsets=np.array([0.0]),
+        external_scales=np.array([1.0]),
+        bound_fractions=np.array([0.2]),
+        targets=np.array([3.0]),
+        limit_mask=np.array(limit_mask) if limit_mask is not None else None,
+        dither_mask=np.array(dither) if dither is not None else None,
+    )
+
+
+class TestRuntimeController:
+    def test_snaps_to_allowed_levels(self):
+        ctrl = _simple_runtime_controller()
+        u = ctrl.step([2.0], [0.0])
+        assert ctrl.input_ranges[0].contains(u[0])
+
+    def test_positive_error_raises_input(self):
+        ctrl = _simple_runtime_controller(gain=2.0)
+        u_low = ctrl.step([2.0], [0.0])  # y at target-1 -> push up
+        ctrl.reset()
+        u_high = ctrl.step([4.5], [0.0])  # y above target -> push down
+        assert u_low[0] > u_high[0]
+
+    def test_limit_mask_suppresses_upward_pull(self):
+        plain = _simple_runtime_controller(gain=2.0)
+        limited = _simple_runtime_controller(gain=2.0, limit_mask=[True])
+        # Output far below target: plain pushes hard, limited barely.
+        u_plain = plain.step([0.5], [0.0])
+        u_limited = limited.step([0.5], [0.0])
+        assert u_plain[0] > u_limited[0]
+
+    def test_guardband_exhaustion_flag(self):
+        ctrl = _simple_runtime_controller(gain=0.0)
+        # Only critical (tight-bound) outputs participate in the monitor.
+        ctrl.bound_fractions = np.array([0.1])
+        ctrl.set_targets([30.0])  # hopeless target
+        for _ in range(10):
+            ctrl.step([2.0], [0.0])
+        assert ctrl.guardband_exhausted
+
+    def test_non_critical_outputs_never_flag(self):
+        ctrl = _simple_runtime_controller(gain=0.0)
+        ctrl.bound_fractions = np.array([0.2])  # performance-tier bound
+        ctrl.set_targets([30.0])
+        for _ in range(10):
+            ctrl.step([2.0], [0.0])
+        assert not ctrl.guardband_exhausted
+
+    def test_reset_clears_state(self):
+        ctrl = _simple_runtime_controller()
+        ctrl.step([4.0], [0.0])
+        ctrl.reset()
+        assert np.all(ctrl.state == 0.0)
+        assert not ctrl.guardband_exhausted
+
+    def test_dither_realizes_subnotch_average(self):
+        ctrl = _simple_runtime_controller(gain=1.0, dither=[True])
+        ctrl.set_targets([2.4])  # small persistent error
+        values = [ctrl.step([2.0], [0.0])[0] for _ in range(50)]
+        # With dithering, the average should sit between snap levels.
+        assert len(set(values[10:])) >= 2 or np.std(values[10:]) == 0.0
+
+
+class TestExDMetric:
+    def test_formula(self):
+        assert exd_metric(2.0, 4.0) == pytest.approx(0.125)
+
+    def test_guards_zero_perf(self):
+        assert np.isfinite(exd_metric(2.0, 0.0))
+
+
+class TestTargetChannel:
+    def test_role_defaults(self):
+        perf = TargetChannel("p", 1.0, 0.0, 10.0, role="performance")
+        assert perf.forward_step > perf.backward_step
+        fixed = TargetChannel("t", 70.0, 0.0, 80.0, role="fixed")
+        assert fixed.forward_step == 0.0
+
+    def test_clamp(self):
+        ch = TargetChannel("p", 1.0, 0.0, 2.0)
+        assert ch.clamp(5.0) == 2.0
+        assert ch.clamp(-5.0) == 0.0
+
+    def test_rejects_inverted_envelope(self):
+        with pytest.raises(ValueError):
+            TargetChannel("p", 1.0, 2.0, 1.0)
+
+
+class TestExDOptimizer:
+    def _optimizer(self, settle=1):
+        return ExDOptimizer(
+            [
+                TargetChannel("perf", 2.0, 0.0, 10.0, role="performance"),
+                TargetChannel("power", 1.0, 0.0, 4.0, role="power"),
+                TargetChannel("temp", 70.0, 0.0, 80.0, role="fixed"),
+            ],
+            settle_periods=settle,
+        )
+
+    def test_fixed_channel_never_moves(self):
+        opt = self._optimizer()
+        for k in range(20):
+            targets = opt.update(1.0 / (k + 1), outputs=[2.0, 1.0, 60.0])
+        assert targets[2] == 70.0
+
+    def test_improving_exd_walks_up(self):
+        opt = self._optimizer()
+        exd = 1.0
+        outputs = np.array([2.0, 1.0, 60.0])
+        for _ in range(12):
+            targets = opt.update(exd, outputs=outputs)
+            exd *= 0.9  # keep improving
+            outputs = outputs + 0.05
+        assert targets[0] > outputs[0]  # leads the observation
+
+    def test_worsening_exd_reverts(self):
+        opt = self._optimizer()
+        opt.update(1.0, outputs=[2.0, 1.0, 60.0])
+        t_after_first_move = opt.targets.copy()
+        opt.update(5.0, outputs=[2.0, 1.0, 60.0])  # much worse: revert+flip
+        assert opt._direction == -1.0
+
+    def test_anchoring_keeps_targets_near_outputs(self):
+        opt = self._optimizer()
+        for _ in range(30):
+            targets = opt.update(1.0, outputs=[2.0, 1.0, 60.0])
+        # Anchored moves can never run far from the observation.
+        assert abs(targets[0] - 2.0) < 6.0
+
+    def test_streak_growth_capped(self):
+        opt = self._optimizer()
+        exd = 1.0
+        for _ in range(40):
+            opt.update(exd, outputs=[2.0, 1.0, 60.0])
+            exd *= 0.99
+        assert opt._growth() <= ExDOptimizer.MAX_GROWTH
+
+    def test_settle_period_gates_moves(self):
+        opt = self._optimizer(settle=4)
+        before = opt.targets.copy()
+        opt.update(1.0, outputs=[2.0, 1.0, 60.0])
+        assert np.all(opt.targets == before)  # no move yet
+
+    def test_reset(self):
+        opt = self._optimizer()
+        for _ in range(5):
+            opt.update(1.0, outputs=[2.0, 1.0, 60.0])
+        opt.reset()
+        assert opt.moves == 0
+        assert opt.targets[0] == 2.0

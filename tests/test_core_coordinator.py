@@ -1,0 +1,109 @@
+"""Tests for the multilayer runtime coordination."""
+
+import numpy as np
+import pytest
+
+from repro.board import BIG, LITTLE, Board, default_xu3_spec
+from repro.core import MultilayerCoordinator
+from repro.workloads import Application, Phase
+
+
+class _RecordingController:
+    """Scripted controller stub that records what it was shown."""
+
+    def __init__(self, actuation):
+        self.actuation = list(actuation)
+        self.seen_outputs = []
+        self.seen_externals = []
+        self.targets = np.zeros(4)
+
+    def set_targets(self, targets):
+        self.targets = np.asarray(targets, dtype=float)
+
+    def reset(self):
+        self.seen_outputs.clear()
+        self.seen_externals.clear()
+
+    def step(self, outputs, externals):
+        self.seen_outputs.append(np.asarray(outputs, dtype=float))
+        self.seen_externals.append(list(externals))
+        return list(self.actuation)
+
+
+@pytest.fixture
+def board():
+    app = Application("t", [Phase("p", 6, 30.0, mpki=0.8)])
+    return Board(app, spec=default_xu3_spec(), seed=3)
+
+
+def _advance(board, periods, coordinator):
+    steps = int(round(board.spec.control_period / board.spec.sim_dt))
+    for _ in range(periods):
+        for _ in range(steps):
+            board.step()
+        coordinator.control_step(board, steps)
+
+
+class TestCoordinator:
+    def test_hw_actuation_applied_to_board(self, board):
+        hw = _RecordingController([2, 3, 1.3, 0.9])
+        coordinator = MultilayerCoordinator(hw)
+        _advance(board, 1, coordinator)
+        assert board.clusters[BIG].cores_on == 2
+        assert board.clusters[LITTLE].cores_on == 3
+        assert board.clusters[BIG].frequency == pytest.approx(1.3)
+
+    def test_sw_actuation_moves_threads(self, board):
+        hw = _RecordingController([4, 4, 1.5, 1.0])
+        sw = _RecordingController([2, 1.0, 1.0])
+        coordinator = MultilayerCoordinator(hw, sw)
+        _advance(board, 1, coordinator)
+        assert board.observe_placement()[BIG]["n_threads"] == 2
+
+    def test_external_signals_cross_wired(self, board):
+        """Each layer must see the other layer's previous actuation."""
+        hw = _RecordingController([2, 3, 1.3, 0.9])
+        sw = _RecordingController([5, 2.0, 1.0])
+        coordinator = MultilayerCoordinator(hw, sw)
+        _advance(board, 2, coordinator)
+        # Second invocation: hw sees sw's first actuation and vice versa.
+        assert hw.seen_externals[1] == [5, 2.0, 1.0]
+        assert sw.seen_externals[1] == [2, 3, 1.3, 0.9]
+
+    def test_records_accumulate(self, board):
+        hw = _RecordingController([4, 4, 1.5, 1.0])
+        coordinator = MultilayerCoordinator(hw)
+        _advance(board, 3, coordinator)
+        assert len(coordinator.records) == 3
+        assert coordinator.records[0].exd_proxy > 0
+
+    def test_outputs_have_hw_layout(self, board):
+        hw = _RecordingController([4, 4, 1.5, 1.0])
+        coordinator = MultilayerCoordinator(hw)
+        _advance(board, 2, coordinator)
+        outputs = hw.seen_outputs[-1]
+        assert outputs.shape == (4,)  # bips, p_big, p_little, temp
+        assert 0 <= outputs[1] < 10.0
+        assert 40.0 < outputs[3] < 100.0
+
+    def test_optimizer_sets_targets(self, board):
+        from repro.core import ExDOptimizer, TargetChannel
+
+        hw = _RecordingController([4, 4, 1.5, 1.0])
+        optimizer = ExDOptimizer(
+            [TargetChannel("perf", 2.0, 0.0, 10.0, role="performance")],
+            settle_periods=1,
+        )
+        coordinator = MultilayerCoordinator(hw, hw_optimizer=optimizer)
+        _advance(board, 3, coordinator)
+        assert optimizer.moves >= 1
+        assert hw.targets.shape == (1,)
+
+    def test_reset_clears_state(self, board):
+        hw = _RecordingController([4, 4, 1.5, 1.0])
+        sw = _RecordingController([4, 1.0, 1.0])
+        coordinator = MultilayerCoordinator(hw, sw)
+        _advance(board, 2, coordinator)
+        coordinator.reset()
+        assert coordinator.records == []
+        assert coordinator._last_hw_actuation is None

@@ -1,0 +1,85 @@
+"""Tests for the fixed-point implementation (Sec. VI-D) and Table I taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FixedPointController,
+    YUKTA_CHOICE,
+    TAXONOMY_TABLE,
+    implementation_cost,
+)
+from repro.lti import ss
+
+
+class TestImplementationCost:
+    def test_paper_configuration(self):
+        """N=20, I=4, O+E=7 lands at the paper's ~700 MACs / ~2.6 KB."""
+        cost = implementation_cost(20, 4, 7)
+        assert cost.macs == 20 * 20 + 20 * 7 + 4 * 20 + 4 * 7
+        assert 600 <= cost.macs <= 800
+        assert 2.4 <= cost.storage_bytes / 1024 <= 2.8
+
+    def test_total_counts_adds(self):
+        cost = implementation_cost(2, 1, 1)
+        assert cost.total_operations == cost.multiplies + cost.additions
+
+    def test_summary_mentions_kb(self):
+        assert "KB" in implementation_cost(20, 4, 7).summary()
+
+
+class TestFixedPointController:
+    @pytest.fixture
+    def controller(self):
+        return ss(
+            [[0.5, 0.1], [0.0, 0.3]],
+            [[1.0, 0.2], [0.1, 0.4]],
+            [[0.2, 0.6]],
+            [[0.05, 0.1]],
+            dt=0.5,
+        )
+
+    def test_matches_float_reference(self, controller, rng):
+        fixed = FixedPointController(controller, frac_bits=20)
+        dy = rng.uniform(-1, 1, size=(100, 2))
+        error = fixed.max_output_error(dy)
+        assert error < 1e-3
+
+    def test_coarser_format_is_less_accurate(self, controller, rng):
+        dy = rng.uniform(-1, 1, size=(100, 2))
+        fine = FixedPointController(controller, frac_bits=24).max_output_error(dy)
+        coarse = FixedPointController(controller, frac_bits=8).max_output_error(dy)
+        assert coarse > fine
+
+    def test_counts_operations(self, controller):
+        fixed = FixedPointController(controller)
+        fixed.step(np.zeros(2))
+        fixed.step(np.zeros(2))
+        assert fixed.operations_executed == 2 * fixed.cost.total_operations
+
+    def test_rejects_continuous(self):
+        cont = ss([[-1.0]], [[1.0]], [[1.0]])
+        with pytest.raises(ValueError, match="discrete"):
+            FixedPointController(cont)
+
+    def test_rejects_bad_format(self, controller):
+        with pytest.raises(ValueError):
+            FixedPointController(controller, frac_bits=32, word_bits=32)
+
+
+class TestTaxonomy:
+    def test_yukta_choice_is_the_paper_selection(self):
+        assert YUKTA_CHOICE.modeling.value.startswith("Black Box")
+        assert YUKTA_CHOICE.mode.value == "MIMO"
+        assert YUKTA_CHOICE.organization.value == "Collaborative"
+        assert YUKTA_CHOICE.approach.value == "Robust"
+        assert YUKTA_CHOICE.controller_type.value == "SSV"
+
+    def test_table_covers_all_dimensions(self):
+        assert set(TAXONOMY_TABLE) == {
+            "Modeling", "Mode", "Organization", "Approach", "Type"
+        }
+
+    def test_choice_members_listed_in_table(self):
+        assert YUKTA_CHOICE.mode.value in TAXONOMY_TABLE["Mode"]
+        assert YUKTA_CHOICE.controller_type.value in TAXONOMY_TABLE["Type"]

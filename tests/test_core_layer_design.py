@@ -1,0 +1,108 @@
+"""Tests for layer specs (Tables II/III) and the end-to-end design flow."""
+
+import numpy as np
+import pytest
+
+from repro.board import default_xu3_spec
+from repro.core import (
+    HW_OUTPUTS,
+    SW_OUTPUTS,
+    design_two_layer_system,
+    hardware_layer_spec,
+    software_layer_spec,
+)
+from repro.signals import exchange_interfaces
+
+
+class TestLayerSpecs:
+    def test_hardware_matches_table2(self):
+        spec = hardware_layer_spec()
+        assert spec.input_names() == [
+            "n_big_cores", "n_little_cores", "freq_big", "freq_little"
+        ]
+        assert [s.weight for s in spec.inputs] == [1.0] * 4
+        assert spec.output_names() == list(HW_OUTPUTS)
+        assert [s.bound_fraction for s in spec.outputs] == [0.2, 0.1, 0.1, 0.1]
+        assert spec.guardband == pytest.approx(0.40)
+        assert spec.external_names() == ["n_threads_big", "tpc_big", "tpc_little"]
+
+    def test_software_matches_table3(self):
+        spec = software_layer_spec()
+        assert spec.input_names() == ["n_threads_big", "tpc_big", "tpc_little"]
+        assert [s.weight for s in spec.inputs] == [2.0] * 3
+        assert spec.output_names() == list(SW_OUTPUTS)
+        assert [s.bound_fraction for s in spec.outputs] == [0.2, 0.2, 0.2]
+        assert spec.guardband == pytest.approx(0.50)
+
+    def test_temperature_is_limit_style(self):
+        spec = hardware_layer_spec()
+        by_name = {s.name: s for s in spec.outputs}
+        assert by_name["temperature"].enforce_as_limit
+        assert not by_name["bips_total"].enforce_as_limit
+
+    def test_overrides(self):
+        spec = hardware_layer_spec()
+        wider = spec.with_bounds([0.5, 0.25, 0.25, 0.25])
+        assert wider.outputs[0].bound_fraction == 0.5
+        heavier = spec.with_input_weights(2.0)
+        assert all(s.weight == 2.0 for s in heavier.inputs)
+        bigger = spec.with_guardband(2.5)
+        assert bigger.guardband == 2.5
+        ranged = spec.with_output_ranges([5.0, 4.0, 0.5, 30.0])
+        assert ranged.outputs[0].value_range == 5.0
+
+    def test_interface_exchange_covers_externals(self):
+        hw = hardware_layer_spec()
+        sw = software_layer_spec()
+        for_hw, for_sw, _ = exchange_interfaces(
+            hw.interface_record(), sw.interface_record()
+        )
+        published_to_hw = {s.name for s in for_hw}
+        assert set(hw.external_names()) <= published_to_hw
+        published_to_sw = {s.name for s in for_sw}
+        assert set(sw.external_names()) <= published_to_sw
+
+    def test_describe_renders(self):
+        text = hardware_layer_spec().describe()
+        assert "freq_big" in text
+        assert "guardband" in text
+
+
+@pytest.mark.slow
+class TestDesignFlow:
+    def test_two_layer_design(self, design_context):
+        hw, sw, common = design_two_layer_system(
+            hardware_layer_spec(design_context.spec),
+            software_layer_spec(design_context.spec),
+            design_context.characterization,
+            reduce_to=20,
+        )
+        assert hw.controller.state_machine.n_states <= 20
+        assert sw.controller.state_machine.n_states <= 20
+        assert hw.controller.state_machine.is_stable()
+        assert sw.controller.state_machine.is_stable()
+
+    def test_hw_design_matches_paper_structure(self, hw_design):
+        """The runtime state machine has the paper's Eq. 3-4 shape."""
+        sm = hw_design.controller.state_machine
+        assert sm.n_outputs == 4  # I = 4 inputs actuated
+        assert sm.n_inputs == 4 + 3  # O + E signals
+        assert sm.n_states <= 20  # N = 20 in the paper
+
+    def test_design_reports_mu_and_fit(self, hw_design):
+        assert hw_design.dk_result.mu.peak_upper > 0
+        assert "fit per output" in hw_design.model_fit.summary()
+
+    def test_controller_responds_sanely(self, hw_design):
+        """Sustained want-more-of-everything must not wedge at minimum."""
+        import copy
+
+        ctrl = copy.deepcopy(hw_design.controller)
+        ctrl.reset()
+        ctrl.set_targets([5.0, 3.0, 0.25, 77.0])
+        u = None
+        for _ in range(60):
+            u = ctrl.step([1.5, 0.8, 0.1, 55.0], [5.0, 1.5, 1.0])
+        n_big, n_little, f_big, f_little = u
+        assert f_big > 0.3  # not wedged at the minimum frequency
+        assert n_big >= 2

@@ -1,0 +1,77 @@
+"""Tests for the per-figure experiment modules (quick configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig15, fig16, fig17, hwcost, tables
+
+
+class TestTables:
+    def test_table1_marks_yukta_choices(self):
+        text = tables.table1()
+        assert "*MIMO*" in text
+        assert "*SSV*" in text
+        assert "*Collaborative*" in text
+
+    def test_table2_lists_hw_signals(self):
+        text = tables.table2()
+        assert "freq_big" in text
+        assert "+-40%" in text
+
+    def test_table3_lists_sw_signals(self):
+        text = tables.table3()
+        assert "n_threads_big" in text
+        assert "+-50%" in text
+
+    def test_table4_covers_all_schemes(self):
+        text = tables.table4()
+        for scheme in ("coordinated-heuristic", "yukta-hwssv-osssv",
+                       "monolithic-lqg"):
+            assert scheme in text
+
+
+@pytest.mark.slow
+class TestSensitivityModules:
+    def test_fixed_target_run_produces_series(self, design_context):
+        times, perf, records = fig15.run_fixed_targets(
+            design_context, max_time=40.0
+        )
+        assert len(times) == len(perf)
+        assert len(times) > 20
+        assert np.all(np.diff(times) > 0)
+
+    def test_fig16_synthesis_sweep(self, design_context):
+        result = fig16.run(design_context, include_exd=False,
+                           guardbands=[0.4, 2.5])
+        assert set(result.gamma) == {0.4, 2.5}
+        # Robust-control headline: huge guardbands still synthesize, with
+        # achieved bounds growing slowly.
+        assert result.achieved_bounds[2.5] < 1.5
+        assert "guardband" in result.render()
+
+    def test_hwcost_matches_paper_scale(self, design_context):
+        result = hwcost.run(design_context)
+        assert result.n_states <= 20
+        assert result.macs < 1500
+        assert result.fixed_point_error < 1e-2
+        assert "VI-D" in result.render()
+
+
+@pytest.mark.slow
+class TestVariantContexts:
+    def test_variant_shares_characterization(self, design_context):
+        variant = design_context.variant(guardband_override=1.0)
+        assert variant.characterization is design_context.characterization
+        assert variant.hw_design is None  # designs are not shared
+
+    def test_bounds_override_changes_spec(self, design_context):
+        variant = design_context.variant(
+            bounds_override=[0.5, 0.25, 0.25, 0.25]
+        )
+        spec = variant._hw_spec()
+        assert spec.outputs[0].bound_fraction == 0.5
+
+    def test_weight_override_changes_spec(self, design_context):
+        variant = design_context.variant(input_weight_override=2.0)
+        spec = variant._hw_spec()
+        assert all(s.weight == 2.0 for s in spec.inputs)

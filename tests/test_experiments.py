@@ -1,0 +1,126 @@
+"""Tests for the experiment harness: metrics, schemes, runner, figures."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    COORDINATED_HEURISTIC,
+    SCHEMES,
+    YUKTA_HW_SSV_OS_SSV,
+    build_session,
+    instantiate_workload,
+    normalize_to,
+    oscillation_stats,
+    run_workload,
+    scheme_descriptions,
+)
+from repro.experiments.metrics import RunMetrics
+from repro.experiments.report import render_bars, render_series, render_table
+
+
+class TestMetrics:
+    def test_exd_product(self):
+        m = RunMetrics("s", "w", execution_time=10.0, energy=50.0, completed=True)
+        assert m.exd == pytest.approx(500.0)
+        assert m.ed2 == pytest.approx(5000.0)
+
+    def test_normalize(self):
+        metrics = {
+            "base": RunMetrics("base", "w", 10.0, 50.0, True),
+            "other": RunMetrics("other", "w", 20.0, 50.0, True),
+        }
+        norm = normalize_to(metrics, "base")
+        assert norm["base"] == pytest.approx(1.0)
+        assert norm["other"] == pytest.approx(2.0)
+
+    def test_normalize_rejects_zero_baseline(self):
+        metrics = {"base": RunMetrics("base", "w", 0.0, 0.0, True)}
+        with pytest.raises(ValueError):
+            normalize_to(metrics, "base")
+
+    def test_oscillation_stats_counts_peaks(self):
+        series = np.array([1.0, 4.0, 1.0, 4.0, 1.0, 4.0, 1.0, 1.0] * 4)
+        stats = oscillation_stats(series, limit=3.0)
+        assert stats["peaks_over_limit"] >= 3
+        assert stats["ripple"] > 0
+
+    def test_oscillation_stats_flat_series(self):
+        stats = oscillation_stats(np.full(100, 2.0), limit=3.0)
+        assert stats["peaks_over_limit"] == 0
+        assert stats["ripple"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestReport:
+    def test_table_alignment(self):
+        text = render_table(["a", "bb"], [["x", 1.0], ["yy", 2.5]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "|" in lines[1]
+
+    def test_bars_include_values(self):
+        text = render_bars(["one", "two"], [1.0, 0.5])
+        assert "1.00" in text
+        assert "0.50" in text
+
+    def test_series_renders(self):
+        t = np.linspace(0, 10, 100)
+        text = render_series(t, np.sin(t), "wave", width=40, height=6)
+        assert "wave" in text
+        assert "*" in text
+
+
+class TestSchemes:
+    def test_registry_complete(self):
+        descriptions = scheme_descriptions()
+        assert set(descriptions) == set(SCHEMES)
+        assert len(SCHEMES) == 6
+
+    def test_unknown_scheme_rejected(self, design_context):
+        with pytest.raises(KeyError):
+            build_session("nope", design_context)
+
+    def test_instantiate_workload_variants(self):
+        assert len(instantiate_workload("mcf")) == 1
+        assert len(instantiate_workload("blmc")) == 2
+        apps = instantiate_workload("gamess")
+        assert len(instantiate_workload(apps)) == 1
+
+
+@pytest.mark.slow
+class TestRunnerIntegration:
+    def test_sessions_for_all_schemes(self, design_context):
+        for scheme in SCHEMES:
+            session = build_session(scheme, design_context)
+            assert session.hw_controller is not None
+
+    def test_sessions_are_independent(self, design_context):
+        a = build_session(YUKTA_HW_SSV_OS_SSV, design_context)
+        b = build_session(YUKTA_HW_SSV_OS_SSV, design_context)
+        a.hw_controller.state[:] = 99.0
+        assert not np.any(b.hw_controller.state == 99.0)
+
+    def test_run_workload_completes(self, design_context):
+        metrics = run_workload(COORDINATED_HEURISTIC, "h264ref", design_context,
+                               record=True)
+        assert metrics.completed
+        assert metrics.energy > 0
+        assert "power_big" in metrics.trace
+
+    def test_yukta_run_respects_limits_on_average(self, design_context):
+        metrics = run_workload(YUKTA_HW_SSV_OS_SSV, "gamess", design_context,
+                               record=True)
+        assert metrics.completed
+        spec = design_context.spec
+        steady = metrics.trace["power_big"][len(metrics.trace["power_big"]) // 3:]
+        assert steady.mean() < spec.power_limit_big * 1.05
+        temps = metrics.trace["temperature"]
+        assert temps.mean() < spec.temp_limit + 2.0
+
+    def test_monolithic_runs(self, design_context):
+        metrics = run_workload("monolithic-lqg", "h264ref", design_context)
+        assert metrics.completed
+
+    def test_determinism(self, design_context):
+        a = run_workload(COORDINATED_HEURISTIC, "h264ref", design_context, seed=5)
+        b = run_workload(COORDINATED_HEURISTIC, "h264ref", design_context, seed=5)
+        assert a.exd == pytest.approx(b.exd)

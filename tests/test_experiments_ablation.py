@@ -1,0 +1,62 @@
+"""Tests for the coordination-channel ablation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import FrozenExternalsController
+
+
+class _SpyController:
+    def __init__(self):
+        self.external_offsets = np.array([4.0, 2.5, 2.5])
+        self.targets = np.zeros(3)
+        self.seen = []
+        self.guardband_exhausted = False
+
+    def set_targets(self, targets):
+        self.targets = np.asarray(targets, dtype=float)
+
+    def reset(self):
+        self.seen.clear()
+
+    def step(self, outputs, externals):
+        self.seen.append(np.asarray(externals, dtype=float).copy())
+        return [1.0, 2.0, 3.0]
+
+
+class TestFrozenExternals:
+    def test_externals_replaced_with_offsets(self):
+        spy = _SpyController()
+        frozen = FrozenExternalsController(spy)
+        frozen.step([0.0, 0.0, 0.0], [9.0, 9.0, 9.0])
+        assert spy.seen[-1] == pytest.approx([4.0, 2.5, 2.5])
+
+    def test_actuation_passed_through(self):
+        frozen = FrozenExternalsController(_SpyController())
+        assert frozen.step([0, 0, 0], [1, 1, 1]) == [1.0, 2.0, 3.0]
+
+    def test_targets_and_reset_delegate(self):
+        spy = _SpyController()
+        frozen = FrozenExternalsController(spy)
+        frozen.set_targets([1.0, 2.0, 3.0])
+        assert spy.targets == pytest.approx([1.0, 2.0, 3.0])
+        frozen.step([0, 0, 0], [1, 1, 1])
+        frozen.reset()
+        assert spy.seen == []
+
+    def test_exhaustion_flag_round_trips(self):
+        spy = _SpyController()
+        frozen = FrozenExternalsController(spy)
+        assert not frozen.guardband_exhausted
+        frozen.guardband_exhausted = True
+        assert spy.guardband_exhausted
+
+
+@pytest.mark.slow
+class TestAblationRun:
+    def test_single_workload(self, design_context):
+        from repro.experiments import ablation
+
+        result = ablation.run(design_context, workloads=("h264ref",))
+        assert 0.3 < result.exd_ratio["h264ref"] < 3.0
+        assert "coordination channel" in result.render()

@@ -1,0 +1,104 @@
+"""Tests for the three-layer (application/QoS) extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import QosApplication, app_layer_spec
+from repro.extensions.app_layer import make_qos_application
+
+
+class TestQosApplication:
+    def test_quality_scales_item_cost(self):
+        app = QosApplication("q", total_items=100, base_giga_per_item=1.0)
+        full = app.giga_per_item()
+        app.set_quality(0.5)
+        half = app.giga_per_item()
+        assert half < full
+        assert half == pytest.approx(1.0 * (0.35 + 0.65 * 0.5))
+
+    def test_quality_clamped(self):
+        app = QosApplication("q", total_items=10, base_giga_per_item=1.0)
+        app.set_quality(2.0)
+        assert app.quality == 1.0
+        app.set_quality(0.1)
+        assert app.quality == 0.5
+
+    def test_heartbeats_accumulate(self):
+        app = QosApplication("q", total_items=100, base_giga_per_item=1.0)
+        thread = app.runnable_threads()[0]
+        app.execute(thread, 5.0, now=1.0)
+        assert app.read_heartbeats() == pytest.approx(5.0)
+        assert app.read_heartbeats() == 0.0  # delta semantics
+
+    def test_requality_preserves_item_count(self):
+        app = QosApplication("q", total_items=100, base_giga_per_item=1.0)
+        thread = app.runnable_threads()[0]
+        app.execute(thread, 10.0, now=1.0)
+        before = app.items_completed
+        app.set_quality(0.5)
+        # Completed items are untouched; remaining pool is re-priced.
+        assert app.items_completed == before
+        remaining_items = app.pool_remaining / app.giga_per_item()
+        assert remaining_items == pytest.approx(100 - before)
+
+    def test_completes_at_total_items(self):
+        app = QosApplication("q", total_items=10, base_giga_per_item=1.0)
+        thread = app.runnable_threads()[0]
+        app.execute(thread, 100.0, now=2.0)
+        assert app.done
+        assert app.items_completed == 10
+
+    def test_max_threads_limits_runnable(self):
+        app = QosApplication("q", total_items=100, base_giga_per_item=1.0,
+                             max_threads=8)
+        app.set_max_threads(3)
+        assert len(app.runnable_threads()) == 3
+
+    def test_lower_quality_finishes_faster_on_board(self):
+        from repro.board import Board
+
+        def run(quality):
+            app = make_qos_application(total_items=150)
+            app.set_quality(quality)
+            board = Board(app, seed=2, record=False)
+            board.run(max_time=400.0)
+            return board.time
+
+        assert run(0.5) < run(1.0)
+
+
+class TestAppLayerSpec:
+    def test_spec_structure(self):
+        spec = app_layer_spec()
+        assert spec.name == "application"
+        assert spec.input_names() == ["quality", "requested_threads"]
+        assert spec.output_names() == ["heartbeat_rate", "delivered_quality"]
+        # Neighbour-only communication: externals come from the software
+        # layer, never the hardware layer.
+        assert all(s.source_layer == "software" for s in spec.externals)
+
+    def test_qos_is_the_critical_output(self):
+        spec = app_layer_spec()
+        by_name = {s.name: s for s in spec.outputs}
+        assert by_name["heartbeat_rate"].bound_fraction < \
+            by_name["delivered_quality"].bound_fraction
+
+    def test_quality_knob_quantized(self):
+        spec = app_layer_spec()
+        quality = spec.inputs[0].allowed
+        assert quality.low == 0.5
+        assert quality.high == 1.0
+        assert quality.snap(0.83) == pytest.approx(0.85)
+
+
+@pytest.mark.slow
+class TestThreeLayerIntegration:
+    def test_design_and_feasible_tracking(self, design_context):
+        from repro.experiments import three_layer
+
+        result = three_layer.run(design_context, targets=(3.5,),
+                                 app_samples=120)
+        row = result.by_label("three-layer @ 3.5")
+        assert abs(row[2] - 3.5) < 0.9  # heartbeat near target
+        assert 0.5 <= row[3] <= 1.0  # quality inside the knob range
+        assert "three layers" in result.render()

@@ -1,0 +1,86 @@
+"""Tests for the gain-scheduling machinery."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import GainScheduledController, capacity_utilization
+
+
+class _ConstController:
+    def __init__(self, actuation):
+        self.actuation = list(actuation)
+        self.targets = np.zeros(4)
+        self.reset_count = 0
+
+    def set_targets(self, targets):
+        self.targets = np.asarray(targets, dtype=float)
+
+    def reset(self):
+        self.reset_count += 1
+
+    def step(self, outputs, externals):
+        return list(self.actuation)
+
+
+def _selector_on_first_output(outputs, externals, last):
+    return "memory" if outputs[0] < 1.0 else "compute"
+
+
+@pytest.fixture
+def scheduled():
+    return GainScheduledController(
+        {"compute": _ConstController([1, 1, 1, 1]),
+         "memory": _ConstController([2, 2, 2, 2])},
+        _selector_on_first_output,
+        hysteresis=3,
+    )
+
+
+class TestCapacityUtilization:
+    def test_full_utilization(self):
+        # 4 big at 2 GHz / cpi 1.15 -> peak ~6.96; delivered the same.
+        peak = 4 * 2.0 / 1.15
+        assert capacity_utilization(peak, 4, 0, 2.0, 0.0) == pytest.approx(1.0)
+
+    def test_memory_bound_reads_low(self):
+        assert capacity_utilization(2.0, 4, 4, 2.0, 1.4) < 0.3
+
+
+class TestGainScheduledController:
+    def test_starts_on_initial_member(self, scheduled):
+        assert scheduled.step([5.0], []) == [1, 1, 1, 1]
+        assert scheduled.active == "compute"
+
+    def test_hysteresis_delays_switch(self, scheduled):
+        for _ in range(2):
+            assert scheduled.step([0.1], []) == [1, 1, 1, 1]
+        # Third consecutive memory vote flips the active member.
+        assert scheduled.step([0.1], []) == [2, 2, 2, 2]
+        assert scheduled.active == "memory"
+        assert scheduled.switches == 1
+
+    def test_votes_reset_on_agreement(self, scheduled):
+        scheduled.step([0.1], [])
+        scheduled.step([0.1], [])
+        scheduled.step([5.0], [])  # agreement with active resets the count
+        scheduled.step([0.1], [])
+        scheduled.step([0.1], [])
+        assert scheduled.active == "compute"  # never reached 3 in a row
+
+    def test_targets_broadcast(self, scheduled):
+        scheduled.set_targets([1, 2, 3, 4])
+        for member in scheduled.members.values():
+            assert member.targets == pytest.approx([1, 2, 3, 4])
+
+    def test_reset_propagates(self, scheduled):
+        scheduled.step([0.1], [])
+        scheduled.reset()
+        assert all(m.reset_count == 1 for m in scheduled.members.values())
+        assert scheduled.switches == 0
+
+    def test_rejects_unknown_initial(self):
+        with pytest.raises(ValueError):
+            GainScheduledController(
+                {"compute": _ConstController([1])},
+                _selector_on_first_output, initial="nope",
+            )

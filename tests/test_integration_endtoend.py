@@ -1,0 +1,98 @@
+"""End-to-end integration: the paper's qualitative claims on a small scale.
+
+These are the load-bearing shape checks from DESIGN.md Sec. 6, run on the
+shared session context: SSV control quality (no limit violations, low
+ripple), decoupled destructive interference (emergency trips), and the
+design pipeline's structural guarantees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    COORDINATED_HEURISTIC,
+    DECOUPLED_HEURISTIC,
+    YUKTA_HW_SSV_OS_SSV,
+    run_workload,
+)
+from repro.experiments.metrics import oscillation_stats
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def blackscholes_runs(design_context):
+    runs = {}
+    for scheme in (COORDINATED_HEURISTIC, DECOUPLED_HEURISTIC,
+                   YUKTA_HW_SSV_OS_SSV):
+        runs[scheme] = run_workload(scheme, "blackscholes", design_context,
+                                    record=True)
+    return runs
+
+
+class TestControlQuality:
+    """The Fig. 10/11 headline: SSV control eliminates limit violations."""
+
+    def test_all_schemes_complete(self, blackscholes_runs):
+        for metrics in blackscholes_runs.values():
+            assert metrics.completed
+
+    def test_decoupled_trips_emergency_yukta_does_not(self, blackscholes_runs):
+        assert blackscholes_runs[DECOUPLED_HEURISTIC].notes["emergency_trips"] > 0
+        assert blackscholes_runs[YUKTA_HW_SSV_OS_SSV].notes["emergency_trips"] == 0
+
+    def test_yukta_has_least_power_ripple(self, blackscholes_runs, design_context):
+        limit = design_context.spec.power_limit_big
+        stats = {
+            scheme: oscillation_stats(m.trace["power_big"], limit=limit)
+            for scheme, m in blackscholes_runs.items()
+        }
+        yukta = stats[YUKTA_HW_SSV_OS_SSV]
+        decoupled = stats[DECOUPLED_HEURISTIC]
+        assert yukta["ripple"] < decoupled["ripple"]
+        assert yukta["peaks_over_limit"] <= decoupled["peaks_over_limit"]
+
+    def test_yukta_respects_limits_in_steady_state(self, blackscholes_runs,
+                                                   design_context):
+        trace = blackscholes_runs[YUKTA_HW_SSV_OS_SSV].trace
+        spec = design_context.spec
+        half = len(trace["power_big"]) // 2
+        assert trace["power_big"][half:].mean() <= spec.power_limit_big
+        assert trace["temperature"][half:].max() <= spec.emergency_temp_trip
+
+
+class TestDesignPipelineStructure:
+    def test_runtime_matches_paper_dimensions(self, hw_design, sw_design):
+        hw_sm = hw_design.controller.state_machine
+        sw_sm = sw_design.controller.state_machine
+        assert hw_sm.n_states <= 20 and hw_sm.is_stable()
+        assert sw_sm.n_states <= 20 and sw_sm.is_stable()
+        assert (hw_sm.n_inputs, hw_sm.n_outputs) == (7, 4)
+        assert (sw_sm.n_inputs, sw_sm.n_outputs) == (7, 3)
+
+    def test_synthesis_closed_loops_verified(self, hw_design, sw_design):
+        for design in (hw_design, sw_design):
+            hinf = design.dk_result.hinf
+            assert hinf.closed_loop.is_stable()
+            assert hinf.achieved_norm <= hinf.gamma * 1.02
+
+    def test_mu_bounds_consistent(self, hw_design):
+        mu = hw_design.dk_result.mu
+        assert np.all(mu.lower <= mu.upper + 1e-6)
+        assert mu.peak_upper == pytest.approx(mu.upper.max())
+
+    def test_controllers_emit_legal_actuation(self, hw_design):
+        import copy
+
+        ctrl = copy.deepcopy(hw_design.controller)
+        ctrl.reset()
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            outputs = [
+                rng.uniform(0.5, 8.0), rng.uniform(0.2, 6.0),
+                rng.uniform(0.02, 0.6), rng.uniform(45, 85),
+            ]
+            u = ctrl.step(outputs, [rng.uniform(0, 8), rng.uniform(1, 4),
+                                    rng.uniform(1, 4)])
+            for value, allowed in zip(u, ctrl.input_ranges):
+                assert allowed.contains(value)

@@ -1,0 +1,139 @@
+"""Tests for Lyapunov machinery, norms, bilinear transforms, reduction."""
+
+import numpy as np
+import pytest
+
+from repro.lti import (
+    StateSpace,
+    balanced_truncation,
+    continuous_to_discrete,
+    controllability_gramian,
+    discrete_to_continuous,
+    h2_norm,
+    hankel_singular_values,
+    hinf_norm,
+    is_controllable,
+    is_observable,
+    linf_norm_grid,
+    lyapunov_solve,
+    observability_gramian,
+    ss,
+    stable_unstable_split,
+    static_gain,
+)
+
+
+class TestLyapunov:
+    def test_discrete_identity(self):
+        A = np.array([[0.5]])
+        Q = np.array([[1.0]])
+        X = lyapunov_solve(A, Q, discrete=True)
+        assert A @ X @ A.T - X + Q == pytest.approx(np.zeros((1, 1)))
+
+    def test_continuous_identity(self):
+        A = np.array([[-2.0]])
+        Q = np.array([[4.0]])
+        X = lyapunov_solve(A, Q, discrete=False)
+        assert X[0, 0] == pytest.approx(1.0)
+
+    def test_gramian_requires_stability(self):
+        unstable = ss([[1.5]], [[1.0]], [[1.0]], dt=1.0)
+        with pytest.raises(ValueError, match="stable"):
+            controllability_gramian(unstable)
+
+    def test_gramians_psd(self, stable_discrete_system):
+        for gram in (controllability_gramian(stable_discrete_system),
+                     observability_gramian(stable_discrete_system)):
+            assert np.min(np.linalg.eigvalsh(gram)) >= -1e-10
+
+    def test_controllability_detects_unreachable_mode(self):
+        sys_ = ss([[0.5, 0.0], [0.0, 0.3]], [[1.0], [0.0]], [[1.0, 1.0]], dt=1.0)
+        assert not is_controllable(sys_)
+        assert is_observable(sys_)
+
+
+class TestNorms:
+    def test_h2_first_order(self):
+        # Continuous 1/(s+a): H2^2 = 1/(2a).
+        sys_ = ss([[-2.0]], [[1.0]], [[1.0]])
+        assert h2_norm(sys_) == pytest.approx(np.sqrt(1.0 / 4.0))
+
+    def test_h2_unstable_is_inf(self):
+        assert h2_norm(ss([[0.5]], [[1.0]], [[1.0]])) == np.inf
+
+    def test_hinf_first_order_continuous(self):
+        # |k/(jw+a)| peaks at DC: k/a.
+        sys_ = ss([[-2.0]], [[1.0]], [[3.0]])
+        assert hinf_norm(sys_) == pytest.approx(1.5, rel=1e-3)
+
+    def test_hinf_first_order_discrete(self):
+        # k/(z-a) peaks at z=1: k/(1-a).
+        sys_ = ss([[0.5]], [[1.0]], [[1.0]], dt=1.0)
+        assert hinf_norm(sys_) == pytest.approx(2.0, rel=1e-3)
+
+    def test_hinf_static(self):
+        gain = static_gain([[3.0, 0.0], [0.0, 1.0]])
+        assert hinf_norm(gain) == pytest.approx(3.0)
+
+    def test_hinf_above_grid_lower_bound(self, stable_discrete_system):
+        assert hinf_norm(stable_discrete_system) >= linf_norm_grid(
+            stable_discrete_system
+        ) * (1 - 1e-6)
+
+    def test_hinf_unstable_is_inf(self):
+        assert hinf_norm(ss([[1.2]], [[1.0]], [[1.0]], dt=1.0)) == np.inf
+
+
+class TestBilinear:
+    def test_roundtrip_exact(self, stable_discrete_system):
+        cont = discrete_to_continuous(stable_discrete_system)
+        back = continuous_to_discrete(cont, stable_discrete_system.dt)
+        assert back.A == pytest.approx(stable_discrete_system.A)
+        assert back.B == pytest.approx(stable_discrete_system.B)
+        assert back.C == pytest.approx(stable_discrete_system.C)
+        assert back.D == pytest.approx(stable_discrete_system.D)
+
+    def test_preserves_stability(self, stable_discrete_system):
+        assert discrete_to_continuous(stable_discrete_system).is_stable()
+
+    def test_preserves_hinf_norm(self, stable_discrete_system):
+        cont = discrete_to_continuous(stable_discrete_system)
+        assert hinf_norm(cont) == pytest.approx(
+            hinf_norm(stable_discrete_system), rel=5e-3
+        )
+
+    def test_dc_gain_preserved(self, stable_discrete_system):
+        cont = discrete_to_continuous(stable_discrete_system)
+        assert cont.dc_gain() == pytest.approx(stable_discrete_system.dc_gain())
+
+
+class TestReduction:
+    def test_hankel_values_sorted(self, stable_discrete_system):
+        hsv = hankel_singular_values(stable_discrete_system)
+        assert np.all(np.diff(hsv) <= 1e-12)
+
+    def test_truncation_error_within_bound(self, stable_discrete_system):
+        reduced, bound = balanced_truncation(stable_discrete_system, 2)
+        assert reduced.n_states == 2
+        error = hinf_norm(stable_discrete_system - reduced)
+        assert error <= bound * (1 + 1e-6)
+
+    def test_truncation_noop_at_full_order(self, stable_discrete_system):
+        reduced, bound = balanced_truncation(stable_discrete_system, 10)
+        assert reduced is stable_discrete_system
+        assert bound == 0.0
+
+    def test_split_all_stable(self, stable_discrete_system):
+        stable, unstable = stable_unstable_split(stable_discrete_system)
+        assert unstable is None
+        assert stable is stable_discrete_system
+
+    def test_split_mixed(self):
+        sys_ = ss([[0.5, 0.0], [0.0, 1.5]], [[1.0], [1.0]], [[1.0, 1.0]], dt=1.0)
+        stable, unstable = stable_unstable_split(sys_)
+        assert stable.n_states == 1
+        assert unstable.n_states == 1
+        # Additive decomposition must reproduce the transfer function.
+        z = np.exp(1j * 0.3)
+        total = stable.frequency_response(z) + unstable.frequency_response(z)
+        assert total == pytest.approx(sys_.frequency_response(z))

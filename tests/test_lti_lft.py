@@ -1,0 +1,95 @@
+"""Tests for linear fractional transformations."""
+
+import numpy as np
+import pytest
+
+from repro.lti import (
+    PartitionedSystem,
+    StateSpace,
+    lft_lower,
+    lft_upper,
+    matrix_lft_lower,
+    matrix_lft_upper,
+    ss,
+    static_gain,
+)
+
+
+def _random_partitioned(rng, n=3, n_w=2, n_z=2, n_u=1, n_y=1, dt=1.0):
+    A = rng.normal(size=(n, n))
+    A *= 0.7 / max(np.max(np.abs(np.linalg.eigvals(A))), 1e-9)
+    B = rng.normal(size=(n, n_w + n_u))
+    C = rng.normal(size=(n_z + n_y, n))
+    D = np.zeros((n_z + n_y, n_w + n_u))
+    D[:n_z, :n_w] = rng.normal(size=(n_z, n_w))
+    return PartitionedSystem(StateSpace(A, B, C, D, dt=dt), n_w=n_w, n_z=n_z)
+
+
+class TestPartition:
+    def test_blocks_shapes(self, rng):
+        plant = _random_partitioned(rng)
+        A, B1, B2, C1, C2, D11, D12, D21, D22 = plant.blocks()
+        assert B1.shape == (3, 2)
+        assert B2.shape == (3, 1)
+        assert C1.shape == (2, 3)
+        assert C2.shape == (1, 3)
+        assert D11.shape == (2, 2)
+
+    def test_rejects_bad_partition(self, rng):
+        plant = _random_partitioned(rng)
+        with pytest.raises(ValueError):
+            PartitionedSystem(plant.system, n_w=99, n_z=1)
+
+
+class TestLowerLFT:
+    def test_static_case_matches_formula(self, rng):
+        # Static plant, static controller: closed form available.
+        M = rng.normal(size=(3, 3)) * 0.3
+        K = np.array([[0.4]])
+        plant = PartitionedSystem(static_gain(M, dt=1.0), n_w=2, n_z=2)
+        controller = static_gain(K, dt=1.0)
+        closed = lft_lower(plant, controller)
+        expected = matrix_lft_lower(M, K, n_w=2, n_z=2)
+        assert closed.dc_gain() == pytest.approx(expected)
+
+    def test_dimensions(self, rng):
+        plant = _random_partitioned(rng)
+        controller = ss([[0.3]], [[1.0]], [[0.5]], dt=1.0)
+        closed = lft_lower(plant, controller)
+        assert closed.n_inputs == plant.n_w
+        assert closed.n_outputs == plant.n_z
+
+    def test_rejects_dim_mismatch(self, rng):
+        plant = _random_partitioned(rng)
+        controller = ss([[0.3]], np.ones((1, 2)), np.ones((2, 1)), dt=1.0)
+        with pytest.raises(ValueError):
+            lft_lower(plant, controller)
+
+    def test_frequency_response_consistency(self, rng):
+        """F_l at each frequency equals the matrix LFT of the responses."""
+        plant = _random_partitioned(rng)
+        controller = ss([[0.2]], [[1.0]], [[0.7]], [[0.1]], dt=1.0)
+        closed = lft_lower(plant, controller)
+        z = np.exp(1j * 0.4)
+        P = plant.system.frequency_response(z)
+        K = controller.frequency_response(z)
+        expected = matrix_lft_lower(P, K, n_w=plant.n_w, n_z=plant.n_z)
+        assert closed.frequency_response(z) == pytest.approx(expected)
+
+
+class TestUpperLFT:
+    def test_matrix_upper_identity_delta(self, rng):
+        M = rng.normal(size=(4, 4)) * 0.2
+        Delta = np.zeros((2, 2))
+        # Zero perturbation: F_u = M22.
+        result = matrix_lft_upper(M, Delta, n_d=2, n_f=2)
+        assert result == pytest.approx(M[2:, 2:])
+
+    def test_system_upper_consistency(self, rng):
+        plant = _random_partitioned(rng)
+        delta = static_gain([[0.3, 0.0], [0.0, -0.2]], dt=1.0)
+        closed = lft_upper(plant, delta)
+        z = np.exp(1j * 0.6)
+        P = plant.system.frequency_response(z)
+        expected = matrix_lft_upper(P, delta.D, n_d=plant.n_w, n_f=plant.n_z)
+        assert closed.frequency_response(z) == pytest.approx(expected)

@@ -1,0 +1,54 @@
+"""Tests for time-domain response helpers."""
+
+import numpy as np
+import pytest
+
+from repro.lti import impulse_response, ss, step_info, step_response
+
+
+class TestStepResponse:
+    def test_first_order_discrete(self):
+        # y[k+1] = 0.5 y[k] + 0.5 u: step settles at 1.
+        sys_ = ss([[0.5]], [[0.5]], [[1.0]], dt=1.0)
+        times, ys = step_response(sys_, steps=50)
+        assert ys[-1, 0] == pytest.approx(1.0, abs=1e-6)
+        assert times[1] - times[0] == pytest.approx(1.0)
+
+    def test_continuous_autodiscretized(self):
+        sys_ = ss([[-2.0]], [[2.0]], [[1.0]])
+        times, ys = step_response(sys_)
+        assert ys[-1, 0] == pytest.approx(1.0, rel=1e-2)
+
+    def test_channel_selection(self):
+        sys_ = ss([[0.5]], [[1.0, 0.0]], [[1.0]], dt=1.0)
+        _, ys = step_response(sys_, steps=30, input_channel=1)
+        assert np.allclose(ys, 0.0)  # second input has no effect
+
+    def test_impulse_integrates_to_dc_gain(self):
+        sys_ = ss([[0.5]], [[0.5]], [[1.0]], dt=1.0)
+        times, ys = impulse_response(sys_, steps=100)
+        # Sum of impulse response * dt = DC gain for a stable system.
+        assert np.sum(ys[:, 0]) * 1.0 == pytest.approx(
+            sys_.dc_gain()[0, 0], rel=1e-6
+        )
+
+
+class TestStepInfo:
+    def test_first_order_metrics(self):
+        # Continuous 1/(s+1): rise ~ ln(9) s, no overshoot.
+        sys_ = ss([[-1.0]], [[1.0]], [[1.0]])
+        info = step_info(sys_, dt=0.01)
+        assert info.final_value == pytest.approx(1.0)
+        assert info.rise_time == pytest.approx(np.log(9.0), rel=0.05)
+        assert info.overshoot_percent == pytest.approx(0.0, abs=0.5)
+        assert "settle" in info.summary()
+
+    def test_underdamped_overshoots(self):
+        # 1/(s^2 + 0.4 s + 1): damping 0.2 -> ~52% overshoot.
+        sys_ = ss([[0.0, 1.0], [-1.0, -0.4]], [[0.0], [1.0]], [[1.0, 0.0]])
+        info = step_info(sys_, dt=0.02)
+        assert 35.0 < info.overshoot_percent < 65.0
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="stable"):
+            step_info(ss([[0.1]], [[1.0]], [[1.0]]))

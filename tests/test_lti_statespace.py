@@ -1,0 +1,170 @@
+"""Unit tests for the state-space core."""
+
+import numpy as np
+import pytest
+
+from repro.lti import StateSpace, append, feedback, parallel, series, ss, static_gain
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        sys_ = StateSpace([[0.5]], [[1.0, 2.0]], [[1.0], [2.0]])
+        assert sys_.n_states == 1
+        assert sys_.n_inputs == 2
+        assert sys_.n_outputs == 2
+        assert not sys_.is_discrete
+
+    def test_default_d_is_zero(self):
+        sys_ = StateSpace([[0.5]], [[1.0]], [[1.0]])
+        assert np.all(sys_.D == 0.0)
+
+    def test_rejects_nonsquare_a(self):
+        with pytest.raises(ValueError, match="square"):
+            StateSpace([[1.0, 2.0]], [[1.0]], [[1.0]])
+
+    def test_rejects_mismatched_b(self):
+        with pytest.raises(ValueError):
+            StateSpace([[0.5]], [[1.0], [2.0]], [[1.0]])
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError, match="dt"):
+            StateSpace([[0.5]], [[1.0]], [[1.0]], dt=0.0)
+
+    def test_static_gain_has_no_states(self):
+        gain = static_gain([[2.0, 0.0], [0.0, 3.0]])
+        assert gain.n_states == 0
+        assert np.allclose(gain.dc_gain(), [[2.0, 0.0], [0.0, 3.0]])
+
+
+class TestStabilityAndPoles:
+    def test_discrete_stability(self):
+        assert ss([[0.9]], [[1.0]], [[1.0]], dt=1.0).is_stable()
+        assert not ss([[1.1]], [[1.0]], [[1.0]], dt=1.0).is_stable()
+
+    def test_continuous_stability(self):
+        assert ss([[-1.0]], [[1.0]], [[1.0]]).is_stable()
+        assert not ss([[0.1]], [[1.0]], [[1.0]]).is_stable()
+
+    def test_spectral_radius(self):
+        sys_ = ss([[0.5, 0.0], [0.0, -0.7]], np.eye(2), np.eye(2), dt=1.0)
+        assert sys_.spectral_radius() == pytest.approx(0.7)
+
+    def test_empty_system_is_stable(self):
+        assert static_gain([[1.0]]).is_stable()
+
+
+class TestSimulation:
+    def test_step_first_order(self):
+        # x' = 0.5x + u, y = x : step response 1, 1.5, 1.75 ...
+        sys_ = ss([[0.5]], [[1.0]], [[1.0]], dt=1.0)
+        _, ys = sys_.simulate(np.ones((4, 1)))
+        assert ys[:, 0] == pytest.approx([0.0, 1.0, 1.5, 1.75])
+
+    def test_simulate_rejects_wrong_channels(self):
+        sys_ = ss([[0.5]], [[1.0]], [[1.0]], dt=1.0)
+        with pytest.raises(ValueError, match="channels"):
+            sys_.simulate(np.ones((4, 2)))
+
+    def test_step_requires_discrete(self):
+        sys_ = ss([[-0.5]], [[1.0]], [[1.0]])
+        with pytest.raises(ValueError, match="discrete"):
+            sys_.step(np.zeros(1), np.zeros(1))
+
+    def test_dc_gain_matches_steady_state(self, stable_discrete_system):
+        sys_ = stable_discrete_system
+        _, ys = sys_.simulate(np.ones((400, sys_.n_inputs)))
+        assert ys[-1] == pytest.approx(sys_.dc_gain().sum(axis=1), rel=1e-3)
+
+
+class TestAlgebra:
+    def test_series_matches_response_product(self):
+        g1 = ss([[0.5]], [[1.0]], [[1.0]], dt=1.0)
+        g2 = ss([[0.2]], [[1.0]], [[2.0]], dt=1.0)
+        chained = series(g1, g2)
+        z = np.exp(1j * 0.3)
+        expected = g2.frequency_response(z) @ g1.frequency_response(z)
+        assert chained.frequency_response(z) == pytest.approx(expected)
+
+    def test_parallel_adds_responses(self):
+        g1 = ss([[0.5]], [[1.0]], [[1.0]], dt=1.0)
+        g2 = ss([[0.2]], [[1.0]], [[2.0]], dt=1.0)
+        summed = parallel(g1, g2)
+        z = np.exp(1j * 0.7)
+        expected = g1.frequency_response(z) + g2.frequency_response(z)
+        assert summed.frequency_response(z) == pytest.approx(expected)
+
+    def test_mixed_dt_rejected(self):
+        g1 = ss([[0.5]], [[1.0]], [[1.0]], dt=1.0)
+        g2 = ss([[0.5]], [[1.0]], [[1.0]], dt=0.5)
+        with pytest.raises(ValueError, match="dt"):
+            g1 * g2
+
+    def test_feedback_dc_gain(self):
+        # G = 2/(z-0.5); closed loop DC = G/(1+G) at z=1 -> 4/(1+4) = 0.8.
+        g = ss([[0.5]], [[1.0]], [[2.0]], dt=1.0)
+        closed = feedback(g)
+        assert closed.dc_gain()[0, 0] == pytest.approx(0.8)
+
+    def test_feedback_positive_sign(self):
+        g = ss([[0.5]], [[1.0]], [[0.2]], dt=1.0)
+        closed = feedback(g, sign=+1)
+        # G/(1-G) at DC: G(1)=0.4 -> 0.4/0.6
+        assert closed.dc_gain()[0, 0] == pytest.approx(0.4 / 0.6)
+
+    def test_append_block_diagonal(self):
+        g1 = ss([[0.5]], [[1.0]], [[1.0]], dt=1.0)
+        g2 = ss([[0.2]], [[1.0]], [[1.0]], dt=1.0)
+        combo = append(g1, g2)
+        assert combo.n_inputs == 2
+        assert combo.n_outputs == 2
+        z = np.exp(1j * 0.4)
+        resp = combo.frequency_response(z)
+        assert resp[0, 1] == pytest.approx(0.0)
+        assert resp[1, 0] == pytest.approx(0.0)
+
+    def test_subsystem_selects_channels(self, stable_discrete_system):
+        sub = stable_discrete_system.subsystem(outputs=[0], inputs=[1])
+        z = np.exp(1j * 0.2)
+        full = stable_discrete_system.frequency_response(z)
+        assert sub.frequency_response(z)[0, 0] == pytest.approx(full[0, 1])
+
+    def test_similarity_transform_preserves_response(self, stable_discrete_system, rng):
+        T = rng.normal(size=(4, 4)) + 4 * np.eye(4)
+        transformed = stable_discrete_system.similarity_transform(T)
+        z = np.exp(1j * 0.5)
+        assert transformed.frequency_response(z) == pytest.approx(
+            stable_discrete_system.frequency_response(z)
+        )
+
+    def test_transpose_is_dual(self, stable_discrete_system):
+        dual = stable_discrete_system.transpose()
+        z = np.exp(1j * 0.1)
+        assert dual.frequency_response(z) == pytest.approx(
+            stable_discrete_system.frequency_response(z).T
+        )
+
+
+class TestDiscretization:
+    def test_zoh_first_order(self):
+        # x' = -x + u discretized at dt: Ad = e^-dt, Bd = 1 - e^-dt.
+        sys_ = ss([[-1.0]], [[1.0]], [[1.0]])
+        disc = sys_.discretize(0.3)
+        assert disc.A[0, 0] == pytest.approx(np.exp(-0.3))
+        assert disc.B[0, 0] == pytest.approx(1 - np.exp(-0.3))
+
+    def test_zoh_preserves_dc_gain(self, stable_continuous_system):
+        disc = stable_continuous_system.discretize(0.1)
+        assert disc.dc_gain() == pytest.approx(
+            stable_continuous_system.dc_gain(), rel=1e-6
+        )
+
+    def test_tustin_preserves_dc_gain(self, stable_continuous_system):
+        disc = stable_continuous_system.discretize(0.1, method="tustin")
+        assert disc.dc_gain() == pytest.approx(
+            stable_continuous_system.dc_gain(), rel=1e-6
+        )
+
+    def test_rejects_double_discretization(self):
+        sys_ = ss([[0.5]], [[1.0]], [[1.0]], dt=1.0)
+        with pytest.raises(ValueError, match="already discrete"):
+            sys_.discretize(0.1)

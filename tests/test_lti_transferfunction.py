@@ -1,0 +1,78 @@
+"""Unit tests for transfer functions and realization."""
+
+import numpy as np
+import pytest
+
+from repro.lti import TransferFunction, first_order_lag, tf, tf_to_ss
+
+
+class TestTransferFunction:
+    def test_normalizes_leading_coefficient(self):
+        g = tf([2.0], [2.0, 1.0])
+        assert g.den[0] == pytest.approx(1.0)
+        assert g.num[0] == pytest.approx(1.0)
+
+    def test_rejects_improper(self):
+        with pytest.raises(ValueError, match="proper"):
+            tf([1.0, 0.0, 0.0], [1.0, 1.0])
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError, match="denominator"):
+            tf([1.0], [0.0])
+
+    def test_evaluation(self):
+        g = tf([1.0], [1.0, 1.0])  # 1/(s+1)
+        assert g(0.0) == pytest.approx(1.0)
+        assert abs(g(1j)) == pytest.approx(1 / np.sqrt(2))
+
+    def test_poles_zeros(self):
+        g = tf([1.0, 2.0], [1.0, 3.0, 2.0])
+        assert sorted(g.poles().real) == pytest.approx([-2.0, -1.0])
+        assert g.zeros() == pytest.approx([-2.0])
+
+    def test_stability(self):
+        assert tf([1.0], [1.0, 1.0]).is_stable()
+        assert not tf([1.0], [1.0, -1.0]).is_stable()
+        assert tf([1.0], [1.0, -0.5], dt=1.0).is_stable()
+        assert not tf([1.0], [1.0, -1.5], dt=1.0).is_stable()
+
+    def test_multiplication(self):
+        g = tf([1.0], [1.0, 1.0]) * tf([1.0], [1.0, 2.0])
+        assert g.order() == 2
+        assert g(0.0) == pytest.approx(0.5)
+
+    def test_addition(self):
+        g = tf([1.0], [1.0, 1.0]) + tf([1.0], [1.0, 1.0])
+        assert g(0.0) == pytest.approx(2.0)
+
+    def test_scalar_ops(self):
+        g = 3.0 * tf([1.0], [1.0, 1.0])
+        assert g(0.0) == pytest.approx(3.0)
+
+
+class TestRealization:
+    def test_tf_to_ss_matches_response(self):
+        g = tf([2.0, 1.0], [1.0, 3.0, 2.0])
+        sys_ = tf_to_ss(g)
+        for s in (0.0, 1j, 2.0 + 1j):
+            assert sys_.frequency_response(s)[0, 0] == pytest.approx(g(s))
+
+    def test_feedthrough_split(self):
+        g = tf([1.0, 0.0], [1.0, 1.0])  # s/(s+1) = 1 - 1/(s+1)
+        sys_ = tf_to_ss(g)
+        assert sys_.D[0, 0] == pytest.approx(1.0)
+
+    def test_static_tf(self):
+        sys_ = tf([5.0], [1.0]).to_ss()
+        assert sys_.n_states == 0
+        assert sys_.D[0, 0] == pytest.approx(5.0)
+
+    def test_first_order_lag_dc_and_properness(self):
+        lag = first_order_lag(2.5, 0.6, dt=0.5)
+        assert lag.is_discrete
+        assert lag.dc_gain()[0, 0] == pytest.approx(2.5)
+        assert lag.D[0, 0] == pytest.approx(0.0)  # strictly proper
+
+    def test_first_order_lag_rejects_bad_pole(self):
+        with pytest.raises(ValueError, match="pole"):
+            first_order_lag(1.0, 1.5, dt=0.5)

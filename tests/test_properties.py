@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lti import StateSpace, feedback, hinf_norm, linf_norm_grid, static_gain
+from repro.robust import BlockStructure, UncertaintyBlock, mu_lower_bound, mu_upper_bound
+from repro.signals import QuantizedRange
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestQuantizedRangeProperties:
+    @given(
+        low=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        span=st.floats(min_value=0.1, max_value=20, allow_nan=False),
+        step=st.floats(min_value=0.01, max_value=5, allow_nan=False),
+        value=finite_floats,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_snap_always_legal_and_idempotent(self, low, span, step, value):
+        qr = QuantizedRange(low, low + span, step=step)
+        snapped = qr.snap(value)
+        assert qr.low - 1e-9 <= snapped <= qr.high + 1e-9
+        assert qr.contains(snapped)
+        assert qr.snap(snapped) == pytest.approx(snapped)
+
+    @given(
+        low=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        span=st.floats(min_value=0.1, max_value=20, allow_nan=False),
+        step=st.floats(min_value=0.01, max_value=5, allow_nan=False),
+        value=finite_floats,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_snap_error_within_radius(self, low, span, step, value):
+        qr = QuantizedRange(low, low + span, step=step)
+        clamped = qr.clamp(value)
+        assert abs(qr.snap(value) - clamped) <= qr.quantization_radius() + 1e-9
+
+    @given(
+        levels=st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False),
+                        min_size=1, max_size=8, unique=True),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_explicit_levels_sorted_and_snappable(self, levels):
+        qr = QuantizedRange(min(levels), max(levels), levels=levels)
+        assert np.all(np.diff(qr.levels) >= 0)
+        for level in levels:
+            assert qr.snap(level) == pytest.approx(level)
+
+
+def _random_stable(seed, n=3, dt=1.0):
+    gen = np.random.default_rng(seed)
+    A = gen.normal(size=(n, n))
+    A *= 0.75 / max(np.max(np.abs(np.linalg.eigvals(A))), 1e-9)
+    return StateSpace(A, gen.normal(size=(n, 2)), gen.normal(size=(2, n)),
+                      gen.normal(size=(2, 2)) * 0.1, dt=dt)
+
+
+class TestSystemProperties:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_hinf_upper_bounds_grid(self, seed):
+        sys_ = _random_stable(seed)
+        # hinf_norm bisects to a 1e-4 relative tolerance, so allow that
+        # much slack against the gridded lower bound.
+        assert hinf_norm(sys_) >= linf_norm_grid(sys_, points=80) * (1 - 1e-3)
+
+    @given(seed=st.integers(min_value=0, max_value=500),
+           gain=st.floats(min_value=0.01, max_value=0.4))
+    @settings(max_examples=30, deadline=None)
+    def test_small_gain_feedback_stable(self, seed, gain):
+        """Small-gain theorem: ||G|| < 1 loops close stably."""
+        sys_ = _random_stable(seed)
+        norm = hinf_norm(sys_)
+        scaled = static_gain(np.eye(2) * (gain / max(norm, 1e-9)), dt=1.0)
+        from repro.lti import series
+
+        loop = series(scaled, sys_)
+        closed = feedback(loop)
+        assert closed.is_stable(tol=1e-12)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_series_norm_submultiplicative(self, seed):
+        from repro.lti import series
+
+        g1 = _random_stable(seed)
+        g2 = _random_stable(seed + 1000)
+        assert hinf_norm(series(g1, g2)) <= (
+            hinf_norm(g1) * hinf_norm(g2) * (1 + 1e-3)
+        )
+
+
+class TestMuProperties:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_mu_sandwich(self, seed):
+        """rho-type lower bound <= mu upper bound <= sigma_max."""
+        gen = np.random.default_rng(seed)
+        M = gen.normal(size=(4, 4)) + 1j * gen.normal(size=(4, 4))
+        structure = BlockStructure([
+            UncertaintyBlock("full", 2, 2),
+            UncertaintyBlock("full", 2, 2),
+        ])
+        upper, _ = mu_upper_bound(M, structure)
+        lower = mu_lower_bound(M, structure, samples=30, seed=seed)
+        sigma = np.linalg.svd(M, compute_uv=False)[0]
+        assert lower <= upper + 1e-9
+        assert upper <= sigma + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=300),
+           scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_mu_scales_linearly(self, seed, scale):
+        gen = np.random.default_rng(seed)
+        M = gen.normal(size=(3, 3)) + 1j * gen.normal(size=(3, 3))
+        structure = BlockStructure([
+            UncertaintyBlock("full", 1, 1),
+            UncertaintyBlock("full", 2, 2),
+        ])
+        base, _ = mu_upper_bound(M, structure)
+        scaled, _ = mu_upper_bound(scale * M, structure)
+        assert scaled == pytest.approx(scale * base, rel=5e-2)
+
+
+class TestOptimizerProperties:
+    @given(
+        exd_seq=st.lists(st.floats(min_value=0.01, max_value=10.0),
+                         min_size=5, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_targets_always_inside_envelopes(self, exd_seq):
+        from repro.core import ExDOptimizer, TargetChannel
+
+        opt = ExDOptimizer(
+            [
+                TargetChannel("p", 2.0, 0.5, 8.0, role="performance"),
+                TargetChannel("w", 1.0, 0.1, 3.3, role="power"),
+            ],
+            settle_periods=1,
+        )
+        outputs = np.array([2.0, 1.0])
+        for exd in exd_seq:
+            targets = opt.update(exd, outputs=outputs)
+            assert 0.5 <= targets[0] <= 8.0
+            assert 0.1 <= targets[1] <= 3.3
+
+
+class TestWorkloadProperties:
+    @given(
+        budget=st.floats(min_value=0.5, max_value=20.0),
+        threads=st.integers(min_value=1, max_value=8),
+        chunks=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_work_conservation(self, budget, threads, chunks):
+        """Executing exactly the budget finishes the app, never overshoots."""
+        from repro.workloads import Application, Phase
+
+        app = Application("w", [Phase("p", threads, budget)])
+        per_chunk = budget / chunks
+        guard = 0
+        while not app.done and guard < 10 * chunks:
+            guard += 1
+            runnable = app.runnable_threads()
+            if not runnable:
+                break
+            app.execute(runnable[0], per_chunk, now=guard)
+        assert app.completed_instructions == pytest.approx(budget, rel=1e-9)
+        assert app.done

@@ -1,0 +1,78 @@
+"""Tests for frequency-dependent D-scale fitting."""
+
+import numpy as np
+import pytest
+
+from repro.robust.dscale_fit import FittedScale, fit_dscale
+
+
+class TestFitDscale:
+    def test_recovers_first_order_profile(self):
+        truth = FittedScale(gain=2.0, zero=0.5, pole=5.0, log_rms_error=0.0)
+        omegas = np.logspace(-2, 2, 60)
+        fit = fit_dscale(omegas, truth.magnitude(omegas))
+        assert fit.magnitude(omegas) == pytest.approx(
+            truth.magnitude(omegas), rel=0.15
+        )
+        assert fit.log_rms_error < 0.1
+
+    def test_constant_profile_fits_flat(self):
+        omegas = np.logspace(-1, 2, 40)
+        fit = fit_dscale(omegas, np.full(40, 3.0))
+        assert fit.is_nearly_constant(tol=0.5)
+        assert fit.magnitude(1.0) == pytest.approx(3.0, rel=0.1)
+
+    def test_statespace_matches_magnitude(self):
+        fit = FittedScale(gain=1.5, zero=0.3, pole=3.0, log_rms_error=0.0)
+        sys_ = fit.to_statespace()
+        for omega in (0.01, 0.3, 3.0, 30.0):
+            response = abs(sys_.at_frequency(omega)[0, 0])
+            assert response == pytest.approx(fit.magnitude(omega), rel=1e-6)
+
+    def test_inverse_cancels(self):
+        from repro.lti import series
+
+        fit = FittedScale(gain=2.0, zero=0.5, pole=5.0, log_rms_error=0.0)
+        chain = series(fit.to_statespace(), fit.inverse_statespace())
+        for omega in (0.1, 1.0, 10.0):
+            assert abs(chain.at_frequency(omega)[0, 0]) == pytest.approx(1.0,
+                                                                         rel=1e-6)
+
+    def test_both_directions_stable(self):
+        fit = FittedScale(gain=0.7, zero=2.0, pole=0.2, log_rms_error=0.0)
+        assert fit.to_statespace().is_stable()
+        assert fit.inverse_statespace().is_stable()
+
+
+class TestDynamicDK:
+    def test_dynamic_scales_run(self):
+        """The dynamic-D path must synthesize and keep mu sane."""
+        from repro.lti import StateSpace
+        from repro.robust import build_generalized_plant, dk_synthesize
+        from repro.sysid import ExperimentData, fit_arx, prbs, multilevel_random
+
+        rng = np.random.default_rng(7)
+        true = StateSpace(
+            [[0.7, 0.1], [0.0, 0.5]], [[0.5, 0.1], [0.2, 0.6]],
+            [[1.0, 0.2], [0.1, 1.0]], None, dt=0.5,
+        )
+        u = np.column_stack([
+            prbs(800, -1, 1, seed=1, dwell=4),
+            multilevel_random(800, [-1, 0, 1], 5, seed=2),
+        ])
+        _, y = true.simulate(u)
+        y += 0.02 * rng.normal(size=y.shape)
+        arx = fit_arx(ExperimentData(u, y, dt=0.5), na=2, nb=2, delay=1)
+        augmented = build_generalized_plant(
+            arx.to_statespace(), n_u=2,
+            input_spans=[1.0, 1.0], input_mids=[0, 0],
+            output_ranges=[4.0, 4.0], output_mids=[0, 0],
+            bound_fractions=[0.2, 0.2], input_weights=[1.0, 1.0],
+            guardband=0.4, external_scales=[],
+        )
+        constant = dk_synthesize(augmented, max_iterations=2, mu_points=12)
+        dynamic = dk_synthesize(augmented, max_iterations=2, mu_points=12,
+                                dynamic_scales=True)
+        assert dynamic.hinf.closed_loop.is_stable()
+        # Dynamic scalings must not be (much) worse than constant ones.
+        assert dynamic.mu.peak_upper <= constant.mu.peak_upper * 1.25

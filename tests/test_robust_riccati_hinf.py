@@ -1,0 +1,116 @@
+"""Tests for the Riccati solver and H-infinity synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.lti import PartitionedSystem, StateSpace, hinf_norm, lft_lower
+from repro.robust import (
+    RiccatiError,
+    SynthesisError,
+    care_hamiltonian,
+    hinf_synthesize,
+    solve_hinf_riccati,
+)
+
+
+class TestCareHamiltonian:
+    def test_scalar_lqr_case(self):
+        # A=0, S=B R^-1 B'=1, Q=1: X solves -X^2 + 1 = 0 -> X=1.
+        X = care_hamiltonian(np.zeros((1, 1)), np.eye(1), np.eye(1))
+        assert X[0, 0] == pytest.approx(1.0)
+
+    def test_matches_scipy_on_definite_problem(self, rng):
+        from scipy.linalg import solve_continuous_are
+
+        A = rng.normal(size=(3, 3)) - 2 * np.eye(3)
+        B = rng.normal(size=(3, 2))
+        Q = np.eye(3)
+        R = np.eye(2)
+        expected = solve_continuous_are(A, B, Q, R)
+        X = care_hamiltonian(A, B @ np.linalg.inv(R) @ B.T, Q)
+        assert X == pytest.approx(expected, rel=1e-6)
+
+    def test_raises_on_imaginary_axis(self):
+        # A=0, S=0, Q=I: Hamiltonian eigenvalues are all zero.
+        with pytest.raises(RiccatiError):
+            care_hamiltonian(np.zeros((2, 2)), np.zeros((2, 2)), np.eye(2))
+
+    def test_solution_stabilizes(self, rng):
+        A = rng.normal(size=(3, 3))
+        B = rng.normal(size=(3, 1))
+        X = care_hamiltonian(A, B @ B.T, np.eye(3))
+        closed = A - B @ B.T @ X
+        assert np.max(np.linalg.eigvals(closed).real) < 0
+
+    def test_hinf_riccati_psd(self, rng):
+        A = rng.normal(size=(3, 3)) - 2 * np.eye(3)
+        B1 = rng.normal(size=(3, 2))
+        B2 = rng.normal(size=(3, 1))
+        C1 = rng.normal(size=(2, 3))
+        X = solve_hinf_riccati(A, B1, B2, C1, gamma=50.0)
+        assert np.min(np.linalg.eigvalsh(X)) >= -1e-8
+
+
+def _mixed_sensitivity_plant(wu=0.1, eps=0.01, a_e=0.1, a_m=20.0):
+    """The hand-built SISO tracking plant used as the synthesis test bed."""
+    A = np.array([
+        [-1.0, 0.0, 0.0],
+        [-1.0, -a_e, 0.0],
+        [-a_m, 0.0, -a_m],
+    ])
+    B = np.array([
+        [0.0, 0.0, 1.0],
+        [a_e, 0.0, 0.0],
+        [a_m, 0.0, 0.0],
+    ])
+    C = np.array([
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 1.0],
+    ])
+    D = np.zeros((3, 3))
+    D[1, 2] = wu
+    D[2, 1] = eps
+    return PartitionedSystem(StateSpace(A, B, C, D), n_w=2, n_z=2)
+
+
+class TestHinfSynthesis:
+    def test_synthesizes_and_verifies(self):
+        plant = _mixed_sensitivity_plant()
+        result = hinf_synthesize(plant)
+        assert result.closed_loop.is_stable()
+        assert result.achieved_norm <= result.gamma * 1.02
+        assert result.controller.n_states == 3
+
+    def test_achieved_norm_is_true_closed_loop_norm(self):
+        plant = _mixed_sensitivity_plant()
+        result = hinf_synthesize(plant)
+        recomputed = hinf_norm(lft_lower(plant, result.controller))
+        assert recomputed == pytest.approx(result.achieved_norm, rel=1e-6)
+
+    def test_tracking_improves_with_lower_wu(self):
+        cheap = hinf_synthesize(_mixed_sensitivity_plant(wu=0.05))
+        dear = hinf_synthesize(_mixed_sensitivity_plant(wu=1.0))
+        assert cheap.gamma < dear.gamma
+
+    def test_rejects_discrete_plant(self, rng):
+        sys_ = StateSpace([[0.5]], np.ones((1, 2)), np.ones((2, 1)),
+                          np.zeros((2, 2)), dt=1.0)
+        with pytest.raises(SynthesisError, match="continuous"):
+            hinf_synthesize(PartitionedSystem(sys_, n_w=1, n_z=1))
+
+    def test_rejects_nonzero_d11(self):
+        plant = _mixed_sensitivity_plant()
+        sys_ = plant.system
+        D = sys_.D.copy()
+        D[0, 0] = 0.5  # inject w -> z feedthrough
+        bad = PartitionedSystem(
+            StateSpace(sys_.A, sys_.B, sys_.C, D), n_w=2, n_z=2
+        )
+        with pytest.raises(SynthesisError, match="D11"):
+            hinf_synthesize(bad)
+
+    def test_rejects_rank_deficient_d12(self):
+        plant = _mixed_sensitivity_plant(wu=0.0)
+        with pytest.raises(SynthesisError):
+            hinf_synthesize(plant)

@@ -1,0 +1,133 @@
+"""Tests for structured-singular-value bounds and uncertainty structures."""
+
+import numpy as np
+import pytest
+
+from repro.lti import StateSpace
+from repro.robust import (
+    BlockStructure,
+    UncertaintyBlock,
+    guardband_weight,
+    mu_bounds_over_frequency,
+    mu_lower_bound,
+    mu_upper_bound,
+    quantization_uncertainty,
+)
+from repro.signals import QuantizedRange
+
+
+class TestUncertaintyBlocks:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            UncertaintyBlock("weird", 1, 1)
+
+    def test_repeated_must_be_square(self):
+        with pytest.raises(ValueError):
+            UncertaintyBlock("repeated", 2, 3)
+
+    def test_structure_dimensions(self):
+        structure = BlockStructure([
+            UncertaintyBlock("full", 2, 3),
+            UncertaintyBlock("repeated", 2, 2),
+        ])
+        assert structure.total_rows == 4
+        assert structure.total_cols == 5
+
+    def test_random_sample_norm_bounded(self, rng):
+        structure = BlockStructure([
+            UncertaintyBlock("full", 2, 2),
+            UncertaintyBlock("repeated", 3, 3),
+        ])
+        for _ in range(10):
+            delta = structure.random_sample(rng, radius=0.7)
+            assert np.linalg.svd(delta, compute_uv=False)[0] <= 0.7 + 1e-9
+
+    def test_guardband_weight(self):
+        assert guardband_weight(0.4) == pytest.approx(0.4)
+        with pytest.raises(ValueError):
+            guardband_weight(-1.0)
+
+    def test_quantization_uncertainty(self):
+        radii = quantization_uncertainty([
+            QuantizedRange(0.2, 2.0, step=0.1),  # half-gap 0.05, half-span 0.9
+            QuantizedRange(1, 4, step=1),  # half-gap 0.5, half-span 1.5
+        ])
+        assert radii[0] == pytest.approx(0.05 / 0.9)
+        assert radii[1] == pytest.approx(0.5 / 1.5)
+
+
+class TestMuBounds:
+    def test_single_full_block_equals_sigma_max(self, rng):
+        M = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+        structure = BlockStructure([UncertaintyBlock("full", 3, 3)])
+        upper, _ = mu_upper_bound(M, structure)
+        assert upper == pytest.approx(np.linalg.svd(M, compute_uv=False)[0])
+
+    def test_upper_at_least_lower(self, rng):
+        structure = BlockStructure([
+            UncertaintyBlock("full", 2, 2),
+            UncertaintyBlock("full", 2, 2),
+        ])
+        for seed in range(5):
+            gen = np.random.default_rng(seed)
+            M = gen.normal(size=(4, 4)) + 1j * gen.normal(size=(4, 4))
+            upper, _ = mu_upper_bound(M, structure)
+            lower = mu_lower_bound(M, structure, samples=40, seed=seed)
+            assert upper >= lower - 1e-9
+
+    def test_upper_not_above_sigma_max(self, rng):
+        """D-scaling can only tighten below the unstructured bound."""
+        structure = BlockStructure([
+            UncertaintyBlock("full", 2, 2),
+            UncertaintyBlock("full", 2, 2),
+        ])
+        M = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        upper, _ = mu_upper_bound(M, structure)
+        assert upper <= np.linalg.svd(M, compute_uv=False)[0] + 1e-9
+
+    def test_block_diagonal_matrix_mu(self):
+        """For M block diagonal w.r.t. the structure, mu = max block norm."""
+        M = np.zeros((4, 4), dtype=complex)
+        M[:2, :2] = np.diag([2.0, 1.0])
+        M[2:, 2:] = np.diag([0.5, 0.1])
+        structure = BlockStructure([
+            UncertaintyBlock("full", 2, 2),
+            UncertaintyBlock("full", 2, 2),
+        ])
+        upper, _ = mu_upper_bound(M, structure)
+        lower = mu_lower_bound(M, structure, samples=80)
+        assert upper == pytest.approx(2.0, rel=1e-3)
+        assert lower == pytest.approx(2.0, rel=0.05)
+
+    def test_shape_mismatch_rejected(self, rng):
+        structure = BlockStructure([UncertaintyBlock("full", 2, 2)])
+        with pytest.raises(ValueError):
+            mu_upper_bound(rng.normal(size=(3, 3)), structure)
+
+    def test_scaling_matrices(self):
+        structure = BlockStructure([
+            UncertaintyBlock("full", 1, 1),
+            UncertaintyBlock("full", 2, 2),
+        ])
+        d_left, d_right_inv = structure.scaling_matrices([np.log(2.0), 0.0])
+        assert d_left[0, 0] == pytest.approx(2.0)
+        assert d_right_inv[0, 0] == pytest.approx(0.5)
+        assert d_left[1, 1] == pytest.approx(1.0)
+
+
+class TestMuOverFrequency:
+    def test_detects_small_gain_robustness(self):
+        # A tiny stable system: loop gain << 1 everywhere -> robust.
+        channel = StateSpace([[0.5]], [[0.1]], [[0.1]], [[0.0]], dt=1.0)
+        structure = BlockStructure([UncertaintyBlock("full", 1, 1)])
+        analysis = mu_bounds_over_frequency(channel, structure, points=15)
+        assert analysis.robust
+        assert analysis.tolerated_fraction() > 1.0
+
+    def test_flags_large_gain(self):
+        channel = StateSpace([[0.5]], [[1.0]], [[5.0]], [[0.0]], dt=1.0)
+        structure = BlockStructure([UncertaintyBlock("full", 1, 1)])
+        analysis = mu_bounds_over_frequency(channel, structure, points=15)
+        assert not analysis.robust
+        # Peak of |5/(z-0.5)| is 10 at DC.
+        assert analysis.peak_upper == pytest.approx(10.0, rel=0.05)

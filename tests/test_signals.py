@@ -1,0 +1,135 @@
+"""Tests for signal metadata: quantization, signal types, interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    ExternalSignal,
+    InputSignal,
+    InterfaceRecord,
+    OutputSignal,
+    QuantizedRange,
+    exchange_interfaces,
+)
+
+
+class TestQuantizedRange:
+    def test_levels_from_step(self):
+        qr = QuantizedRange(0.2, 2.0, step=0.1)
+        assert qr.n_levels == 19
+        assert qr.levels[0] == pytest.approx(0.2)
+        assert qr.levels[-1] == pytest.approx(2.0)
+
+    def test_explicit_levels(self):
+        qr = QuantizedRange(0, 10, levels=[1, 5, 9])
+        assert qr.n_levels == 3
+        assert qr.snap(6.9) == 5.0
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            QuantizedRange(2.0, 1.0, step=0.1)
+
+    def test_rejects_levels_outside(self):
+        with pytest.raises(ValueError):
+            QuantizedRange(0, 1, levels=[2.0])
+
+    def test_clamp(self):
+        qr = QuantizedRange(1, 4, step=1)
+        assert qr.clamp(-3) == 1.0
+        assert qr.clamp(9) == 4.0
+
+    def test_snap_rounds_to_nearest(self):
+        qr = QuantizedRange(0.2, 2.0, step=0.1)
+        assert qr.snap(1.44) == pytest.approx(1.4)
+        assert qr.snap(1.46) == pytest.approx(1.5)
+
+    def test_contains(self):
+        qr = QuantizedRange(1, 4, step=1)
+        assert 2.0 in qr
+        assert 2.5 not in qr
+
+    def test_quantization_radius(self):
+        qr = QuantizedRange(0.2, 2.0, step=0.1)
+        assert qr.quantization_radius() == pytest.approx(0.05)
+
+    def test_single_level_radius_zero(self):
+        qr = QuantizedRange(1, 1, levels=[1.0])
+        assert qr.quantization_radius() == 0.0
+
+    def test_iteration_and_len(self):
+        qr = QuantizedRange(1, 3, step=1)
+        assert list(qr) == [1.0, 2.0, 3.0]
+        assert len(qr) == 3
+
+    def test_equality(self):
+        assert QuantizedRange(1, 3, step=1) == QuantizedRange(1, 3, step=1)
+        assert QuantizedRange(1, 3, step=1) != QuantizedRange(1, 4, step=1)
+
+
+class TestSignalTypes:
+    def test_input_signal_rejects_bad_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            InputSignal("f", QuantizedRange(0, 1, step=0.1), weight=0.0)
+
+    def test_output_signal_bounds(self):
+        out = OutputSignal("power", 0.10, value_range=4.0, critical=True)
+        assert out.absolute_bound == pytest.approx(0.4)
+
+    def test_output_signal_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            OutputSignal("x", 0.0, value_range=1.0)
+        with pytest.raises(ValueError):
+            OutputSignal("x", 1.5, value_range=1.0)
+
+    def test_external_needs_exactly_one_metadata(self):
+        with pytest.raises(ValueError):
+            ExternalSignal("x", "layer")
+        with pytest.raises(ValueError):
+            ExternalSignal("x", "layer", allowed=QuantizedRange(0, 1, step=1),
+                           bound=0.5)
+
+    def test_external_value_scale(self):
+        ext = ExternalSignal("x", "hw", allowed=QuantizedRange(0, 8, step=1))
+        assert ext.value_scale == pytest.approx(8.0)
+        ext2 = ExternalSignal("y", "hw", bound=0.4)
+        assert ext2.value_scale == pytest.approx(0.4)
+
+
+class TestInterfaceExchange:
+    def _records(self):
+        hw = InterfaceRecord(
+            "hardware",
+            input_levels={"freq_big": QuantizedRange(0.2, 2.0, step=0.1)},
+            output_bounds={"temperature": 4.0},
+        )
+        sw = InterfaceRecord(
+            "software",
+            input_levels={"n_threads_big": QuantizedRange(0, 8, step=1)},
+            output_bounds={"temperature": 5.0, "bips_big": 1.0},
+        )
+        return hw, sw
+
+    def test_publishes_external_signals(self):
+        hw, sw = self._records()
+        for_hw, for_sw, common = exchange_interfaces(hw, sw)
+        names_hw = {s.name for s in for_hw}
+        assert names_hw == {"n_threads_big", "temperature", "bips_big"}
+        names_sw = {s.name for s in for_sw}
+        assert names_sw == {"freq_big", "temperature"}
+
+    def test_input_externals_carry_levels(self):
+        hw, sw = self._records()
+        for_hw, _, _ = exchange_interfaces(hw, sw)
+        by_name = {s.name: s for s in for_hw}
+        assert by_name["n_threads_big"].allowed is not None
+        assert by_name["bips_big"].bound == pytest.approx(1.0)
+
+    def test_common_outputs_pair_bounds(self):
+        hw, sw = self._records()
+        _, _, common = exchange_interfaces(hw, sw)
+        assert common == {"temperature": (4.0, 5.0)}
+
+    def test_unknown_signal_raises(self):
+        hw, _ = self._records()
+        with pytest.raises(KeyError):
+            hw.external_signal_for("nonexistent")

@@ -1,0 +1,193 @@
+"""Tests for the system-identification substrate."""
+
+import numpy as np
+import pytest
+
+from repro.lti import StateSpace
+from repro.sysid import (
+    ExperimentData,
+    center_per_run,
+    fit_arx,
+    fit_box_jenkins,
+    fit_graybox,
+    fit_percent,
+    fit_subspace,
+    final_prediction_error,
+    merge_experiments,
+    multilevel_random,
+    prbs,
+    staircase,
+    validate_model,
+)
+
+
+@pytest.fixture
+def toy_system():
+    return StateSpace([[0.8, 0.1], [0.0, 0.6]], [[1.0, 0.0], [0.5, 1.0]],
+                      [[1.0, 0.0], [0.2, 1.0]], None, dt=0.5)
+
+
+@pytest.fixture
+def toy_data(toy_system, rng):
+    u = np.column_stack([
+        prbs(900, -1, 1, seed=2, dwell=3),
+        multilevel_random(900, [-1, -0.5, 0, 0.5, 1], 4, seed=3),
+    ])
+    _, y = toy_system.simulate(u)
+    y += 0.01 * rng.normal(size=y.shape)
+    return ExperimentData(u, y, dt=0.5, label="toy")
+
+
+class TestExcitation:
+    def test_prbs_levels_and_length(self):
+        sig = prbs(100, -1.0, 2.0, seed=1, dwell=4)
+        assert sig.shape == (100,)
+        assert set(np.unique(sig)) <= {-1.0, 2.0}
+
+    def test_prbs_dwell(self):
+        sig = prbs(100, 0, 1, seed=1, dwell=5)
+        changes = np.nonzero(np.diff(sig))[0] + 1
+        assert all(c % 5 == 0 for c in changes)
+
+    def test_staircase_cycles(self):
+        sig = staircase(10, [1, 2, 3], dwell=2)
+        assert list(sig[:6]) == [1, 1, 2, 2, 3, 3]
+        assert list(sig[6:8]) == [1, 1]
+
+    def test_multilevel_values(self):
+        sig = multilevel_random(60, [1.0, 2.0, 4.0], 3, seed=0)
+        assert set(np.unique(sig)) <= {1.0, 2.0, 4.0}
+
+    def test_bad_dwell_rejected(self):
+        with pytest.raises(ValueError):
+            prbs(10, 0, 1, dwell=0)
+        with pytest.raises(ValueError):
+            staircase(10, [1], dwell=0)
+
+
+class TestExperimentData:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentData(np.zeros((5, 1)), np.zeros((4, 1)), dt=1.0)
+
+    def test_normalized_stats(self, toy_data):
+        norm, u_scale, y_scale, u_off, y_off = toy_data.normalized()
+        assert np.allclose(norm.inputs.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(norm.outputs.std(axis=0), 1.0, atol=1e-6)
+
+    def test_split_chronological(self, toy_data):
+        train, valid = toy_data.split(0.8)
+        assert train.n_samples == int(0.8 * toy_data.n_samples)
+        assert train.n_samples + valid.n_samples == toy_data.n_samples
+
+    def test_merge_tracks_boundaries(self, toy_data):
+        merged, boundaries = merge_experiments([toy_data, toy_data])
+        assert merged.n_samples == 2 * toy_data.n_samples
+        assert boundaries == [0, toy_data.n_samples]
+
+    def test_merge_rejects_mixed_dt(self, toy_data):
+        other = ExperimentData(toy_data.inputs, toy_data.outputs, dt=1.0)
+        with pytest.raises(ValueError, match="dt"):
+            merge_experiments([toy_data, other])
+
+    def test_center_per_run(self, toy_data):
+        merged, bounds = merge_experiments([toy_data, toy_data])
+        centered = center_per_run(merged, bounds)
+        first = centered.outputs[: toy_data.n_samples]
+        assert np.allclose(first.mean(axis=0), 0.0, atol=1e-9)
+
+
+class TestARX:
+    def test_one_step_fit_good(self, toy_data):
+        model = fit_arx(toy_data, na=3, nb=3, delay=1)
+        report = validate_model(model, toy_data)
+        assert report.mean_fit > 90.0
+
+    def test_statespace_realization_matches_freerun(self, toy_data):
+        model = fit_arx(toy_data, na=3, nb=3, delay=1)
+        sys_ = model.to_statespace()
+        _, y_ss = sys_.simulate(toy_data.inputs)
+        fits = fit_percent(toy_data.outputs, y_ss)
+        assert np.mean(fits) > 80.0
+
+    def test_boundaries_respected(self, toy_data):
+        merged, bounds = merge_experiments([toy_data, toy_data])
+        model = fit_arx(merged, na=2, nb=2, delay=1, boundaries=bounds)
+        assert model.n_outputs == 2
+
+    def test_insufficient_data_raises(self):
+        tiny = ExperimentData(np.zeros((3, 1)), np.zeros((3, 1)), dt=1.0)
+        with pytest.raises(ValueError):
+            fit_arx(tiny, na=4, nb=4, delay=1)
+
+
+class TestBoxJenkins:
+    def test_refinement_not_worse_than_arx(self, toy_data):
+        bj = fit_box_jenkins(toy_data, na=3, nb=3, nc=2, delay=1)
+        arx = fit_arx(toy_data, na=3, nb=3, delay=1)
+        bj_report = validate_model(bj, toy_data)
+        arx_report = validate_model(arx, toy_data)
+        assert bj_report.mean_fit >= arx_report.mean_fit - 2.0
+
+    def test_exposes_deterministic_statespace(self, toy_data):
+        bj = fit_box_jenkins(toy_data, na=2, nb=2, nc=1, delay=1)
+        assert bj.to_statespace().is_discrete
+
+
+class TestSubspace:
+    def test_recovers_low_order_model(self, toy_data):
+        model, svals = fit_subspace(toy_data, order=2)
+        assert model.n_states == 2
+        _, y_hat = model.simulate(toy_data.inputs)
+        assert np.mean(fit_percent(toy_data.outputs, y_hat)) > 85.0
+
+    def test_singular_values_reveal_order(self, toy_data):
+        _, svals = fit_subspace(toy_data, order=4)
+        assert svals[1] / max(svals[2], 1e-12) > 10.0
+
+    def test_stability_clamped(self, toy_data):
+        model, _ = fit_subspace(toy_data, order=3)
+        assert model.spectral_radius() < 1.0
+
+
+class TestGraybox:
+    def test_recovers_static_gain(self, rng):
+        # y = G0 u through known lag 0.5.
+        G0 = np.array([[1.0, -0.5], [0.3, 2.0]])
+        pole = 0.5
+        u = rng.normal(size=(1200, 2))
+        y = np.zeros((1200, 2))
+        state = np.zeros(2)
+        for t in range(1200):
+            y[t] = state
+            state = pole * state + (1 - pole) * (G0 @ u[t])
+        data = ExperimentData(u, y, dt=0.5)
+        model = fit_graybox(data, center=False)
+        assert model.gain == pytest.approx(G0, abs=0.05)
+        assert model.poles == pytest.approx([pole, pole], abs=0.08)
+
+    def test_statespace_is_diagonal_lag(self, toy_data):
+        model = fit_graybox(toy_data)
+        sys_ = model.to_statespace()
+        assert sys_.n_states == toy_data.n_outputs
+        assert np.allclose(sys_.A, np.diag(np.diag(sys_.A)))
+
+
+class TestValidation:
+    def test_fit_percent_perfect(self):
+        y = np.random.default_rng(0).normal(size=(50, 2))
+        assert fit_percent(y, y) == pytest.approx([100.0, 100.0])
+
+    def test_fit_percent_mean_model_is_zero(self):
+        y = np.random.default_rng(0).normal(size=(200, 1))
+        y_hat = np.full_like(y, y.mean())
+        assert fit_percent(y, y_hat)[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_fpe_penalizes_parameters(self):
+        assert final_prediction_error(1.0, 100, 10) > 1.0
+        assert final_prediction_error(1.0, 100, 200) == np.inf
+
+    def test_validation_report_summary(self, toy_data):
+        model = fit_arx(toy_data, na=2, nb=2, delay=1)
+        report = validate_model(model, toy_data)
+        assert "fit per output" in report.summary()
