@@ -8,6 +8,7 @@ Commands
 ``fig9`` .. ``fig17`` regenerate a paper figure (text rendering)
 ``hwcost``            the Sec. VI-D hardware implementation analysis
 ``exhaustion``        the guardband-exhaustion detection experiment
+``resilience``        the fault-matrix sweep under the safe-mode supervisor
 ``three-layer``       the Sec. III-D three-layer demonstration
 """
 
@@ -66,6 +67,16 @@ def main(argv=None):
         p_fig = sub.add_parser(name, help=f"regenerate {name}")
         _add_context_args(p_fig)
 
+    p_res = sub.add_parser(
+        "resilience",
+        help="fault-matrix sweep under the safe-mode supervisor",
+    )
+    _add_context_args(p_res)
+    p_res.add_argument("--quick", action="store_true",
+                       help="reduced 3-scenario fault matrix")
+    p_res.add_argument("--fault-time", type=float, default=60.0,
+                       help="fault onset time (s)")
+
     args = parser.parse_args(argv)
 
     if args.command == "tables":
@@ -87,6 +98,15 @@ def main(argv=None):
 
         metrics = run_workload(args.scheme, args.workload, context)
         print(metrics.summary())
+        return 0
+
+    if args.command == "resilience":
+        from repro.experiments import resilience
+
+        result = resilience.run(context, quick=args.quick,
+                                fault_time=args.fault_time,
+                                progress=lambda line: print(line, file=sys.stderr))
+        print(result.render())
         return 0
 
     module_name, kwargs = figure_commands[args.command]

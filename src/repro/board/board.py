@@ -95,6 +95,12 @@ class Board:
         self.temp_sensor = TemperatureSensor(self.spec.temp_sensor_noise, self._rng)
         self.perf_counters = {BIG: PerformanceCounter(), LITTLE: PerformanceCounter()}
         self.trace = BoardTrace() if record else None
+        # Actuator-fault hook layer (installed by repro.faults.FaultInjector):
+        # any object with blocks_dvfs/blocks_hotplug/blocks_placement.
+        self.fault_hooks = None
+        # Commands rejected (non-finite) or clamped (out of range) by the
+        # actuation API; the safe-mode supervisor monitors these counters.
+        self.rejected_actuations = {"frequency": 0, "cores": 0, "placement": 0}
         self._instant_power = {BIG: 0.0, LITTLE: 0.0}
         self._instant_bips = {BIG: 0.0, LITTLE: 0.0}
         self._default_placement()
@@ -102,16 +108,55 @@ class Board:
     # ------------------------------------------------------------------
     # Actuation interface (what controllers may call)
     # ------------------------------------------------------------------
+    def _validate_command(self, kind, value, low, high):
+        """Validate one actuation command against its legal range.
+
+        Non-finite commands are rejected outright (returns ``None``; the
+        previous setting survives) and out-of-range commands clamp to the
+        legal range — both increment ``rejected_actuations[kind]`` instead
+        of silently producing undefined board states.
+        """
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            self.rejected_actuations[kind] += 1
+            return None
+        if not np.isfinite(value):
+            self.rejected_actuations[kind] += 1
+            return None
+        if value < low - 1e-9 or value > high + 1e-9:
+            self.rejected_actuations[kind] += 1
+            return float(min(max(value, low), high))
+        return value
+
     def set_cluster_frequency(self, cluster_name, freq_ghz):
-        """Request a cluster frequency; snapped to the DVFS table."""
+        """Request a cluster frequency; snapped to the DVFS table.
+
+        Invalid commands are clamped-and-counted (see ``_validate_command``);
+        a non-finite command leaves the current frequency untouched.
+        """
         spec = self.spec.cluster(cluster_name)
+        freq_ghz = self._validate_command(
+            "frequency", freq_ghz, spec.freq_range.low, spec.freq_range.high
+        )
+        if freq_ghz is None:
+            return
+        if self.fault_hooks is not None and self.fault_hooks.blocks_dvfs(cluster_name):
+            return  # DVFS write silently dropped (injected actuator fault)
         self.clusters[cluster_name].frequency = spec.freq_range.snap(freq_ghz)
 
     def set_active_cores(self, cluster_name, count):
         """Hotplug cores on/off; clamped to [1, 4]; charges a stall."""
         spec = self.spec.cluster(cluster_name)
         runtime = self.clusters[cluster_name]
-        count = int(round(min(max(count, 1), spec.n_cores)))
+        count = self._validate_command("cores", count, 1, spec.n_cores)
+        if count is None:
+            return
+        if self.fault_hooks is not None and self.fault_hooks.blocks_hotplug(
+            cluster_name
+        ):
+            return  # hotplug request silently dropped (injected fault)
+        count = int(round(count))
         if count != runtime.cores_on:
             runtime.pending_hotplug_stall += self.spec.hotplug_cost_s
             runtime.cores_on = count
@@ -119,6 +164,16 @@ class Board:
 
     def set_placement_knobs(self, n_threads_big, tpc_big, tpc_little):
         """Software-layer actuation: the three aggregate placement knobs."""
+        total_cores = self.spec.big.n_cores + self.spec.little.n_cores
+        n_threads_big = self._validate_command(
+            "placement", n_threads_big, 0, 4 * total_cores
+        )
+        tpc_big = self._validate_command("placement", tpc_big, 1.0, 8.0)
+        tpc_little = self._validate_command("placement", tpc_little, 1.0, 8.0)
+        if n_threads_big is None or tpc_big is None or tpc_little is None:
+            return
+        if self.fault_hooks is not None and self.fault_hooks.blocks_placement():
+            return  # placement knobs stuck (injected fault)
         threads = self._gather_runnable_threads()
         new_assignment = plan_placement(
             threads,

@@ -4,6 +4,12 @@ The XU3's INA231 power sensors integrate over ~260 ms and only then update
 their register — controllers never see instantaneous power.  That sensor
 delay is part of what makes the control problem interesting, so it is
 modelled faithfully.
+
+Both analog sensors expose a ``fault_hook`` attribute: when set to a
+callable, every ``read()`` passes the healthy value through it.  This is
+the seam the fault-injection subsystem (:mod:`repro.faults`) uses for
+bias, stuck-at, and dropout faults; a dropped-out sensor reads the NaN
+sentinel (:data:`repro.faults.DROPOUT_SENTINEL`).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ class WindowedPowerSensor:
     def __init__(self, period, dt):
         self.period = float(period)
         self.dt = float(dt)
+        self.fault_hook = None  # optional callable applied by read()
         self._accumulated = 0.0
         self._elapsed = 0.0
         self._latched = 0.0
@@ -33,7 +40,9 @@ class WindowedPowerSensor:
             self._elapsed = 0.0
 
     def read(self):
-        """The last latched average power (W)."""
+        """The last latched average power (W), through any fault hook."""
+        if self.fault_hook is not None:
+            return self.fault_hook(self._latched)
         return self._latched
 
     def reset(self):
@@ -48,6 +57,7 @@ class TemperatureSensor:
     def __init__(self, noise_rms, rng):
         self.noise_rms = float(noise_rms)
         self._rng = rng
+        self.fault_hook = None  # optional callable applied by read()
         self._last = 0.0
 
     def update(self, true_temperature):
@@ -56,6 +66,8 @@ class TemperatureSensor:
         return self._last
 
     def read(self):
+        if self.fault_hook is not None:
+            return self.fault_hook(self._last)
         return self._last
 
 

@@ -9,7 +9,9 @@ This package is the paper's primary contribution made executable:
 * :mod:`~repro.core.controller` — the deployable Eq. 3-4 state machine;
 * :mod:`~repro.core.optimizer` — the Sec. IV-D ExD target optimizer;
 * :mod:`~repro.core.coordinator` — the Fig. 4/5 multilayer runtime;
-* :mod:`~repro.core.hwimpl` — the Sec. VI-D fixed-point implementation.
+* :mod:`~repro.core.hwimpl` — the Sec. VI-D fixed-point implementation;
+* :mod:`~repro.core.supervisor` — the safe-mode watchdog runtime
+  (detect → degrade → recover, closing the Sec. II-B loop).
 """
 
 from .characterize import CharacterizationResult, characterize_board, sample_signals
@@ -25,6 +27,17 @@ from .layer import (
     software_layer_spec,
 )
 from .optimizer import ExDOptimizer, TargetChannel, exd_metric
+
+# Imported after the modules above: the supervisor's default fallback pulls
+# in repro.baselines, which itself imports repro.core.
+from .supervisor import (
+    DEGRADED,
+    NOMINAL,
+    RECOVERING,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorEvent,
+)
 from .taxonomy import (
     TAXONOMY_TABLE,
     YUKTA_CHOICE,
@@ -58,6 +71,12 @@ __all__ = [
     "ExDOptimizer",
     "TargetChannel",
     "exd_metric",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorEvent",
+    "NOMINAL",
+    "DEGRADED",
+    "RECOVERING",
     "TAXONOMY_TABLE",
     "YUKTA_CHOICE",
     "Approach",

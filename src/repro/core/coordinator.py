@@ -78,8 +78,16 @@ class MultilayerCoordinator:
         self._last_sw_actuation = None
         self._override_streak = 0
 
-    def control_step(self, board: Board, period_steps):
-        """One control period: sense, optimize targets, actuate both layers."""
+    def control_step(self, board: Board, period_steps, signals=None):
+        """One control period: sense, optimize targets, actuate both layers.
+
+        ``signals`` may carry a pre-sampled (and possibly sanitized) signal
+        dict from :func:`~repro.core.characterize.sample_signals`; the
+        supervisor uses this to sample once per period (the instruction
+        counters are delta reads, so sampling twice would corrupt them)
+        and to scrub non-finite sensor readings before they reach the
+        controller state machines.
+        """
         # Firmware-override detection: the emergency TMU intervening under
         # the controller is visible to the OS (throttle status in sysfs on
         # real boards) and means the plant has left the designed-for
@@ -93,7 +101,8 @@ class MultilayerCoordinator:
             and hasattr(self.hw_controller, "guardband_exhausted")
         ):
             self.hw_controller.guardband_exhausted = True
-        signals = sample_signals(board, period_steps)
+        if signals is None:
+            signals = sample_signals(board, period_steps)
         outputs_hw = np.array([signals[name] for name in HW_OUTPUTS])
         outputs_sw = np.array([signals[name] for name in SW_OUTPUTS])
         # The optimizer's ExD proxy must price the whole platform: leaving

@@ -1,0 +1,449 @@
+"""Supervisory safe-mode runtime: detect → degrade → recover.
+
+The paper's Sec. II-B promise ends at *detection* ("if the guardband is
+exhausted at runtime, the controller detects it dynamically").  The
+:class:`Supervisor` closes the remaining loop: it wraps a
+:class:`~repro.core.coordinator.MultilayerCoordinator` in a watchdog state
+machine
+
+    NOMINAL --trip--> DEGRADED --stable--> RECOVERING --probation--> NOMINAL
+                         ^                      |
+                         +-----unstable---------+
+
+and monitors, every control period:
+
+* the controllers' ``guardband_exhausted`` flags (deviation + innovation
+  monitors, Sec. II-B);
+* sustained emergency-firmware override (the TMU throttling *under* the
+  controller — the OS-visible exhaustion signal);
+* non-finite sensor readings (dropout) and non-finite/railed actuation;
+* actuation read-back mismatch — commanded vs achieved board state, with
+  a bounded re-issue retry before it counts against the controller;
+* the board's rejected-actuation counters.
+
+On a trip the supervisor swaps in the *safe* fallback controllers (the
+coordinated heuristic pair by default — slow, but unconditionally stable)
+and additionally engages a thermal safe-mode clamp that walks the big
+cluster's frequency down while the die sits near the limit.  After a
+stable probation window it re-promotes the primary (SSV) controllers,
+optionally after an online re-identification pass through
+:mod:`repro.sysid` that refreshes the innovation monitor's DC-gain model
+from degraded-mode data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..board import BIG, LITTLE
+from .characterize import sample_signals
+from .coordinator import MultilayerCoordinator
+
+__all__ = [
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorEvent",
+    "NOMINAL",
+    "DEGRADED",
+    "RECOVERING",
+]
+
+NOMINAL = "NOMINAL"
+DEGRADED = "DEGRADED"
+RECOVERING = "RECOVERING"
+
+# Trip reasons, in evaluation precedence order.
+REASONS = (
+    "nan-actuation",
+    "sensor-dropout",
+    "guardband-exhausted",
+    "firmware-override",
+    "actuation-readback",
+    "rejected-actuation",
+    "railed-actuation",
+)
+
+
+@dataclass
+class SupervisorConfig:
+    """Watchdog thresholds, all in control periods unless noted."""
+
+    # A single sporadic power emergency holds >= MIN_HOLD + clear delay
+    # (~8 periods) by firmware design, so the supervisor's own override
+    # threshold sits above that; persistent faults hold the override far
+    # longer.  (SSV primaries trip earlier anyway: the coordinator raises
+    # their exhaustion flag after 4 override periods.)
+    override_trip_periods: int = 12  # sustained firmware override before trip
+    dropout_trip_periods: int = 3  # consecutive non-finite sensor periods
+    railed_trip_periods: int = 6  # low-railed actuation under violation
+    rejected_trip_periods: int = 3  # consecutive periods with rejected commands
+    readback_retries: int = 2  # re-issues before a mismatch counts
+    readback_trip_periods: int = 3  # consecutive unresolved mismatches
+    min_degraded_periods: int = 8  # minimum dwell in DEGRADED
+    stable_periods: int = 10  # clean DEGRADED periods before re-promotion
+    probation_periods: int = 12  # clean RECOVERING periods before NOMINAL
+    safe_mode_margin: float = 1.0  # degC under the limit where the clamp bites
+    safe_mode_release: float = 5.0  # degC under the limit where it relaxes
+    power_slack: float = 1.15  # fraction of a power limit counted clean
+    # (the fallback heuristic rides the power limit, so its windowed
+    # readings ripple a few percent above it; tighter slack stalls the
+    # clean streak and delays re-promotion by minutes)
+    temp_clean_margin: float = 1.0  # degC over the limit still counted clean
+    # (marginal crossings at sensor-noise level must not stall probation;
+    # a trip still needs a monitor to fire, not this slack)
+    reidentify: bool = False  # run an online sysid pass before re-promotion
+    reidentify_min_samples: int = 12
+
+
+@dataclass
+class SupervisorEvent:
+    """One state-machine transition."""
+
+    time: float
+    transition: str  # e.g. "NOMINAL->DEGRADED"
+    reason: str
+
+
+class Supervisor:
+    """Watchdog wrapper around a multilayer control session.
+
+    Parameters
+    ----------
+    primary:
+        The :class:`MultilayerCoordinator` running the deployed (SSV)
+        controllers.  Monolithic single-controller schemes are not
+        supported — the supervisor swaps whole layer pairs.
+    spec:
+        The :class:`~repro.board.BoardSpec` the limits come from.
+    fallback:
+        Optional safe coordinator; defaults to the coordinated-heuristic
+        pair of Table IV-a (unconditionally stable threshold rules).
+    config:
+        :class:`SupervisorConfig` thresholds.
+    """
+
+    def __init__(self, primary: MultilayerCoordinator, spec, fallback=None,
+                 config: SupervisorConfig = None):
+        self._primary = primary
+        self._spec = spec
+        self._fallback = fallback or self._default_fallback(spec)
+        self.config = config or SupervisorConfig()
+        self.state = NOMINAL
+        self.period = 0
+        self.events = []
+        self.counters = {reason: 0 for reason in REASONS}
+        self.counters["readback-retries"] = 0
+        self.counters["reidentified"] = 0
+        self.time_degraded = 0.0
+        self.state_history = []  # (time, state) per period
+        self._last_good = {}
+        self._last_rejected = 0
+        self._streaks = {key: 0 for key in
+                         ("override", "dropout", "railed", "rejected", "readback")}
+        self._clean_streak = 0
+        self._degraded_dwell = 0
+        self._probation = 0
+        self._demotions = 0
+        self._safe_freq = spec.big.freq_range.high
+
+    @staticmethod
+    def _default_fallback(spec):
+        from ..baselines.heuristics import (
+            CoordinatedHeuristicHW,
+            CoordinatedHeuristicOS,
+        )
+
+        return MultilayerCoordinator(
+            CoordinatedHeuristicHW(spec), CoordinatedHeuristicOS(spec)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def active_coordinator(self):
+        return self._fallback if self.state == DEGRADED else self._primary
+
+    @property
+    def tripped(self):
+        return any(e.transition == "NOMINAL->DEGRADED" for e in self.events)
+
+    @property
+    def detection_time(self):
+        """Board time of the first NOMINAL->DEGRADED trip (None if never)."""
+        for event in self.events:
+            if event.transition == "NOMINAL->DEGRADED":
+                return event.time
+        return None
+
+    @property
+    def recovered(self):
+        """True when a re-promotion to NOMINAL completed after a trip."""
+        return any(e.transition == "RECOVERING->NOMINAL" for e in self.events)
+
+    # ------------------------------------------------------------------
+    def control_step(self, board, period_steps):
+        """One supervised control period."""
+        raw = sample_signals(board, period_steps)
+        signals, dropped = self._sanitize(raw)
+        coordinator = self.active_coordinator
+        hw_u, sw_u = coordinator.control_step(board, period_steps, signals=signals)
+        mismatch = self._readback_check(board, hw_u)
+        reason, clean = self._evaluate(board, signals, hw_u, sw_u, dropped, mismatch)
+        self._advance_state(board, reason, clean)
+        if self.state in (DEGRADED, RECOVERING):
+            self._apply_safe_mode(board, signals)
+            if self.state == DEGRADED:
+                self.time_degraded += self._spec.control_period
+        self.period += 1
+        self.state_history.append((board.time, self.state))
+        return hw_u, sw_u
+
+    # ------------------------------------------------------------------
+    # Monitors
+    # ------------------------------------------------------------------
+    def _sanitize(self, signals):
+        """Replace non-finite readings with the last good value.
+
+        A dropped-out sensor reads NaN (see :mod:`repro.faults`); feeding
+        that into a linear state machine would poison its state forever,
+        so the supervisor scrubs the signal dict and records which
+        channels dropped.
+        """
+        clean = {}
+        dropped = []
+        for name, value in signals.items():
+            if np.isfinite(value):
+                clean[name] = value
+                self._last_good[name] = value
+            else:
+                dropped.append(name)
+                if name in self._last_good:
+                    clean[name] = self._last_good[name]
+                elif name == "temperature":
+                    clean[name] = self._spec.ambient_temp + 15.0
+                else:
+                    clean[name] = 0.0
+        return clean, dropped
+
+    def _readback_check(self, board, hw_u):
+        """Commanded vs achieved hardware state, with bounded retry."""
+        arr = np.asarray(hw_u, dtype=float) if hw_u is not None else np.zeros(0)
+        if arr.size != 4 or not np.all(np.isfinite(arr)):
+            return False  # non-finite actuation is the NaN monitor's job
+        n_big, n_little, f_big, f_little = arr
+        spec = self._spec
+        expect = {
+            (BIG, "cores"): int(round(min(max(n_big, 1), spec.big.n_cores))),
+            (LITTLE, "cores"): int(round(min(max(n_little, 1), spec.little.n_cores))),
+            (BIG, "freq"): spec.big.freq_range.snap(f_big),
+            (LITTLE, "freq"): spec.little.freq_range.snap(f_little),
+        }
+
+        def achieved_ok():
+            return (
+                board.clusters[BIG].cores_on == expect[(BIG, "cores")]
+                and board.clusters[LITTLE].cores_on == expect[(LITTLE, "cores")]
+                and abs(board.clusters[BIG].frequency - expect[(BIG, "freq")]) < 1e-6
+                and abs(board.clusters[LITTLE].frequency - expect[(LITTLE, "freq")])
+                < 1e-6
+            )
+
+        for attempt in range(self.config.readback_retries + 1):
+            if achieved_ok():
+                return False
+            if attempt < self.config.readback_retries:
+                self.counters["readback-retries"] += 1
+                board.set_active_cores(BIG, expect[(BIG, "cores")])
+                board.set_active_cores(LITTLE, expect[(LITTLE, "cores")])
+                board.set_cluster_frequency(BIG, expect[(BIG, "freq")])
+                board.set_cluster_frequency(LITTLE, expect[(LITTLE, "freq")])
+        return True
+
+    def _evaluate(self, board, signals, hw_u, sw_u, dropped, mismatch):
+        """Update monitor streaks; return (trip reason or None, clean)."""
+        cfg = self.config
+        spec = self._spec
+        streaks = self._streaks
+
+        def bump(key, firing):
+            streaks[key] = streaks[key] + 1 if firing else 0
+
+        override = board.emergency.state.any_active
+        bump("override", override)
+        bump("dropout", bool(dropped))
+        bump("readback", mismatch)
+        rejected_now = sum(board.rejected_actuations.values())
+        bump("rejected", rejected_now > self._last_rejected)
+        self._last_rejected = rejected_now
+
+        commands = [np.asarray(u, dtype=float) for u in (hw_u, sw_u)
+                    if u is not None]
+        nan_actuation = any(not np.all(np.isfinite(u)) for u in commands)
+
+        temp_over = signals["temperature"] > spec.temp_limit + cfg.temp_clean_margin
+        power_over = (
+            signals["power_big"] > spec.power_limit_big * cfg.power_slack
+            or signals["power_little"] > spec.power_limit_little * cfg.power_slack
+        )
+        railed = False
+        if len(commands) and commands[0].size == 4 and np.all(np.isfinite(commands[0])):
+            f_big_cmd = commands[0][2]
+            railed = (
+                f_big_cmd <= spec.big.freq_range.low + 1e-9
+                and (temp_over or power_over)
+            )
+        bump("railed", railed)
+
+        exhausted = bool(
+            getattr(self._primary.hw_controller, "guardband_exhausted", False)
+            or getattr(self._primary.sw_controller, "guardband_exhausted", False)
+        )
+
+        reason = None
+        if nan_actuation:
+            reason = "nan-actuation"
+        elif streaks["dropout"] >= cfg.dropout_trip_periods:
+            reason = "sensor-dropout"
+        elif exhausted and self.state in (NOMINAL, RECOVERING):
+            reason = "guardband-exhausted"
+        elif streaks["override"] >= cfg.override_trip_periods:
+            reason = "firmware-override"
+        elif streaks["readback"] >= cfg.readback_trip_periods:
+            reason = "actuation-readback"
+        elif streaks["rejected"] >= cfg.rejected_trip_periods:
+            reason = "rejected-actuation"
+        elif streaks["railed"] >= cfg.railed_trip_periods:
+            reason = "railed-actuation"
+
+        clean = not (
+            override or mismatch or dropped or temp_over or power_over
+            or nan_actuation
+        )
+        return reason, clean
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _advance_state(self, board, reason, clean):
+        cfg = self.config
+        if self.state == NOMINAL:
+            if reason is not None:
+                self._trip(board, reason)
+        elif self.state == DEGRADED:
+            self._degraded_dwell += 1
+            self._clean_streak = self._clean_streak + 1 if clean else 0
+            # Exponential re-promotion backoff: a permanent fault demotes
+            # every probation attempt, and each failed attempt costs safety
+            # margin — so each retry must earn a longer stable window.
+            required = cfg.stable_periods * (2 ** min(self._demotions, 3))
+            if (
+                self._degraded_dwell >= cfg.min_degraded_periods
+                and self._clean_streak >= required
+            ):
+                self._repromote(board)
+        elif self.state == RECOVERING:
+            if reason is not None or not clean:
+                self._demote(board, reason or "unstable-probation")
+            else:
+                self._probation += 1
+                if self._probation >= cfg.probation_periods:
+                    self.events.append(
+                        SupervisorEvent(board.time, "RECOVERING->NOMINAL", "probation-passed")
+                    )
+                    self.state = NOMINAL
+                    self._demotions = 0
+
+    def _trip(self, board, reason):
+        self.counters[reason] = self.counters.get(reason, 0) + 1
+        self.events.append(SupervisorEvent(board.time, "NOMINAL->DEGRADED", reason))
+        self.state = DEGRADED
+        self._enter_degraded()
+
+    def _demote(self, board, reason):
+        self.counters[reason] = self.counters.get(reason, 0) + 1
+        self.events.append(SupervisorEvent(board.time, "RECOVERING->DEGRADED", reason))
+        self.state = DEGRADED
+        self._demotions += 1
+        self._enter_degraded()
+
+    def _enter_degraded(self):
+        self._fallback.reset()
+        self._degraded_dwell = 0
+        self._clean_streak = 0
+        self._safe_freq = self._spec.big.freq_range.high
+
+    def _repromote(self, board):
+        reason = "stable-window"
+        if self.config.reidentify and self._reidentify():
+            reason = "stable-window+reidentified"
+        # Fresh primary state: stale integrators and a latched exhaustion
+        # flag must not carry into probation.
+        self._primary.reset()
+        self.events.append(SupervisorEvent(board.time, "DEGRADED->RECOVERING", reason))
+        self.state = RECOVERING
+        self._probation = 0
+
+    # ------------------------------------------------------------------
+    # Degraded-mode safety clamp
+    # ------------------------------------------------------------------
+    def _apply_safe_mode(self, board, signals):
+        """Walk the big cluster's frequency down while the die is hot.
+
+        The fallback heuristic is stable but tuned for the healthy plant;
+        with a detached heatsink its fixed cooling state can still sit too
+        high.  The supervisor therefore keeps its own descending frequency
+        cap (and a two-core cap while over the limit), released once the
+        die cools clear of the limit.
+        """
+        cfg = self.config
+        spec = self._spec
+        rng = spec.big.freq_range
+        temp = signals["temperature"]
+        if temp > spec.temp_limit - cfg.safe_mode_margin:
+            self._safe_freq = max(self._safe_freq - rng.step, rng.low)
+            board.set_active_cores(BIG, min(board.clusters[BIG].cores_on, 2))
+        elif temp < spec.temp_limit - cfg.safe_mode_release:
+            self._safe_freq = min(self._safe_freq + rng.step, rng.high)
+        if self._safe_freq < board.clusters[BIG].frequency - 1e-9:
+            board.set_cluster_frequency(BIG, self._safe_freq)
+
+    # ------------------------------------------------------------------
+    # Online re-identification (optional)
+    # ------------------------------------------------------------------
+    def _reidentify(self):
+        """Refresh the primary's DC-gain model from degraded-mode data.
+
+        Fits a first-order ARX model (via :mod:`repro.sysid`) to the
+        fallback coordinator's records and installs its DC gain as the
+        primary hardware controller's ``model_gain``, so the innovation
+        monitor judges the *current* plant rather than the one it was
+        designed for.
+        """
+        ctrl = self._primary.hw_controller
+        if getattr(ctrl, "model_gain", None) is None:
+            return False
+        records = self._fallback.records
+        if len(records) < self.config.reidentify_min_samples:
+            return False
+        y = np.array([r.outputs_hw for r in records[-48:]], dtype=float)
+        u = np.array([r.actuation_hw for r in records[-48:]], dtype=float)
+        y_n = (y - ctrl.output_offsets) / ctrl.output_scales
+        u_n = (u - ctrl.input_offsets) / ctrl.input_scales
+        try:
+            from ..sysid import ExperimentData, fit_arx
+
+            data = ExperimentData(inputs=u_n, outputs=y_n,
+                                  dt=self._spec.control_period)
+            model = fit_arx(data, na=1, nb=1, delay=1)
+            a1, b1 = model.A_coeffs[0], model.B_coeffs[0]
+            gain = np.linalg.solve(np.eye(a1.shape[0]) - a1, b1)
+        except Exception:
+            return False
+        if gain.shape != np.asarray(ctrl.model_gain).shape or not np.all(
+            np.isfinite(gain)
+        ):
+            return False
+        ctrl.model_gain = gain
+        self.counters["reidentified"] += 1
+        return True

@@ -16,6 +16,7 @@ from . import (
     fig16,
     fig17,
     hwcost,
+    resilience,
     scheduling,
     tables,
     three_layer,
@@ -40,6 +41,7 @@ from .schemes import (
 __all__ = [
     "ablation",
     "exhaustion",
+    "resilience",
     "scheduling",
     "three_layer",
     "fig9",

@@ -27,45 +27,21 @@ import numpy as np
 
 from ..board import Board
 from ..core import MultilayerCoordinator
+
+# The one-shot injection helpers now live in the fault subsystem
+# (repro.faults.library), reimplemented as immediate permanent campaigns
+# with identical board effects; re-exported here for compatibility.
+from ..faults import inject_heatsink_fault, inject_sensor_fault
 from ..workloads import make_application
 from .report import render_table
 from .schemes import YUKTA_HW_SSV_OS_SSV, DesignContext, build_session
 
-__all__ = ["ExhaustionResult", "run", "inject_heatsink_fault"]
-
-
-def inject_heatsink_fault(board: Board, resistance_factor=2.0,
-                          capacitance_factor=1.6):
-    """Degrade the thermal path and raise switching capacitance in place.
-
-    Models a detached heatsink plus silicon aging — a plant far outside
-    any reasonable modelling guardband, but one a robust controller can
-    still *stabilize* (at a lower operating point).
-    """
-    board.thermal.resistance *= resistance_factor
-    from dataclasses import replace
-
-    board.spec.big = replace(
-        board.spec.big, ceff_dynamic=board.spec.big.ceff_dynamic * capacitance_factor
-    )
-
-
-def inject_sensor_fault(board: Board, bias=-15.0):
-    """Miscalibrate the temperature sensor: it under-reads by ``bias`` degC.
-
-    The controller then regulates the *measured* temperature to its target
-    while the true die temperature runs ~12 degC hotter — until the stock
-    firmware (which reads the true thermal state) intervenes.  The
-    controller cannot absorb this: the sustained firmware override is the
-    OS-visible exhaustion signal.
-    """
-    sensor = board.temp_sensor
-    original_update = sensor.update
-
-    def faulty_update(true_temperature):
-        return original_update(true_temperature + bias)
-
-    sensor.update = faulty_update
+__all__ = [
+    "ExhaustionResult",
+    "run",
+    "inject_heatsink_fault",
+    "inject_sensor_fault",
+]
 
 
 @dataclass

@@ -1,0 +1,218 @@
+"""Resilience sweep: fault matrix × schemes under the safe-mode supervisor.
+
+For each controller scheme the experiment first runs fault-free under the
+:class:`~repro.core.supervisor.Supervisor` (a false-positive guard and the
+ExD reference), then replays every campaign of the fault matrix
+(:func:`repro.faults.default_fault_matrix`) and reports, per (fault,
+scheme) cell:
+
+* whether the supervisor detected the fault and the detection latency in
+  control periods from fault onset;
+* time spent in DEGRADED mode and whether the primary controllers were
+  re-promoted to NOMINAL (expected for transient faults);
+* safety-violation time — seconds with the *true* die temperature above
+  the 79 degC limit or big-cluster power above 3.3 W;
+* the ExD penalty relative to the scheme's fault-free supervised run.
+
+The monolithic LQG scheme is excluded: the supervisor swaps whole layer
+pairs and has nothing to degrade a single fused controller *to*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..board import BIG, Board
+from ..core import MultilayerCoordinator, Supervisor, SupervisorConfig
+from ..faults import FaultInjector, default_fault_matrix
+from .report import render_table
+from .runner import instantiate_workload
+from .schemes import (
+    COORDINATED_HEURISTIC,
+    YUKTA_HW_SSV_OS_SSV,
+    DesignContext,
+    build_session,
+)
+
+__all__ = ["ResilienceRow", "ResilienceResult", "run", "supervised_run"]
+
+DEFAULT_SCHEMES = (YUKTA_HW_SSV_OS_SSV, COORDINATED_HEURISTIC)
+
+
+@dataclass
+class ResilienceRow:
+    """One (fault, scheme) cell of the sweep."""
+
+    fault: str
+    scheme: str
+    detected: bool
+    detect_latency: int  # control periods from fault onset (-1 if undetected)
+    degraded_time: float  # s in DEGRADED mode
+    recovered: bool  # re-promoted to NOMINAL after the trip
+    temp_violation_time: float  # s with true temperature > temp_limit
+    power_violation_time: float  # s with big power > power_limit_big
+    exd_penalty_pct: float  # vs the scheme's fault-free supervised run
+
+    def cells(self):
+        return [
+            self.fault,
+            self.scheme,
+            "yes" if self.detected else "no",
+            self.detect_latency if self.detected else "-",
+            f"{self.degraded_time:.1f}",
+            "yes" if self.recovered else "no",
+            f"{self.temp_violation_time:.1f}",
+            f"{self.power_violation_time:.1f}",
+            f"{self.exd_penalty_pct:+.1f}",
+        ]
+
+
+@dataclass
+class ResilienceResult:
+    rows: list
+    baselines: dict  # scheme -> {"exd": float, "false_trip": bool}
+
+    HEADERS = [
+        "fault",
+        "scheme",
+        "det",
+        "lat (per)",
+        "degr (s)",
+        "rec",
+        ">79C (s)",
+        ">3.3W (s)",
+        "dExD (%)",
+    ]
+
+    def render(self):
+        lines = [
+            render_table(
+                self.HEADERS,
+                [row.cells() for row in self.rows],
+                "Fault resilience under the safe-mode supervisor",
+            )
+        ]
+        for scheme, base in self.baselines.items():
+            guard = "TRIPPED (false positive!)" if base["false_trip"] else "no trip"
+            lines.append(
+                f"fault-free {scheme}: ExD={base['exd']:.0f} J*s, supervisor {guard}"
+            )
+        return "\n".join(lines)
+
+    def row(self, fault, scheme):
+        for r in self.rows:
+            if r.fault == fault and r.scheme == scheme:
+                return r
+        raise KeyError((fault, scheme))
+
+
+@dataclass
+class SupervisedRun:
+    """Raw outcome of one supervised run (used by tests and the sweep)."""
+
+    supervisor: Supervisor
+    exd: float
+    completed: bool
+    temp_violation_time: float
+    power_violation_time: float
+    fault_onset: float
+
+
+def supervised_run(context, scheme, campaign=None, workload="gamess",
+                   max_time=200.0, seed=11, config: SupervisorConfig = None):
+    """Run one workload under one scheme, supervised, with optional faults.
+
+    The board gets its own shallow spec copy so plant-parameter faults
+    (capacitance aging mutates ``spec.big``) cannot leak into the shared
+    :class:`DesignContext` across runs.
+    """
+    spec = replace(context.spec)
+    session = build_session(scheme, context)
+    if session.monolithic is not None:
+        raise ValueError(
+            "the supervisor requires a layered scheme; "
+            "monolithic-lqg has no layer pair to degrade to"
+        )
+    primary = MultilayerCoordinator(
+        session.hw_controller,
+        session.sw_controller,
+        session.hw_optimizer,
+        session.sw_optimizer,
+    )
+    supervisor = Supervisor(primary, spec, config=config)
+    board = Board(instantiate_workload(workload), spec=spec, seed=seed,
+                  record=False)
+    injector = FaultInjector(board, campaign, seed=seed) if campaign else None
+    period_steps = int(round(spec.control_period / spec.sim_dt))
+    temp_violation = 0.0
+    power_violation = 0.0
+    while not board.done and board.time < max_time:
+        for _ in range(period_steps):
+            board.step()
+            if injector is not None:
+                injector.advance()
+            if board.thermal.temperature > spec.temp_limit:
+                temp_violation += spec.sim_dt
+            if board._instant_power[BIG] > spec.power_limit_big:
+                power_violation += spec.sim_dt
+            if board.done:
+                break
+        if board.done:
+            break
+        supervisor.control_step(board, period_steps)
+    onset = campaign.first_onset() if campaign is not None else None
+    return SupervisedRun(
+        supervisor=supervisor,
+        exd=board.energy * board.time,
+        completed=board.done,
+        temp_violation_time=temp_violation,
+        power_violation_time=power_violation,
+        fault_onset=onset if onset is not None else -1.0,
+    )
+
+
+def _latency_periods(run, spec):
+    detected_at = run.supervisor.detection_time
+    if detected_at is None or run.fault_onset < 0:
+        return -1
+    return max(0, int(round((detected_at - run.fault_onset) / spec.control_period)))
+
+
+def run(context: DesignContext = None, schemes=DEFAULT_SCHEMES,
+        workload="gamess", fault_time=60.0, max_time=200.0, seed=11,
+        quick=False, config: SupervisorConfig = None, progress=None):
+    """The full fault-matrix × scheme sweep."""
+    context = context or DesignContext.create()
+    matrix = default_fault_matrix(fault_time=fault_time, quick=quick)
+    baselines = {}
+    rows = []
+    for scheme in schemes:
+        base = supervised_run(context, scheme, campaign=None, workload=workload,
+                              max_time=max_time, seed=seed, config=config)
+        baselines[scheme] = {
+            "exd": base.exd,
+            "false_trip": base.supervisor.tripped,
+        }
+        if progress is not None:
+            progress(f"{scheme} fault-free: ExD={base.exd:.0f}")
+        for fault_name, campaign in matrix:
+            result = supervised_run(
+                context, scheme, campaign=campaign, workload=workload,
+                max_time=max_time, seed=seed, config=config,
+            )
+            penalty = 100.0 * (result.exd - base.exd) / base.exd
+            row = ResilienceRow(
+                fault=fault_name,
+                scheme=scheme,
+                detected=result.supervisor.tripped,
+                detect_latency=_latency_periods(result, context.spec),
+                degraded_time=result.supervisor.time_degraded,
+                recovered=result.supervisor.recovered,
+                temp_violation_time=result.temp_violation_time,
+                power_violation_time=result.power_violation_time,
+                exd_penalty_pct=penalty,
+            )
+            rows.append(row)
+            if progress is not None:
+                progress(f"{scheme} / {fault_name}: " + " ".join(map(str, row.cells()[2:])))
+    return ResilienceResult(rows=rows, baselines=baselines)

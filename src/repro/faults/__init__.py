@@ -1,0 +1,37 @@
+"""Fault-injection subsystem: declarative campaigns over a board hook layer.
+
+Faults are declared as :class:`FaultEvent` schedules in a
+:class:`FaultCampaign` and applied by a :class:`FaultInjector` through the
+board's sensor/actuator hooks — never by hand-editing board internals.
+:mod:`repro.core.supervisor` closes the loop on the other side: it detects
+the injected damage at runtime and degrades/recovers gracefully.
+
+See docs/RESILIENCE.md for the fault taxonomy and campaign how-to.
+"""
+
+from .events import CLUSTER_KINDS, FAULT_KINDS, FaultCampaign, FaultEvent
+from .hooks import DROPOUT_SENTINEL, ActuatorFaultState, SensorFault
+from .injector import FaultInjector
+from .library import (
+    default_fault_matrix,
+    heatsink_detachment,
+    inject_heatsink_fault,
+    inject_sensor_fault,
+    sensor_miscalibration,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CLUSTER_KINDS",
+    "FaultEvent",
+    "FaultCampaign",
+    "SensorFault",
+    "ActuatorFaultState",
+    "DROPOUT_SENTINEL",
+    "FaultInjector",
+    "heatsink_detachment",
+    "sensor_miscalibration",
+    "default_fault_matrix",
+    "inject_heatsink_fault",
+    "inject_sensor_fault",
+]

@@ -1,0 +1,181 @@
+"""Declarative fault events and campaigns.
+
+A :class:`FaultEvent` names *what* breaks (a sensor, an actuator, or the
+plant itself), *when* it breaks (board time), and *for how long* (transient
+faults revert; permanent ones do not).  A :class:`FaultCampaign` is an
+ordered set of events that the
+:class:`~repro.faults.injector.FaultInjector` replays against a live board
+through the hook layer — no experiment code ever edits board internals by
+hand.
+
+Fault taxonomy (see docs/RESILIENCE.md):
+
+===================  ==========================================  =========
+kind                 effect                                      target
+===================  ==========================================  =========
+``temp-bias``        temperature sensor reads +magnitude degC    board
+``temp-stuck``       temperature sensor latches its next value   board
+``temp-dropout``     temperature sensor returns the sentinel     board
+``temp-noise``       extra Gaussian noise (rms = magnitude)      board
+``power-bias``       power sensor reads +magnitude W             cluster
+``power-stuck``      power sensor latches its next value         cluster
+``power-dropout``    power sensor returns the sentinel           cluster
+``dvfs-ignored``     frequency writes are silently dropped       cluster
+``hotplug-stuck``    core-count writes are silently dropped      cluster
+``placement-stuck``  placement-knob writes are silently dropped  board
+``heatsink-detach``  thermal resistance scales by magnitude      board
+``capacitance-aging``  switched capacitance scales by magnitude  cluster
+===================  ==========================================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..board.specs import BIG, LITTLE
+
+__all__ = ["FaultEvent", "FaultCampaign", "FAULT_KINDS", "CLUSTER_KINDS"]
+
+FAULT_KINDS = frozenset(
+    {
+        "temp-bias",
+        "temp-stuck",
+        "temp-dropout",
+        "temp-noise",
+        "power-bias",
+        "power-stuck",
+        "power-dropout",
+        "dvfs-ignored",
+        "hotplug-stuck",
+        "placement-stuck",
+        "heatsink-detach",
+        "capacitance-aging",
+    }
+)
+
+# Kinds that target one cluster (and therefore require ``cluster=``).
+CLUSTER_KINDS = frozenset(
+    {
+        "power-bias",
+        "power-stuck",
+        "power-dropout",
+        "dvfs-ignored",
+        "hotplug-stuck",
+        "capacitance-aging",
+    }
+)
+
+# Kinds whose effect needs a magnitude (bias in degC/W, noise rms, or a
+# multiplicative plant factor); the rest are pure on/off modes.
+_MAGNITUDE_KINDS = frozenset(
+    {"temp-bias", "temp-noise", "power-bias", "heatsink-detach",
+     "capacitance-aging"}
+)
+
+_DEFAULT_MAGNITUDE = {"heatsink-detach": 2.0, "capacitance-aging": 1.6}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    start:
+        Board time (s) at which the fault becomes active.
+    duration:
+        Seconds the fault stays active; ``None`` means permanent.
+    cluster:
+        ``"big"`` or ``"little"`` for cluster-targeted kinds, else ``None``.
+    magnitude:
+        Bias (degC / W), extra-noise rms, or multiplicative plant factor,
+        depending on ``kind``.
+    """
+
+    kind: str
+    start: float = 0.0
+    duration: float = None
+    cluster: str = None
+    magnitude: float = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}"
+            )
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive or None, got {self.duration}")
+        if self.kind in CLUSTER_KINDS:
+            if self.cluster not in (BIG, LITTLE):
+                raise ValueError(
+                    f"{self.kind!r} targets a cluster; cluster must be "
+                    f"{BIG!r} or {LITTLE!r}, got {self.cluster!r}"
+                )
+        elif self.cluster is not None:
+            raise ValueError(f"{self.kind!r} is board-wide; cluster must be None")
+        if self.magnitude is None and self.kind in _MAGNITUDE_KINDS:
+            default = _DEFAULT_MAGNITUDE.get(self.kind)
+            if default is None:
+                raise ValueError(f"{self.kind!r} requires a magnitude")
+            object.__setattr__(self, "magnitude", default)
+
+    @property
+    def permanent(self):
+        return self.duration is None
+
+    @property
+    def end(self):
+        """Board time at which the fault reverts (``inf`` if permanent)."""
+        return float("inf") if self.permanent else self.start + self.duration
+
+    def active_at(self, time):
+        return self.start <= time < self.end
+
+    def describe(self):
+        target = f" [{self.cluster}]" if self.cluster else ""
+        life = "permanent" if self.permanent else f"for {self.duration:g}s"
+        mag = f" x{self.magnitude:g}" if self.magnitude is not None else ""
+        return f"{self.kind}{target}{mag} @ t={self.start:g}s ({life})"
+
+
+@dataclass
+class FaultCampaign:
+    """An ordered schedule of :class:`FaultEvent` instances."""
+
+    events: list = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self):
+        self.events = sorted(self.events, key=lambda e: e.start)
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"campaign entries must be FaultEvent, got {event!r}")
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self):
+        return len(self.events)
+
+    def active_at(self, time):
+        """Events active at a board time."""
+        return [e for e in self.events if e.active_at(time)]
+
+    def first_onset(self):
+        """Start time of the earliest event (None for an empty campaign)."""
+        return self.events[0].start if self.events else None
+
+    @property
+    def transient(self):
+        """True when every event eventually reverts."""
+        return bool(self.events) and all(not e.permanent for e in self.events)
+
+    def describe(self):
+        title = self.name or "fault campaign"
+        lines = [f"{title} ({len(self.events)} event(s)):"]
+        lines.extend(f"  - {event.describe()}" for event in self.events)
+        return "\n".join(lines)

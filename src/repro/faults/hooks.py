@@ -1,0 +1,114 @@
+"""The board hook layer: sensor-fault callables and actuator-fault state.
+
+Sensors expose a ``fault_hook`` attribute (see
+:mod:`repro.board.sensors`): when set, every ``read()`` passes the healthy
+value through the hook.  :class:`SensorFault` is the standard hook — bias,
+stuck-at, dropout, and extra-noise modes.
+
+The board's actuation API consults ``board.fault_hooks`` (duck-typed; see
+:class:`ActuatorFaultState`) before applying a command, which is how DVFS
+writes get ignored, hotplug gets stuck, and placement knobs freeze without
+any experiment code reaching into board internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..board.specs import BIG, LITTLE
+
+__all__ = ["SensorFault", "ActuatorFaultState", "DROPOUT_SENTINEL"]
+
+# The documented dropout sentinel: a dropped-out sensor reads NaN, exactly
+# like an I2C read failure surfacing as an invalid register value.  The
+# supervisor treats non-finite readings as a sensor-dropout signal.
+DROPOUT_SENTINEL = float("nan")
+
+
+class SensorFault:
+    """A callable sensor-fault hook.
+
+    Modes
+    -----
+    ``"bias"``
+        Reads are offset by ``magnitude`` (degC or W).
+    ``"stuck"``
+        The first faulty read latches the healthy value; every later read
+        returns that latched value regardless of the true signal.
+    ``"dropout"``
+        Reads return :data:`DROPOUT_SENTINEL` (NaN).
+    ``"noise"``
+        Reads gain zero-mean Gaussian noise with rms ``magnitude`` drawn
+        from ``rng`` — pass an explicitly seeded generator for
+        reproducible faulty traces.
+    """
+
+    MODES = ("bias", "stuck", "dropout", "noise")
+
+    def __init__(self, mode, magnitude=0.0, rng=None):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown sensor-fault mode {mode!r}; known: {self.MODES}")
+        if mode == "noise" and rng is None:
+            rng = np.random.default_rng(0)
+        self.mode = mode
+        self.magnitude = float(magnitude)
+        self._rng = rng
+        self._latched = None
+
+    def __call__(self, value):
+        if self.mode == "bias":
+            return value + self.magnitude
+        if self.mode == "stuck":
+            if self._latched is None:
+                self._latched = value
+            return self._latched
+        if self.mode == "dropout":
+            return DROPOUT_SENTINEL
+        return value + self._rng.normal(scale=self.magnitude)
+
+    def __repr__(self):
+        return f"SensorFault(mode={self.mode!r}, magnitude={self.magnitude!r})"
+
+
+class ActuatorFaultState:
+    """Actuator-fault flags the board's actuation API consults.
+
+    Installed as ``board.fault_hooks`` by the
+    :class:`~repro.faults.injector.FaultInjector`.  The board only calls
+    the three ``blocks_*`` predicates, so any object with the same methods
+    can serve as a custom hook.
+    """
+
+    def __init__(self):
+        self._dvfs_ignored = {BIG: 0, LITTLE: 0}
+        self._hotplug_stuck = {BIG: 0, LITTLE: 0}
+        self._placement_stuck = 0
+
+    # --- predicates the board calls -----------------------------------
+    def blocks_dvfs(self, cluster_name):
+        return self._dvfs_ignored[cluster_name] > 0
+
+    def blocks_hotplug(self, cluster_name):
+        return self._hotplug_stuck[cluster_name] > 0
+
+    def blocks_placement(self):
+        return self._placement_stuck > 0
+
+    # --- setters the injector calls (counted, so overlapping transient
+    # faults of the same kind compose correctly) -----------------------
+    def set_dvfs_ignored(self, cluster_name, active):
+        self._dvfs_ignored[cluster_name] += 1 if active else -1
+
+    def set_hotplug_stuck(self, cluster_name, active):
+        self._hotplug_stuck[cluster_name] += 1 if active else -1
+
+    def set_placement_stuck(self, active):
+        self._placement_stuck += 1 if active else -1
+
+    @property
+    def any_active(self):
+        return (
+            any(v > 0 for v in self._dvfs_ignored.values())
+            or any(v > 0 for v in self._hotplug_stuck.values())
+            or self._placement_stuck > 0
+        )

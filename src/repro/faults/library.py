@@ -1,0 +1,127 @@
+"""Named fault campaigns plus the legacy one-shot injection helpers.
+
+The campaign constructors are the vocabulary the resilience experiment
+sweeps over; ``inject_heatsink_fault`` / ``inject_sensor_fault`` are the
+original ad-hoc helpers from ``experiments/exhaustion.py``, reimplemented
+on top of the campaign machinery (immediate, permanent events) with
+byte-identical board effects so the exhaustion results are unchanged.
+"""
+
+from __future__ import annotations
+
+from ..board.specs import BIG
+from .events import FaultCampaign, FaultEvent
+from .injector import FaultInjector
+
+__all__ = [
+    "heatsink_detachment",
+    "sensor_miscalibration",
+    "default_fault_matrix",
+    "inject_heatsink_fault",
+    "inject_sensor_fault",
+]
+
+
+def heatsink_detachment(start=0.0, duration=None, resistance_factor=2.0,
+                        capacitance_factor=1.6):
+    """Detached heatsink plus silicon aging (the Sec. II-B plant fault).
+
+    Thermal resistance jumps by ``resistance_factor`` and the big cluster's
+    switched capacitance by ``capacitance_factor`` — far outside any
+    reasonable modelling guardband, but still stabilizable at a degraded
+    operating point.
+    """
+    events = [
+        FaultEvent("heatsink-detach", start=start, duration=duration,
+                   magnitude=resistance_factor),
+    ]
+    if capacitance_factor and capacitance_factor != 1.0:
+        events.append(
+            FaultEvent("capacitance-aging", start=start, duration=duration,
+                       cluster=BIG, magnitude=capacitance_factor)
+        )
+    life = "transient" if duration is not None else "permanent"
+    return FaultCampaign(events, name=f"heatsink-detach ({life})")
+
+
+def sensor_miscalibration(start=0.0, duration=None, bias=-15.0):
+    """Temperature sensor under-reads by ``|bias|`` degC (TMU miscalibration)."""
+    return FaultCampaign(
+        [FaultEvent("temp-bias", start=start, duration=duration, magnitude=bias)],
+        name="temp-sensor miscalibration",
+    )
+
+
+def default_fault_matrix(fault_time=60.0, quick=False):
+    """The resilience sweep's fault matrix: (name, campaign) pairs.
+
+    ``quick=True`` keeps the three scenarios that exercise every monitor
+    class (plant fault, transient plant fault, actuator fault) — the
+    reduced matrix the benchmark and CI run.
+    """
+    t = float(fault_time)
+    # The permanent detach (x2 resistance) is the stealthy case: the SSV
+    # controller absorbs it thermally, so only the deviation monitor fires.
+    # The transient detach is made harsher (x3) so the stock firmware trips
+    # and the fast override path is exercised too.
+    matrix = [
+        ("heatsink-detach", heatsink_detachment(start=t)),
+        ("heatsink-detach-transient",
+         heatsink_detachment(start=t, duration=30.0, resistance_factor=3.0)),
+        ("dvfs-ignored-transient", FaultCampaign(
+            [FaultEvent("dvfs-ignored", start=t, duration=25.0, cluster=BIG)],
+            name="dvfs-ignored (transient)")),
+    ]
+    if quick:
+        return matrix
+    matrix += [
+        ("temp-bias", sensor_miscalibration(start=t)),
+        ("temp-stuck-transient", FaultCampaign(
+            [FaultEvent("temp-stuck", start=t, duration=20.0)],
+            name="temp-stuck (transient)")),
+        ("power-dropout-transient", FaultCampaign(
+            [FaultEvent("power-dropout", start=t, duration=20.0, cluster=BIG)],
+            name="big-power dropout (transient)")),
+        ("hotplug-stuck", FaultCampaign(
+            [FaultEvent("hotplug-stuck", start=t, cluster=BIG)],
+            name="big-hotplug stuck (permanent)")),
+        ("capacitance-aging", FaultCampaign(
+            [FaultEvent("capacitance-aging", start=t, cluster=BIG,
+                        magnitude=1.5)],
+            name="capacitance aging (permanent)")),
+    ]
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Legacy helpers (formerly in experiments/exhaustion.py)
+# ----------------------------------------------------------------------
+def inject_heatsink_fault(board, resistance_factor=2.0, capacitance_factor=1.6):
+    """Degrade the thermal path and raise switching capacitance, immediately.
+
+    Models a detached heatsink plus silicon aging — a plant far outside
+    any reasonable modelling guardband, but one a robust controller can
+    still *stabilize* (at a lower operating point).  Implemented as a
+    permanent :func:`heatsink_detachment` campaign applied at the board's
+    current time; returns the installed :class:`FaultInjector`.
+    """
+    campaign = heatsink_detachment(
+        start=board.time,
+        resistance_factor=resistance_factor,
+        capacitance_factor=capacitance_factor,
+    )
+    return FaultInjector(board, campaign).advance()
+
+
+def inject_sensor_fault(board, bias=-15.0):
+    """Miscalibrate the temperature sensor: it under-reads by ``bias`` degC.
+
+    The controller then regulates the *measured* temperature to its target
+    while the true die temperature runs ~12 degC hotter — until the stock
+    firmware (which reads the true thermal state) intervenes.  The
+    controller cannot absorb this: the sustained firmware override is the
+    OS-visible exhaustion signal.  Implemented as a permanent ``temp-bias``
+    event applied at the board's current time; returns the injector.
+    """
+    campaign = sensor_miscalibration(start=board.time, bias=bias)
+    return FaultInjector(board, campaign).advance()

@@ -184,3 +184,54 @@ class TestWorkloadLibrary:
         assert t_bar.remaining == pytest.approx(0.0)
         assert not barrier.done
         assert len(barrier.runnable_threads()) == 1  # the other thread
+
+
+class TestActuationValidation:
+    """Out-of-range / non-finite commands clamp or drop, and are counted."""
+
+    def test_out_of_range_frequency_clamps_and_counts(self, board):
+        board.set_cluster_frequency(BIG, 99.0)
+        assert board.clusters[BIG].frequency == pytest.approx(2.0)
+        assert board.rejected_actuations["frequency"] == 1
+        board.set_cluster_frequency(BIG, -1.0)
+        assert board.clusters[BIG].frequency == pytest.approx(0.2)
+        assert board.rejected_actuations["frequency"] == 2
+
+    def test_non_finite_frequency_keeps_previous_setting(self, board):
+        board.set_cluster_frequency(BIG, 1.2)
+        for bad in (float("nan"), float("inf"), "fast"):
+            board.set_cluster_frequency(BIG, bad)
+            assert board.clusters[BIG].frequency == pytest.approx(1.2)
+        assert board.rejected_actuations["frequency"] == 3
+
+    def test_out_of_range_cores_clamp_and_count(self, board):
+        board.set_active_cores(BIG, 9)
+        assert board.clusters[BIG].cores_on == 4
+        board.set_active_cores(BIG, 0)
+        assert board.clusters[BIG].cores_on == 1
+        assert board.rejected_actuations["cores"] == 2
+
+    def test_non_finite_cores_keep_previous_setting(self, board):
+        board.set_active_cores(BIG, 3)
+        board.set_active_cores(BIG, float("nan"))
+        assert board.clusters[BIG].cores_on == 3
+        assert board.rejected_actuations["cores"] == 1
+
+    def test_placement_knob_validation(self, board):
+        before = board.observe_placement()[BIG]["n_threads"]
+        # Non-finite: the whole call is dropped.
+        board.set_placement_knobs(float("nan"), 1.0, 1.0)
+        assert board.observe_placement()[BIG]["n_threads"] == before
+        assert board.rejected_actuations["placement"] == 1
+        # Out-of-range knobs clamp but the (clamped) call still applies.
+        board.set_placement_knobs(999, 1.0, 1.0)
+        assert board.observe_placement()[BIG]["n_threads"] == 4
+        assert board.rejected_actuations["placement"] == 2
+
+    def test_legal_commands_are_not_counted(self, board):
+        board.set_cluster_frequency(BIG, 1.0)
+        board.set_active_cores(BIG, 2)
+        board.set_placement_knobs(2, 1.0, 1.0)
+        assert board.rejected_actuations == {
+            "frequency": 0, "cores": 0, "placement": 0,
+        }

@@ -25,6 +25,18 @@ class TestCli:
             main(["definitely-not-a-command"])
 
     @pytest.mark.slow
+    def test_resilience_command(self, capsys):
+        """The resilience command sweeps the quick fault matrix."""
+        from repro.__main__ import main
+
+        code = main(["resilience", "--quick", "--samples", "60", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heatsink-detach" in out
+        assert "yukta-hwssv-osssv" in out
+        assert "fault-free" in out
+
+    @pytest.mark.slow
     def test_run_command(self, capsys, monkeypatch):
         """The run command builds a context and prints run metrics."""
         from repro.__main__ import main

@@ -1,0 +1,271 @@
+"""Tests for the safe-mode supervisor state machine (repro.core.supervisor)."""
+
+import numpy as np
+import pytest
+
+from repro.board import BIG, LITTLE, Board, default_xu3_spec
+from repro.core import (
+    DEGRADED,
+    NOMINAL,
+    RECOVERING,
+    MultilayerCoordinator,
+    Supervisor,
+    SupervisorConfig,
+)
+from repro.faults import FaultEvent, FaultInjector
+from repro.workloads import Application, Phase
+
+PERIOD_STEPS = 10
+
+
+class EchoHW:
+    """Scripted HW controller: replays a sequence, then echoes board state.
+
+    Echoing the achieved state back as the command makes every period pass
+    the read-back check, so individual monitors can be staged in isolation.
+    """
+
+    def __init__(self, board, sequence=()):
+        self.board = board
+        self.sequence = list(sequence)
+        self.resets = 0
+        self.guardband_exhausted = False
+
+    def set_targets(self, targets):
+        pass
+
+    def step(self, outputs, externals):
+        if self.sequence:
+            return list(self.sequence.pop(0))
+        b = self.board
+        return [
+            b.clusters[BIG].cores_on,
+            b.clusters[LITTLE].cores_on,
+            b.clusters[BIG].frequency,
+            b.clusters[LITTLE].frequency,
+        ]
+
+    def reset(self):
+        self.resets += 1
+        self.guardband_exhausted = False
+
+
+class EchoHWNoFlag(EchoHW):
+    """Echo controller *without* a ``guardband_exhausted`` attribute, so the
+    supervisor's own monitors (not the coordinator's flag path) are under
+    test."""
+
+    def __init__(self, board, sequence=()):
+        super().__init__(board, sequence)
+        del self.guardband_exhausted
+
+    def reset(self):
+        self.resets += 1
+
+
+def _board(seed=1):
+    app = Application("tiny", [Phase("p", 4, 200.0, mpki=0.5)])
+    board = Board(app, spec=default_xu3_spec(), seed=seed, record=False)
+    # A moderate operating point: the scripted echo controller holds state
+    # rather than regulating, so the boot state must not be one the stock
+    # firmware would legitimately throttle (4 big cores flat out).
+    board.set_active_cores(BIG, 2)
+    board.set_cluster_frequency(BIG, 1.0)
+    board.set_cluster_frequency(LITTLE, 0.8)
+    return board
+
+
+def _supervised(board, hw, config=None):
+    primary = MultilayerCoordinator(hw)
+    return Supervisor(primary, board.spec, config=config)
+
+
+def _run(board, supervisor, periods, injector=None):
+    for _ in range(periods):
+        for _ in range(PERIOD_STEPS):
+            board.step()
+            if injector is not None:
+                injector.advance()
+        supervisor.control_step(board, PERIOD_STEPS)
+
+
+class TestNoFalseTrips:
+    def test_fault_free_run_stays_nominal(self):
+        board = _board()
+        supervisor = _supervised(board, EchoHW(board))
+        _run(board, supervisor, 30)
+        assert supervisor.state == NOMINAL
+        assert not supervisor.tripped
+        assert supervisor.events == []
+        assert supervisor.time_degraded == 0.0
+
+
+class TestTrips:
+    def test_nan_actuation_trips_immediately(self):
+        board = _board()
+        nan_cmd = [4, 4, float("nan"), 0.9]
+        supervisor = _supervised(board, EchoHW(board, sequence=[nan_cmd]))
+        _run(board, supervisor, 1)
+        assert supervisor.state == DEGRADED
+        assert supervisor.events[0].reason == "nan-actuation"
+
+    def test_guardband_exhausted_flag_trips(self):
+        board = _board()
+        hw = EchoHW(board)
+        supervisor = _supervised(board, hw)
+        _run(board, supervisor, 2)
+        hw.guardband_exhausted = True
+        _run(board, supervisor, 1)
+        assert supervisor.state == DEGRADED
+        assert supervisor.events[0].reason == "guardband-exhausted"
+
+    def test_sensor_dropout_trips_after_streak(self):
+        board = _board()
+        config = SupervisorConfig(dropout_trip_periods=3)
+        supervisor = _supervised(board, EchoHWNoFlag(board), config=config)
+        injector = FaultInjector(board, FaultEvent("temp-dropout", start=0.0))
+        injector.advance()
+        _run(board, supervisor, 2)
+        assert supervisor.state == NOMINAL  # streak not yet long enough
+        _run(board, supervisor, 1)
+        assert supervisor.state == DEGRADED
+        assert supervisor.events[0].reason == "sensor-dropout"
+
+    def test_firmware_override_trips_after_streak(self):
+        board = _board()
+
+        class StuckEmergency:
+            def __init__(self):
+                self.state = type(
+                    "S", (), {"any_active": True, "trip_count": 1}
+                )()
+
+            def update(self, *args, **kwargs):
+                return self.state
+
+            def frequency_cap(self, name):
+                return None
+
+            def core_cap(self, name):
+                return None
+
+        board.emergency = StuckEmergency()
+        config = SupervisorConfig(override_trip_periods=4)
+        supervisor = _supervised(board, EchoHWNoFlag(board), config=config)
+        _run(board, supervisor, 3)
+        assert supervisor.state == NOMINAL
+        _run(board, supervisor, 1)
+        assert supervisor.state == DEGRADED
+        assert supervisor.events[0].reason == "firmware-override"
+
+    def test_actuation_readback_trips_with_bounded_retry(self):
+        board = _board()
+        board.set_cluster_frequency(BIG, 1.0)
+        # Command 1.5 GHz every period while DVFS writes are ignored.
+        cmd = [4, 4, 1.5, 0.9]
+        config = SupervisorConfig(readback_retries=2, readback_trip_periods=3)
+        supervisor = _supervised(
+            board, EchoHWNoFlag(board, sequence=[cmd] * 50), config=config
+        )
+        injector = FaultInjector(
+            board, FaultEvent("dvfs-ignored", start=0.0, cluster=BIG)
+        )
+        injector.advance()
+        _run(board, supervisor, 3)
+        assert supervisor.state == DEGRADED
+        assert supervisor.events[0].reason == "actuation-readback"
+        # Each mismatched period burned the configured number of retries.
+        assert supervisor.counters["readback-retries"] >= 2
+
+    def test_rejected_actuation_trips_after_streak(self):
+        board = _board()
+        # Persistently out-of-range frequency: the board clamps (and counts)
+        # it, so the read-back matches but the rejection counter climbs.
+        cmd = [4, 4, 5.0, 0.9]
+        config = SupervisorConfig(rejected_trip_periods=3)
+        supervisor = _supervised(
+            board, EchoHWNoFlag(board, sequence=[cmd] * 50), config=config
+        )
+        _run(board, supervisor, 3)
+        assert supervisor.state == DEGRADED
+        assert supervisor.events[0].reason == "rejected-actuation"
+        assert board.rejected_actuations["frequency"] >= 3
+
+    def test_railed_actuation_trips_under_violation(self):
+        board = _board()
+        # Sensor reads far above the limit while the command rails at the
+        # bottom of the frequency grid: the plant is not responding.
+        injector = FaultInjector(
+            board, FaultEvent("temp-bias", start=0.0, magnitude=60.0)
+        )
+        injector.advance()
+        rail = [1, 1, 0.2, 0.2]
+        config = SupervisorConfig(railed_trip_periods=4)
+        supervisor = _supervised(
+            board, EchoHWNoFlag(board, sequence=[rail] * 50), config=config
+        )
+        _run(board, supervisor, 4, injector=injector)
+        assert supervisor.state == DEGRADED
+        assert supervisor.events[0].reason == "railed-actuation"
+
+
+class TestDegradedMode:
+    def test_fallback_engages_on_trip(self):
+        from repro.baselines.heuristics import CoordinatedHeuristicHW
+
+        board = _board()
+        hw = EchoHW(board, sequence=[[4, 4, float("nan"), 0.9]])
+        supervisor = _supervised(board, hw)
+        _run(board, supervisor, 1)
+        assert supervisor.state == DEGRADED
+        active = supervisor.active_coordinator
+        assert isinstance(active.hw_controller, CoordinatedHeuristicHW)
+        _run(board, supervisor, 2)  # fallback drives the board without issue
+        assert len(active.records) >= 2
+
+    def test_probation_repromotes_and_resets_primary(self):
+        board = _board()
+        config = SupervisorConfig(
+            dropout_trip_periods=2,
+            min_degraded_periods=2,
+            stable_periods=2,
+            probation_periods=2,
+        )
+        hw = EchoHW(board)
+        supervisor = _supervised(board, hw, config=config)
+        injector = FaultInjector(
+            board, FaultEvent("temp-dropout", start=0.0, duration=2.0)
+        )
+        injector.advance()
+        _run(board, supervisor, 2, injector=injector)
+        assert supervisor.state == DEGRADED
+        _run(board, supervisor, 20, injector=injector)
+        assert supervisor.state == NOMINAL
+        transitions = [e.transition for e in supervisor.events]
+        assert transitions == [
+            "NOMINAL->DEGRADED",
+            "DEGRADED->RECOVERING",
+            "RECOVERING->NOMINAL",
+        ]
+        assert hw.resets >= 1  # primary got a clean slate before probation
+        assert supervisor.time_degraded > 0.0
+
+    def test_unclean_probation_demotes_with_backoff(self):
+        board = _board()
+        config = SupervisorConfig(
+            dropout_trip_periods=2,
+            min_degraded_periods=2,
+            stable_periods=2,
+            probation_periods=50,  # long probation: fault returns during it
+        )
+        supervisor = _supervised(board, EchoHWNoFlag(board), config=config)
+        # Permanent dropout: every probation attempt sees dirty periods.
+        injector = FaultInjector(board, FaultEvent("temp-dropout", start=0.0))
+        injector.advance()
+        _run(board, supervisor, 30, injector=injector)
+        assert supervisor.state == DEGRADED
+        demotions = [
+            e for e in supervisor.events if e.transition == "RECOVERING->DEGRADED"
+        ]
+        assert not demotions or supervisor.counters["sensor-dropout"] >= 1
+        assert supervisor.tripped and not supervisor.recovered
