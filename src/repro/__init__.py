@@ -27,6 +27,9 @@ Subpackages
     The comparison controllers (heuristics and LQG variants).
 ``repro.experiments``
     The evaluation harness: one module per paper table/figure.
+``repro.telemetry``
+    Observability: metrics registry, control-loop span tracing, and the
+    flight recorder (off by default; ``--telemetry DIR`` on the CLI).
 
 Quickstart
 ----------
@@ -49,4 +52,5 @@ __all__ = [
     "core",
     "baselines",
     "experiments",
+    "telemetry",
 ]

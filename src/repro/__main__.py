@@ -10,6 +10,15 @@ Commands
 ``exhaustion``        the guardband-exhaustion detection experiment
 ``resilience``        the fault-matrix sweep under the safe-mode supervisor
 ``three-layer``       the Sec. III-D three-layer demonstration
+``trace``             summarize a recorded telemetry directory
+
+Telemetry
+---------
+Every experiment command accepts ``--telemetry DIR``: the run then records
+control-loop spans (``spans.jsonl`` + Perfetto-loadable ``trace.json``), a
+metrics snapshot (``metrics.prom`` / ``metrics.json``), and flight-recorder
+dumps (``flight-*.json``) triggered by supervisor transitions and fault
+injections.  Inspect a finished directory with ``python -m repro trace DIR``.
 """
 
 from __future__ import annotations
@@ -23,6 +32,8 @@ def _add_context_args(parser):
                         help="characterization samples per training program")
     parser.add_argument("--seed", type=int, default=1234,
                         help="characterization seed")
+    parser.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="record metrics/spans/flight dumps into DIR")
 
 
 def _make_context(args):
@@ -42,6 +53,11 @@ def main(argv=None):
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="render Tables I-IV")
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize a recorded --telemetry directory"
+    )
+    p_trace.add_argument("dir", help="telemetry output directory")
 
     p_design = sub.add_parser("design", help="two-layer design flow summary")
     _add_context_args(p_design)
@@ -85,6 +101,33 @@ def main(argv=None):
         print(tables.render_all())
         return 0
 
+    if args.command == "trace":
+        from repro.telemetry import summarize_dir
+
+        print(summarize_dir(args.dir))
+        return 0
+
+    session = None
+    if getattr(args, "telemetry", None):
+        from repro.telemetry import TelemetrySession, activate
+
+        session = activate(TelemetrySession(args.telemetry))
+        print(f"Telemetry enabled: recording to {args.telemetry}",
+              file=sys.stderr)
+    try:
+        return _dispatch(args, figure_commands)
+    finally:
+        if session is not None:
+            session.close()
+            print(
+                f"Telemetry written to {args.telemetry} "
+                "(inspect with: python -m repro trace "
+                f"{args.telemetry})",
+                file=sys.stderr,
+            )
+
+
+def _dispatch(args, figure_commands):
     context = _make_context(args)
 
     if args.command == "design":

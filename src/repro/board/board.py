@@ -62,9 +62,22 @@ class BoardTrace:
 
 
 class Board:
-    """Discrete-time simulator of the 8-core big.LITTLE board."""
+    """Discrete-time simulator of the 8-core big.LITTLE board.
 
-    def __init__(self, applications, spec: BoardSpec = None, seed=0, record=True):
+    ``telemetry`` is an optional
+    :class:`~repro.telemetry.TelemetrySession`; when omitted the board
+    picks up the process-wide session (usually ``None`` — telemetry
+    disabled), and every instrumented path stays behind a single
+    ``is not None`` check.
+    """
+
+    def __init__(self, applications, spec: BoardSpec = None, seed=0, record=True,
+                 telemetry=None):
+        if telemetry is None:
+            from ..telemetry import active_session
+
+            telemetry = active_session()
+        self.telemetry = telemetry
         self.spec = spec or default_xu3_spec()
         self._rng = np.random.default_rng(seed)
         if not isinstance(applications, (list, tuple)):
@@ -100,7 +113,12 @@ class Board:
         self.fault_hooks = None
         # Commands rejected (non-finite) or clamped (out of range) by the
         # actuation API; the safe-mode supervisor monitors these counters.
+        # ``nonfinite_commands`` counts the dropped-outright subset.
+        # Read them through :meth:`counters`.
         self.rejected_actuations = {"frequency": 0, "cores": 0, "placement": 0}
+        self.nonfinite_commands = {"frequency": 0, "cores": 0, "placement": 0}
+        if self.telemetry is not None:
+            self.emergency.on_trip = self._tmu_trip
         self._instant_power = {BIG: 0.0, LITTLE: 0.0}
         self._instant_bips = {BIG: 0.0, LITTLE: 0.0}
         self._default_placement()
@@ -118,14 +136,20 @@ class Board:
         """
         try:
             value = float(value)
+            finite = np.isfinite(value)
         except (TypeError, ValueError):
+            finite = False
+        if not finite:
             self.rejected_actuations[kind] += 1
-            return None
-        if not np.isfinite(value):
-            self.rejected_actuations[kind] += 1
+            self.nonfinite_commands[kind] += 1
+            if self.telemetry is not None:
+                self.telemetry.rejected.labels(kind=kind).inc()
+                self.telemetry.nonfinite.labels(kind=kind).inc()
             return None
         if value < low - 1e-9 or value > high + 1e-9:
             self.rejected_actuations[kind] += 1
+            if self.telemetry is not None:
+                self.telemetry.rejected.labels(kind=kind).inc()
             return float(min(max(value, low), high))
         return value
 
@@ -221,6 +245,27 @@ class Board:
     def runnable_thread_count(self):
         return len(self._gather_runnable_threads())
 
+    def counters(self):
+        """Public snapshot of the board's actuation-health counters.
+
+        ``rejected`` counts every command the actuation API refused or
+        clamped (the superset); ``nonfinite`` counts the dropped-outright
+        NaN/inf subset.  ``tmu_trips`` / ``tmu_throttle_time`` expose the
+        emergency firmware's interventions.
+        """
+        return {
+            "rejected": dict(self.rejected_actuations),
+            "nonfinite": dict(self.nonfinite_commands),
+            "tmu_trips": self.emergency.state.trip_count,
+            "tmu_throttle_time": self.emergency.state.throttle_time,
+        }
+
+    def reset_counters(self):
+        """Zero the rejected/non-finite actuation counters."""
+        for counter in (self.rejected_actuations, self.nonfinite_commands):
+            for key in counter:
+                counter[key] = 0
+
     @property
     def done(self):
         return all(app.done for app in self.applications)
@@ -307,6 +352,14 @@ class Board:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _tmu_trip(self, kind):
+        """Emergency-firmware trip callback (installed when telemetry is on)."""
+        tel = self.telemetry
+        if tel is not None:
+            tel.tmu_trips.labels(type=kind).inc()
+            tel.instant("tmu.trip", cat="firmware", kind=kind,
+                        board_time=self.time)
+
     def _effective_frequency(self, cluster_name):
         freq = self.clusters[cluster_name].frequency
         cap = self.emergency.frequency_cap(cluster_name)

@@ -25,6 +25,7 @@ class EmergencyState:
     thermal_throttled: bool = False
     power_throttled: dict = field(default_factory=lambda: {BIG: False, LITTLE: False})
     trip_count: int = 0
+    throttle_time: float = 0.0  # cumulative seconds with any override active
 
     @property
     def any_active(self):
@@ -42,6 +43,9 @@ class EmergencyManager:
     def __init__(self, spec: BoardSpec):
         self._spec = spec
         self.state = EmergencyState()
+        # Optional trip observer (installed by the telemetry layer): called
+        # with "thermal" / "power-big" / "power-little" on each trip edge.
+        self.on_trip = None
         self._over_power_time = {BIG: 0.0, LITTLE: 0.0}
         self._under_power_time = {BIG: 0.0, LITTLE: 0.0}
         self._hold_time = {BIG: 0.0, LITTLE: 0.0}
@@ -80,6 +84,8 @@ class EmergencyManager:
             if temperature >= spec.emergency_temp_trip:
                 self.state.thermal_throttled = True
                 self.state.trip_count += 1
+                if self.on_trip is not None:
+                    self.on_trip("thermal")
         else:
             if temperature <= spec.emergency_temp_clear:
                 self.state.thermal_throttled = False
@@ -106,10 +112,14 @@ class EmergencyManager:
                 self.state.power_throttled[name] = True
                 self.state.trip_count += 1
                 self._hold_time[name] = 0.0
+                if self.on_trip is not None:
+                    self.on_trip(f"power-{name}")
             elif (
                 self.state.power_throttled[name]
                 and self._hold_time[name] >= self.MIN_HOLD
                 and self._under_power_time[name] >= self.POWER_CLEAR_DELAY
             ):
                 self.state.power_throttled[name] = False
+        if self.state.any_active:
+            self.state.throttle_time += dt
         return self.state

@@ -10,14 +10,20 @@ knobs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..board import BIG, LITTLE, Board
+from ..telemetry.tracing import NULL_SPAN
 from .characterize import sample_signals
 from .layer import HW_OUTPUTS, SW_OUTPUTS
 from .optimizer import ExDOptimizer, exd_metric
+
+
+def _null_span(*args, **kwargs):
+    return NULL_SPAN
 
 __all__ = ["MultilayerCoordinator", "ControlStepRecord"]
 
@@ -56,15 +62,22 @@ class MultilayerCoordinator:
         sw_controller=None,
         hw_optimizer: ExDOptimizer = None,
         sw_optimizer: ExDOptimizer = None,
+        telemetry=None,
     ):
         self.hw_controller = hw_controller
         self.sw_controller = sw_controller
         self.hw_optimizer = hw_optimizer
         self.sw_optimizer = sw_optimizer
+        if telemetry is None:
+            from ..telemetry import active_session
+
+            telemetry = active_session()
+        self.telemetry = telemetry
         self.records = []
         self._last_hw_actuation = None
         self._last_sw_actuation = None
         self._override_streak = 0
+        self._opt_published = {"hw": (0, 0), "sw": (0, 0)}
 
     def reset(self):
         for ctrl in (self.hw_controller, self.sw_controller):
@@ -77,6 +90,7 @@ class MultilayerCoordinator:
         self._last_hw_actuation = None
         self._last_sw_actuation = None
         self._override_streak = 0
+        self._opt_published = {"hw": (0, 0), "sw": (0, 0)}
 
     def control_step(self, board: Board, period_steps, signals=None):
         """One control period: sense, optimize targets, actuate both layers.
@@ -88,11 +102,15 @@ class MultilayerCoordinator:
         and to scrub non-finite sensor readings before they reach the
         controller state machines.
         """
+        tel = self.telemetry
+        span = tel.span if tel is not None else _null_span
+        t_start = time.perf_counter() if tel is not None else 0.0
         # Firmware-override detection: the emergency TMU intervening under
         # the controller is visible to the OS (throttle status in sysfs on
         # real boards) and means the plant has left the designed-for
         # envelope — the runtime equivalent of guardband exhaustion.
-        if board.emergency.state.any_active:
+        override_active = board.emergency.state.any_active
+        if override_active:
             self._override_streak += 1
         else:
             self._override_streak = 0
@@ -102,7 +120,8 @@ class MultilayerCoordinator:
         ):
             self.hw_controller.guardband_exhausted = True
         if signals is None:
-            signals = sample_signals(board, period_steps)
+            with span("sample", board_time=board.time):
+                signals = sample_signals(board, period_steps)
         outputs_hw = np.array([signals[name] for name in HW_OUTPUTS])
         outputs_sw = np.array([signals[name] for name in SW_OUTPUTS])
         # The optimizer's ExD proxy must price the whole platform: leaving
@@ -115,14 +134,15 @@ class MultilayerCoordinator:
         exd = exd_metric(total_power, signals["bips_total"])
 
         # --- target optimization (Fig. 5) -----------------------------
-        if self.hw_optimizer is not None:
-            self.hw_controller.set_targets(
-                self.hw_optimizer.update(exd, outputs_hw)
-            )
-        if self.sw_optimizer is not None and self.sw_controller is not None:
-            self.sw_controller.set_targets(
-                self.sw_optimizer.update(exd, outputs_sw)
-            )
+        with span("optimize"):
+            if self.hw_optimizer is not None:
+                self.hw_controller.set_targets(
+                    self.hw_optimizer.update(exd, outputs_hw)
+                )
+            if self.sw_optimizer is not None and self.sw_controller is not None:
+                self.sw_controller.set_targets(
+                    self.sw_optimizer.update(exd, outputs_sw)
+                )
 
         # --- external signal wiring ------------------------------------
         # Each layer reads the other layer's most recent actuation; before
@@ -144,23 +164,27 @@ class MultilayerCoordinator:
         )
 
         # --- layer invocations ------------------------------------------
-        hw_u = self.hw_controller.step(outputs_hw, ext_for_hw)
+        with span("hw.step"):
+            hw_u = self.hw_controller.step(outputs_hw, ext_for_hw)
         n_big, n_little, f_big, f_little = hw_u
-        board.set_active_cores(BIG, n_big)
-        board.set_active_cores(LITTLE, n_little)
-        board.set_cluster_frequency(BIG, f_big)
-        board.set_cluster_frequency(LITTLE, f_little)
+        with span("actuate.hw"):
+            board.set_active_cores(BIG, n_big)
+            board.set_active_cores(LITTLE, n_little)
+            board.set_cluster_frequency(BIG, f_big)
+            board.set_cluster_frequency(LITTLE, f_little)
         self._last_hw_actuation = hw_u
 
         sw_u = None
         if self.sw_controller is not None:
-            if hasattr(self.sw_controller, "observe_thread_count"):
-                self.sw_controller.observe_thread_count(
-                    board.runnable_thread_count()
-                )
-            sw_u = self.sw_controller.step(outputs_sw, ext_for_sw)
+            with span("sw.step"):
+                if hasattr(self.sw_controller, "observe_thread_count"):
+                    self.sw_controller.observe_thread_count(
+                        board.runnable_thread_count()
+                    )
+                sw_u = self.sw_controller.step(outputs_sw, ext_for_sw)
             n_threads_big, tpc_big, tpc_little = sw_u
-            board.set_placement_knobs(n_threads_big, tpc_big, tpc_little)
+            with span("actuate.sw"):
+                board.set_placement_knobs(n_threads_big, tpc_big, tpc_little)
             self._last_sw_actuation = sw_u
 
         self.records.append(
@@ -179,4 +203,41 @@ class MultilayerCoordinator:
                 exd_proxy=exd,
             )
         )
+        if tel is not None:
+            self._publish_telemetry(
+                tel, board, signals, hw_u, sw_u, exd, override_active, t_start
+            )
         return hw_u, sw_u
+
+    # ------------------------------------------------------------------
+    # Telemetry (no-op unless a session is attached)
+    # ------------------------------------------------------------------
+    def _publish_telemetry(self, tel, board, signals, hw_u, sw_u, exd,
+                           override_active, t_start):
+        tel.periods.inc()
+        tel.exd_gauge.set(exd)
+        if override_active:
+            tel.tmu_throttle.inc()
+        for layer, opt in (("hw", self.hw_optimizer), ("sw", self.sw_optimizer)):
+            if opt is None:
+                continue
+            seen_moves, seen_reverts = self._opt_published[layer]
+            if opt.moves > seen_moves:
+                tel.opt_moves.labels(layer=layer).inc(opt.moves - seen_moves)
+            reverts = getattr(opt, "reverts", 0)
+            if reverts > seen_reverts:
+                tel.opt_reverts.labels(layer=layer).inc(reverts - seen_reverts)
+            self._opt_published[layer] = (opt.moves, reverts)
+        tel.control_step_hist.observe(time.perf_counter() - t_start)
+        tel.record_period({
+            "period": tel.period,
+            "time": board.time,
+            "signals": {k: float(v) for k, v in signals.items()},
+            "actuation_hw": hw_u,
+            "actuation_sw": sw_u,
+            "targets_hw": getattr(self.hw_controller, "targets", None),
+            "targets_sw": getattr(self.sw_controller, "targets", None),
+            "exd_proxy": exd,
+            "emergency_active": override_active,
+            "counters": board.counters(),
+        })

@@ -108,7 +108,12 @@ class ExDOptimizer:
         self._prev_targets = self.targets.copy()
         self._last_outputs = None
         self._streak = 0
+        # Walk statistics (surfaced as optimizer_* telemetry counters):
+        # moves = target moves issued, reverts = moves judged worse and
+        # undone, accepts = moves whose settle window came back no-worse.
         self.moves = 0
+        self.reverts = 0
+        self.accepts = 0
 
     def current_targets(self):
         return self.targets.copy()
@@ -135,8 +140,10 @@ class ExDOptimizer:
                 self.targets = self._prev_targets.copy()
                 self._direction = -self._direction
                 self._streak = 0
+                self.reverts += 1
             else:
                 self._streak += 1
+                self.accepts += 1
                 if self.upward_bias and self._direction < 0:
                     # A successful backoff re-arms upward exploration.
                     self._direction = +1.0

@@ -125,10 +125,19 @@ class Supervisor:
     """
 
     def __init__(self, primary: MultilayerCoordinator, spec, fallback=None,
-                 config: SupervisorConfig = None):
+                 config: SupervisorConfig = None, telemetry=None):
         self._primary = primary
         self._spec = spec
         self._fallback = fallback or self._default_fallback(spec)
+        if telemetry is None:
+            from ..telemetry import active_session
+
+            telemetry = active_session()
+        self.telemetry = telemetry
+        # Both coordinators report through the supervisor's session so a
+        # flight dump shows the same ring regardless of who was active.
+        self._primary.telemetry = telemetry
+        self._fallback.telemetry = telemetry
         self.config = config or SupervisorConfig()
         self.state = NOMINAL
         self.period = 0
@@ -184,10 +193,22 @@ class Supervisor:
     # ------------------------------------------------------------------
     def control_step(self, board, period_steps):
         """One supervised control period."""
-        raw = sample_signals(board, period_steps)
+        tel = self.telemetry
+        if tel is not None:
+            with tel.span("sample", board_time=board.time):
+                raw = sample_signals(board, period_steps)
+        else:
+            raw = sample_signals(board, period_steps)
         signals, dropped = self._sanitize(raw)
         coordinator = self.active_coordinator
         hw_u, sw_u = coordinator.control_step(board, period_steps, signals=signals)
+        if tel is not None:
+            # The coordinator just recorded this period's flight snapshot;
+            # stamp it with the (pre-transition) supervisor view.
+            last = tel.flight.last
+            if last is not None:
+                last["supervisor_state"] = self.state
+                last["dropped_signals"] = list(dropped)
         mismatch = self._readback_check(board, hw_u)
         reason, clean = self._evaluate(board, signals, hw_u, sw_u, dropped, mismatch)
         self._advance_state(board, reason, clean)
@@ -197,6 +218,10 @@ class Supervisor:
                 self.time_degraded += self._spec.control_period
         self.period += 1
         self.state_history.append((board.time, self.state))
+        if tel is not None:
+            from ..telemetry.session import STATE_VALUES
+
+            tel.state_gauge.set(STATE_VALUES[self.state])
         return hw_u, sw_u
 
     # ------------------------------------------------------------------
@@ -353,12 +378,34 @@ class Supervisor:
                     )
                     self.state = NOMINAL
                     self._demotions = 0
+                    self._note_transition(board, "RECOVERING->NOMINAL",
+                                          "probation-passed")
+
+    def _note_transition(self, board, transition, reason):
+        """Publish one state-machine transition through telemetry.
+
+        Every DEGRADED/RECOVERING transition triggers a flight-recorder
+        dump: the ring at this moment holds the periods *leading up to*
+        the transition, which is exactly the forensic record wanted.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return
+        tel.transitions.labels(transition=transition).inc()
+        if transition == "NOMINAL->DEGRADED":
+            tel.trips.labels(cause=reason).inc()
+        tel.instant("supervisor.transition", cat="supervisor",
+                    transition=transition, reason=reason,
+                    board_time=board.time)
+        tel.dump_flight(f"{transition}:{reason}",
+                        extra={"period": self.period, "board_time": board.time})
 
     def _trip(self, board, reason):
         self.counters[reason] = self.counters.get(reason, 0) + 1
         self.events.append(SupervisorEvent(board.time, "NOMINAL->DEGRADED", reason))
         self.state = DEGRADED
         self._enter_degraded()
+        self._note_transition(board, "NOMINAL->DEGRADED", reason)
 
     def _demote(self, board, reason):
         self.counters[reason] = self.counters.get(reason, 0) + 1
@@ -366,6 +413,7 @@ class Supervisor:
         self.state = DEGRADED
         self._demotions += 1
         self._enter_degraded()
+        self._note_transition(board, "RECOVERING->DEGRADED", reason)
 
     def _enter_degraded(self):
         self._fallback.reset()
@@ -383,6 +431,7 @@ class Supervisor:
         self.events.append(SupervisorEvent(board.time, "DEGRADED->RECOVERING", reason))
         self.state = RECOVERING
         self._probation = 0
+        self._note_transition(board, "DEGRADED->RECOVERING", reason)
 
     # ------------------------------------------------------------------
     # Degraded-mode safety clamp

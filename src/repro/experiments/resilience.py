@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 from ..board import BIG, Board
 from ..core import MultilayerCoordinator, Supervisor, SupervisorConfig
 from ..faults import FaultInjector, default_fault_matrix
+from ..telemetry.tracing import NULL_SPAN
 from .report import render_table
 from .runner import instantiate_workload
 from .schemes import (
@@ -119,13 +120,19 @@ class SupervisedRun:
 
 
 def supervised_run(context, scheme, campaign=None, workload="gamess",
-                   max_time=200.0, seed=11, config: SupervisorConfig = None):
+                   max_time=200.0, seed=11, config: SupervisorConfig = None,
+                   telemetry=None):
     """Run one workload under one scheme, supervised, with optional faults.
 
     The board gets its own shallow spec copy so plant-parameter faults
     (capacitance aging mutates ``spec.big``) cannot leak into the shared
-    :class:`DesignContext` across runs.
+    :class:`DesignContext` across runs.  ``telemetry`` defaults to the
+    process-wide session; when enabled, supervisor transitions and fault
+    edges trigger flight-recorder dumps.
     """
+    from ..telemetry import active_session
+
+    tel = telemetry if telemetry is not None else active_session()
     spec = replace(context.spec)
     session = build_session(scheme, context)
     if session.monolithic is not None:
@@ -138,25 +145,33 @@ def supervised_run(context, scheme, campaign=None, workload="gamess",
         session.sw_controller,
         session.hw_optimizer,
         session.sw_optimizer,
+        telemetry=tel,
     )
-    supervisor = Supervisor(primary, spec, config=config)
+    supervisor = Supervisor(primary, spec, config=config, telemetry=tel)
     board = Board(instantiate_workload(workload), spec=spec, seed=seed,
-                  record=False)
-    injector = FaultInjector(board, campaign, seed=seed) if campaign else None
+                  record=False, telemetry=tel)
+    injector = (FaultInjector(board, campaign, seed=seed, telemetry=tel)
+                if campaign else None)
     period_steps = int(round(spec.control_period / spec.sim_dt))
     temp_violation = 0.0
     power_violation = 0.0
     while not board.done and board.time < max_time:
-        for _ in range(period_steps):
-            board.step()
-            if injector is not None:
-                injector.advance()
-            if board.thermal.temperature > spec.temp_limit:
-                temp_violation += spec.sim_dt
-            if board._instant_power[BIG] > spec.power_limit_big:
-                power_violation += spec.sim_dt
-            if board.done:
-                break
+        if tel is not None:
+            tel.begin_period(board.time)
+            sim_span = tel.span("sim", cat="period", board_time=board.time)
+        else:
+            sim_span = NULL_SPAN
+        with sim_span:
+            for _ in range(period_steps):
+                board.step()
+                if injector is not None:
+                    injector.advance()
+                if board.thermal.temperature > spec.temp_limit:
+                    temp_violation += spec.sim_dt
+                if board._instant_power[BIG] > spec.power_limit_big:
+                    power_violation += spec.sim_dt
+                if board.done:
+                    break
         if board.done:
             break
         supervisor.control_step(board, period_steps)

@@ -8,12 +8,15 @@ LQG scheme gets its own loop (single controller over both layers).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..board import BIG, LITTLE, Board
 from ..core import MultilayerCoordinator, exd_metric
 from ..core.characterize import sample_signals
 from ..core.layer import HW_OUTPUTS, SW_OUTPUTS
+from ..telemetry import active_session
 from ..workloads import make_application, make_mix
 from .metrics import RunMetrics
 from .schemes import DesignContext, SchemeSession, build_session
@@ -31,18 +34,39 @@ def instantiate_workload(workload):
         return make_mix(workload)
 
 
-def _monolithic_loop(board, session, period_steps, max_time):
-    """Control loop for the single-controller (monolithic LQG) scheme."""
-    mono = session.monolithic
-    hw_opt, sw_opt = session.hw_optimizer, session.sw_optimizer
-    while not board.done and board.time < max_time:
+def _simulate_period(board, period_steps, tel):
+    """Advance the board one control period (optionally under a span)."""
+    if tel is None:
         for _ in range(period_steps):
             board.step()
             if board.done:
                 break
+        return
+    t0 = time.perf_counter()
+    with tel.span("sim", cat="period", board_time=board.time):
+        for _ in range(period_steps):
+            board.step()
+            if board.done:
+                break
+    tel.sim_period_hist.observe(time.perf_counter() - t0)
+
+
+def _monolithic_loop(board, session, period_steps, max_time, telemetry=None):
+    """Control loop for the single-controller (monolithic LQG) scheme."""
+    mono = session.monolithic
+    hw_opt, sw_opt = session.hw_optimizer, session.sw_optimizer
+    tel = telemetry
+    while not board.done and board.time < max_time:
+        if tel is not None:
+            tel.begin_period(board.time)
+        _simulate_period(board, period_steps, tel)
         if board.done:
             break
-        signals = sample_signals(board, period_steps)
+        if tel is not None:
+            with tel.span("sample", board_time=board.time):
+                signals = sample_signals(board, period_steps)
+        else:
+            signals = sample_signals(board, period_steps)
         outputs_hw = np.array([signals[name] for name in HW_OUTPUTS])
         outputs_sw = np.array([signals[name] for name in SW_OUTPUTS])
         total_power = (
@@ -64,6 +88,9 @@ def _monolithic_loop(board, session, period_steps, max_time):
         sw_u = mono.pending_sw_actuation()
         if sw_u is not None:
             board.set_placement_knobs(*sw_u)
+        if tel is not None:
+            tel.periods.inc()
+            tel.exd_gauge.set(exd)
 
 
 def run_workload(
@@ -73,14 +100,23 @@ def run_workload(
     seed=7,
     max_time=600.0,
     record=True,
+    telemetry=None,
 ) -> RunMetrics:
-    """Run one workload to completion under one scheme."""
+    """Run one workload to completion under one scheme.
+
+    ``telemetry`` is an optional
+    :class:`~repro.telemetry.TelemetrySession`; omitted, the run inherits
+    the process-wide session (``None`` = disabled, the near-zero-overhead
+    fast path).
+    """
+    tel = telemetry if telemetry is not None else active_session()
     session = build_session(scheme_name, context)
     apps = instantiate_workload(workload)
-    board = Board(apps, spec=context.spec, seed=seed, record=record)
+    board = Board(apps, spec=context.spec, seed=seed, record=record,
+                  telemetry=tel)
     period_steps = int(round(context.spec.control_period / context.spec.sim_dt))
     if session.monolithic is not None:
-        _monolithic_loop(board, session, period_steps, max_time)
+        _monolithic_loop(board, session, period_steps, max_time, telemetry=tel)
         coordinator = None
     else:
         coordinator = MultilayerCoordinator(
@@ -88,15 +124,24 @@ def run_workload(
             session.sw_controller,
             session.hw_optimizer,
             session.sw_optimizer,
+            telemetry=tel,
         )
-        while not board.done and board.time < max_time:
-            for _ in range(period_steps):
-                board.step()
+        if tel is None:
+            while not board.done and board.time < max_time:
+                for _ in range(period_steps):
+                    board.step()
+                    if board.done:
+                        break
                 if board.done:
                     break
-            if board.done:
-                break
-            coordinator.control_step(board, period_steps)
+                coordinator.control_step(board, period_steps)
+        else:
+            while not board.done and board.time < max_time:
+                tel.begin_period(board.time)
+                _simulate_period(board, period_steps, tel)
+                if board.done:
+                    break
+                coordinator.control_step(board, period_steps)
     workload_name = workload if isinstance(workload, str) else "+".join(
         a.name for a in apps
     )

@@ -34,14 +34,23 @@ class FaultInjector:
     seed:
         Seeds the per-event RNGs of ``temp-noise`` faults, so two
         identically-seeded injectors produce identical noisy traces.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetrySession`; defaults to
+        the process-wide session.  Each apply/revert edge is counted,
+        marked in the span trace, and triggers a flight-recorder dump.
     """
 
-    def __init__(self, board, campaign, seed=0):
+    def __init__(self, board, campaign, seed=0, telemetry=None):
         if isinstance(campaign, FaultEvent):
             campaign = FaultCampaign([campaign])
         self.board = board
         self.campaign = campaign
         self.seed = int(seed)
+        if telemetry is None:
+            from ..telemetry import active_session
+
+            telemetry = active_session()
+        self.telemetry = telemetry
         # Reuse an actuator-fault state another injector already installed
         # so stacked injectors (e.g. the legacy one-shot helpers) compose.
         if isinstance(getattr(board, "fault_hooks", None), ActuatorFaultState):
@@ -64,10 +73,23 @@ class FaultInjector:
             applied = event in self._reverters
             if not applied and event not in self._done and event.active_at(now):
                 self._reverters[event] = self._apply(event, index)
+                self._note(event, "applied")
             elif applied and not event.active_at(now):
                 self._reverters.pop(event)()
                 self._done.add(event)
+                self._note(event, "reverted")
         return self
+
+    def _note(self, event, phase):
+        """Publish one fault edge through telemetry (no-op when disabled)."""
+        tel = self.telemetry
+        if tel is None:
+            return
+        tel.fault_events.labels(kind=event.kind, phase=phase).inc()
+        tel.instant(f"fault.{phase}", cat="fault", kind=event.kind,
+                    cluster=event.cluster, board_time=self.board.time)
+        tel.dump_flight(f"fault-{phase}-{event.kind}",
+                        extra={"event": event.describe()})
 
     def detach(self):
         """Revert every active event and unhook from the board."""

@@ -1,0 +1,90 @@
+"""The flight recorder: a bounded ring buffer of recent loop state.
+
+Every control period the instrumented coordinator pushes a snapshot of the
+board + controller state (signals, actuations, targets, ExD proxy,
+actuation-health counters) into a fixed-capacity ring.  When something
+interesting happens — a supervisor DEGRADED/RECOVERING transition, a fault
+injection — the recorder *dumps*: the last N periods are serialized to a
+JSON file named after the trigger, preserving the lead-up to the event the
+way an aircraft flight recorder preserves the approach, not just the
+impact.
+
+Snapshots carry the period ``trace_id``, so a dump cross-references the
+span trace and metrics emitted for the same periods.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Fixed-capacity snapshot ring with triggered dumps."""
+
+    def __init__(self, capacity=64, out_dir=None):
+        if capacity < 1:
+            raise ValueError("flight recorder needs capacity >= 1")
+        self.capacity = int(capacity)
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self._ring = deque(maxlen=self.capacity)
+        self.dumps = []  # payload dicts, in trigger order
+        self.dump_paths = []  # files written (when out_dir is set)
+
+    def __len__(self):
+        return len(self._ring)
+
+    @property
+    def last(self):
+        """The most recent snapshot (mutable: late annotation is allowed)."""
+        return self._ring[-1] if self._ring else None
+
+    def record(self, snapshot):
+        """Push one period's snapshot (a dict) into the ring."""
+        self._ring.append(snapshot)
+
+    def dump(self, reason, extra=None):
+        """Serialize the ring; returns the JSON-able payload."""
+        payload = {
+            "reason": reason,
+            "sequence": len(self.dumps),
+            "capacity": self.capacity,
+            "snapshots": jsonable(list(self._ring)),
+        }
+        if extra is not None:
+            payload["extra"] = jsonable(extra)
+        self.dumps.append(payload)
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            slug = re.sub(r"[^A-Za-z0-9_.]+", "-", reason).strip("-") or "dump"
+            path = self.out_dir / f"flight-{payload['sequence']:04d}-{slug}.json"
+            with open(path, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            self.dump_paths.append(path)
+        return payload
+
+
+def jsonable(value):
+    """Recursively convert numpy/scalar containers to JSON-able types."""
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.bool_, bool)):  # before int: bool <: int
+        return bool(value)
+    if isinstance(value, (np.floating, float)):
+        value = float(value)
+        return value if np.isfinite(value) else repr(value)  # 'nan'/'inf'
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if value is None or isinstance(value, str):
+        return value
+    return str(value)

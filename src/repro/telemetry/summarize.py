@@ -1,0 +1,167 @@
+"""Replay/summarize a recorded telemetry directory (the ``trace`` command).
+
+Reads the artifacts a :class:`~repro.telemetry.TelemetrySession` wrote —
+``spans.jsonl``, ``metrics.json``, ``flight-*.json`` — and renders a
+human-readable report: where control-loop wall-clock time went (per span
+name), what the counters ended at, and which flight-recorder dumps fired
+with which supervisor/fault context.  Runs without building a design
+context, so it is fast enough to point at any finished run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["summarize_dir", "load_spans", "load_flight_dumps"]
+
+
+def load_spans(directory):
+    """Parse ``spans.jsonl``; returns a list of record dicts."""
+    path = Path(directory) / "spans.jsonl"
+    if not path.exists():
+        return []
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def load_flight_dumps(directory):
+    """Load every ``flight-*.json`` payload, in sequence order."""
+    dumps = []
+    for path in sorted(Path(directory).glob("flight-*.json")):
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["_path"] = path.name
+        dumps.append(payload)
+    return dumps
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    idx = min(int(q * (len(sorted_values) - 1) + 0.5), len(sorted_values) - 1)
+    return sorted_values[idx]
+
+
+def _span_table(spans):
+    by_name = {}
+    for record in spans:
+        if record.get("phase") != "span":
+            continue
+        by_name.setdefault(record["name"], []).append(record["dur_us"])
+    if not by_name:
+        return ["  (no spans recorded)"]
+    lines = [
+        f"  {'span':14s} {'count':>7s} {'total ms':>10s} {'mean us':>9s} "
+        f"{'p95 us':>9s} {'max us':>9s}"
+    ]
+    for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+        durs = sorted(by_name[name])
+        total = sum(durs)
+        lines.append(
+            f"  {name:14s} {len(durs):7d} {total / 1000:10.2f} "
+            f"{total / len(durs):9.1f} {_percentile(durs, 0.95):9.1f} "
+            f"{durs[-1]:9.1f}"
+        )
+    return lines
+
+
+def _metric_lines(directory):
+    path = Path(directory) / "metrics.json"
+    if not path.exists():
+        return ["  (no metrics.json)"]
+    with open(path) as handle:
+        metrics = json.load(handle)
+    lines = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        if family["type"] == "histogram":
+            for sample in family["values"]:
+                labels = _fmt_labels(sample["labels"])
+                count = sample["count"]
+                mean = sample["sum"] / count * 1e3 if count else 0.0
+                lines.append(
+                    f"  {name}{labels} count={count} mean={mean:.3f} ms"
+                )
+        else:
+            for sample in family["values"]:
+                labels = _fmt_labels(sample["labels"])
+                value = sample["value"]
+                value = int(value) if float(value).is_integer() else round(value, 6)
+                lines.append(f"  {name}{labels} = {value}")
+    return lines or ["  (empty registry)"]
+
+
+def _fmt_labels(labels):
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _flight_lines(dumps):
+    if not dumps:
+        return ["  (no flight-recorder dumps)"]
+    lines = []
+    for payload in dumps:
+        snaps = payload.get("snapshots", [])
+        window = ""
+        times = [s.get("time") for s in snaps if isinstance(s.get("time"), (int, float))]
+        if times:
+            window = f" t=[{min(times):.1f}s..{max(times):.1f}s]"
+        states = {
+            s.get("supervisor_state") for s in snaps if s.get("supervisor_state")
+        }
+        state_note = f" states={sorted(states)}" if states else ""
+        lines.append(
+            f"  #{payload['sequence']:02d} {payload['reason']}: "
+            f"{len(snaps)} period(s){window}{state_note}  [{payload['_path']}]"
+        )
+    return lines
+
+
+def summarize_dir(directory):
+    """Render the full report for one telemetry directory."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"not a telemetry directory: {directory}")
+    spans = load_spans(directory)
+    dumps = load_flight_dumps(directory)
+    n_periods = max((r.get("trace_id", 0) for r in spans), default=0)
+    n_spans = sum(1 for r in spans if r.get("phase") == "span")
+    n_instants = len(spans) - n_spans
+    faults = [r for r in spans if r.get("cat") == "fault"]
+    lines = [
+        f"telemetry summary: {directory}",
+        f"  periods traced: {n_periods}   spans: {n_spans}   "
+        f"instant events: {n_instants}",
+        "",
+        "control-loop time by span",
+    ]
+    lines.extend(_span_table(spans))
+    if faults:
+        lines.append("")
+        lines.append("fault-injection events")
+        for record in faults:
+            kind = record.get("kind", "?")
+            lines.append(
+                f"  period {record.get('trace_id', '?')}: {record['name']} "
+                f"kind={kind}"
+            )
+    lines.append("")
+    lines.append("flight-recorder dumps")
+    lines.extend(_flight_lines(dumps))
+    lines.append("")
+    lines.append("final metrics")
+    lines.extend(_metric_lines(directory))
+    if (directory / "trace.json").exists():
+        lines.append("")
+        lines.append(
+            f"chrome trace: load {directory / 'trace.json'} in "
+            "chrome://tracing or https://ui.perfetto.dev"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Tests for repro.experiments.metrics: RunMetrics, normalization, ripple."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import RunMetrics, normalize_to, oscillation_stats
+
+
+def _metrics(scheme="s", t=10.0, energy=50.0, completed=True):
+    return RunMetrics(scheme=scheme, workload="w", execution_time=t,
+                      energy=energy, completed=completed)
+
+
+class TestRunMetrics:
+    def test_exd_and_ed2(self):
+        m = _metrics(t=10.0, energy=50.0)
+        assert m.exd == pytest.approx(500.0)
+        assert m.ed2 == pytest.approx(5000.0)
+
+    def test_summary_contains_fields(self):
+        text = _metrics(scheme="yukta", t=12.5, energy=60.0).summary()
+        assert "yukta" in text
+        assert "t=   12.5s" in text
+        assert "TIMEOUT" not in text
+
+    def test_summary_flags_timeout(self):
+        assert "[TIMEOUT]" in _metrics(completed=False).summary()
+
+    def test_default_containers_are_per_instance(self):
+        a, b = _metrics(), _metrics()
+        a.trace["x"] = 1
+        a.notes["y"] = 2
+        assert b.trace == {} and b.notes == {}
+
+
+class TestNormalizeTo:
+    def test_normalizes_run_metrics(self):
+        by_scheme = {
+            "base": _metrics(t=10.0, energy=50.0),   # ExD 500
+            "fast": _metrics(t=5.0, energy=50.0),    # ExD 250
+        }
+        out = normalize_to(by_scheme, "base")
+        assert out["base"] == pytest.approx(1.0)
+        assert out["fast"] == pytest.approx(0.5)
+
+    def test_other_attribute(self):
+        by_scheme = {"a": _metrics(t=2.0, energy=8.0),
+                     "b": _metrics(t=4.0, energy=4.0)}
+        out = normalize_to(by_scheme, "a", attribute="energy")
+        assert out["b"] == pytest.approx(0.5)
+
+    def test_accepts_raw_numbers(self):
+        out = normalize_to({"a": 4.0, "b": 2.0}, "a")
+        assert out == {"a": 1.0, "b": 0.5}
+
+    def test_nonpositive_baseline_raises(self):
+        with pytest.raises(ValueError, match="nonpositive"):
+            normalize_to({"a": 0.0, "b": 2.0}, "a")
+
+    def test_missing_baseline_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            normalize_to({"a": 1.0}, "zzz")
+
+
+class TestOscillationStats:
+    def test_empty_series(self):
+        stats = oscillation_stats([])
+        assert stats == {"peaks_over_limit": 0, "ripple": 0.0,
+                         "steady_mean": 0.0}
+
+    def test_short_series_uses_plain_mean(self):
+        stats = oscillation_stats([1.0, 2.0, 3.0])
+        assert stats["peaks_over_limit"] == 0
+        assert stats["ripple"] == 0.0
+        assert stats["steady_mean"] == pytest.approx(2.0)
+
+    def test_constant_series_has_no_ripple(self):
+        stats = oscillation_stats(np.full(100, 5.0), limit=6.0)
+        assert stats["peaks_over_limit"] == 0
+        assert stats["ripple"] == pytest.approx(0.0, abs=1e-12)
+        assert stats["steady_mean"] == pytest.approx(5.0)
+
+    def test_counts_excursions_over_limit(self):
+        series = np.ones(40)
+        series[5:8] = 3.0   # excursion 1
+        series[20:25] = 3.0  # excursion 2
+        stats = oscillation_stats(series, limit=2.0)
+        assert stats["peaks_over_limit"] == 2
+
+    def test_counts_series_starting_above_limit(self):
+        series = np.ones(40)
+        series[:4] = 3.0    # already above at t=0
+        series[10:12] = 3.0  # plus one rising edge
+        assert oscillation_stats(series, limit=2.0)["peaks_over_limit"] == 2
+
+    def test_no_limit_counts_nothing(self):
+        series = np.sin(np.linspace(0, 20, 200)) * 10
+        assert oscillation_stats(series)["peaks_over_limit"] == 0
+
+    def test_ripple_sees_oscillation_not_trend(self):
+        t = np.linspace(0, 1, 400)
+        trend = 10.0 * t  # slow ramp: mostly removed by the moving average
+        wobble = 0.5 * np.sin(2 * np.pi * 50 * t)  # fast ripple: kept
+        quiet = oscillation_stats(trend)["ripple"]
+        noisy = oscillation_stats(trend + wobble)["ripple"]
+        assert noisy > 5 * quiet
+        assert noisy == pytest.approx(np.std(wobble), rel=0.2)
+
+    def test_steady_mean_is_last_half(self):
+        series = np.concatenate([np.zeros(50), np.full(50, 4.0)])
+        assert oscillation_stats(series)["steady_mean"] == pytest.approx(4.0)
