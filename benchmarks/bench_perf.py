@@ -1,0 +1,251 @@
+"""Benchmark: the perf tentpole — fast stepping, warm cache, parallel matrix.
+
+Measures the three optimizations this repo's experiment harness stacks and
+records them in ``BENCH_perf.json``:
+
+1. **Vectorized period stepping** — ``Board.run_period`` vs scalar
+   ``Board.step`` on the same deterministic workload, in steps/sec.  The
+   fast path must be >= 2x scalar (it hoists the per-tick placement,
+   execution-rate, and power-constant computation out of the loop) while
+   remaining bit-identical — equality of final time/energy/temperature is
+   asserted here too.
+2. **Persistent design cache** — cold vs warm ``DesignContext.create`` +
+   ``prime_designs`` wall-clock.  Warm must hit the cache for every
+   artifact (characterization + all synthesized controllers).
+3. **Matrix speedup** — a (schemes x workloads) sweep: the *baseline* is
+   what the seed harness did (cold context, scalar stepping, serial); the
+   *optimized* path is a warm cache + ``run_period`` + ``--jobs N``.  The
+   quick CI mode shrinks the matrix but still asserts the stack wins.
+
+Runs standalone (the CI perf-smoke job) as well as manually:
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [--jobs N]
+"""
+
+import argparse
+import gc
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+MAX_SIM_TIME = 60.0  # fixed-work stepping run (workload never finishes)
+CELL_MAX_TIME = 120.0  # per-cell cap for the matrix sweep
+
+
+def _stepping_run(fast, sim_time=MAX_SIM_TIME):
+    """One deterministic fixed-work run; returns (steps, seconds, board)."""
+    from repro.board import Board, default_xu3_spec
+    from repro.workloads import make_mix
+
+    spec = default_xu3_spec()
+    board = Board(make_mix("blmc"), spec, seed=13, record=False)
+    board.enable_fast_path = fast
+    period_steps = spec.period_steps()
+    freqs = [1.6, 2.0, 1.2, 0.8, 1.8]
+    steps = 0
+    i = 0
+    gc.disable()
+    t0 = time.perf_counter()
+    try:
+        while not board.done and board.time < sim_time:
+            board.set_cluster_frequency("big", freqs[i % len(freqs)])
+            board.set_cluster_frequency(
+                "little", round(1.0 + 0.2 * (i % 3), 1)
+            )
+            if fast:
+                steps += board.run_period(period_steps)
+            else:
+                for _ in range(period_steps):
+                    if board.done:
+                        break
+                    board.step()
+                    steps += 1
+            i += 1
+        elapsed = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    return steps, elapsed, board
+
+
+def bench_stepping():
+    """Scalar vs fast-path steps/sec, with a bit-identity check."""
+    scalar_steps, scalar_s, scalar_board = _stepping_run(False)
+    fast_steps, fast_s, fast_board = _stepping_run(True)
+    assert scalar_steps == fast_steps, "step counts diverged"
+    assert scalar_board.time == fast_board.time, "board time diverged"
+    assert scalar_board.energy == fast_board.energy, "energy diverged"
+    assert (
+        scalar_board.thermal.temperature == fast_board.thermal.temperature
+    ), "temperature diverged"
+    return {
+        "steps": scalar_steps,
+        "scalar_steps_per_sec": scalar_steps / scalar_s,
+        "fast_steps_per_sec": fast_steps / fast_s,
+        "speedup": scalar_s / fast_s,
+    }
+
+
+def bench_cache(samples, seed, cache_dir):
+    """Cold vs warm context construction through the persistent cache."""
+    from repro.experiments import DesignContext, prime_designs
+
+    t0 = time.perf_counter()
+    cold = DesignContext.create(samples_per_program=samples, seed=seed,
+                                cache=cache_dir)
+    prime_designs(cold)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = DesignContext.create(samples_per_program=samples, seed=seed,
+                                cache=cache_dir)
+    prime_designs(warm)
+    warm_s = time.perf_counter() - t0
+    return {
+        "cold_context_sec": cold_s,
+        "warm_context_sec": warm_s,
+        "speedup": cold_s / max(warm_s, 1e-9),
+        "warm_hits": warm.cache.hits,
+        "warm_misses": warm.cache.misses,
+    }, warm
+
+
+def bench_matrix(schemes, workloads, samples, seed, cache_dir, jobs):
+    """Seed-style baseline vs the optimized stack on one matrix."""
+    from repro.board import Board
+    from repro.experiments import DesignContext, prime_designs, run_scheme_matrix
+
+    # Baseline: what the harness did before this PR — build the context
+    # from scratch (no cache), scalar stepping, serial cells.
+    t0 = time.perf_counter()
+    base_ctx = DesignContext.create(samples_per_program=samples, seed=seed,
+                                    cache=None)
+    prime_designs(base_ctx, schemes)
+    Board.enable_fast_path = False
+    try:
+        baseline = run_scheme_matrix(schemes, workloads, base_ctx,
+                                     max_time=CELL_MAX_TIME)
+    finally:
+        Board.enable_fast_path = True
+    baseline_s = time.perf_counter() - t0
+
+    # Optimized: warm persistent cache + run_period + worker pool.
+    t0 = time.perf_counter()
+    opt_ctx = DesignContext.create(samples_per_program=samples, seed=seed,
+                                   cache=cache_dir)
+    prime_designs(opt_ctx, schemes)
+    optimized = run_scheme_matrix(schemes, workloads, opt_ctx,
+                                  max_time=CELL_MAX_TIME, jobs=jobs)
+    optimized_s = time.perf_counter() - t0
+
+    identical = all(
+        baseline[w][s].execution_time == optimized[w][s].execution_time
+        and baseline[w][s].energy == optimized[w][s].energy
+        for w in baseline
+        for s in baseline[w]
+    )
+    cells = len(schemes) * len(workloads)
+    return {
+        "schemes": list(schemes),
+        "workloads": list(workloads),
+        "jobs": jobs,
+        "cells": cells,
+        "baseline_sec": baseline_s,
+        "baseline_sec_per_cell": baseline_s / cells,
+        "optimized_sec": optimized_s,
+        "optimized_sec_per_cell": optimized_s / cells,
+        "speedup": baseline_s / optimized_s,
+        "bit_identical": identical,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: small matrix, relaxed floors")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the optimized matrix "
+                             "(default: min(4, cpu count))")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_perf.json "
+                             "next to this script's repo root)")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs or min(4, os.cpu_count() or 1)
+    if args.quick:
+        samples, seed = 40, 3
+        schemes = ["coordinated-heuristic", "yukta-hwssv-osssv"]
+        workloads = ["blackscholes", "gamess"]
+    else:
+        samples, seed = 120, 99
+        schemes = ["coordinated-heuristic", "decoupled-heuristic",
+                   "yukta-hwssv-osheur", "yukta-hwssv-osssv"]
+        workloads = ["mcf", "gamess", "blackscholes", "x264"]
+
+    results = {"quick": args.quick, "jobs": jobs, "cpu_count": os.cpu_count()}
+
+    print("== stepping: scalar vs run_period ==")
+    results["stepping"] = bench_stepping()
+    print(f"  scalar {results['stepping']['scalar_steps_per_sec']:,.0f} "
+          f"steps/s, fast {results['stepping']['fast_steps_per_sec']:,.0f} "
+          f"steps/s -> {results['stepping']['speedup']:.2f}x")
+
+    with tempfile.TemporaryDirectory(prefix="bench-perf-cache-") as cache_dir:
+        print("== design cache: cold vs warm context ==")
+        results["cache"], _ = bench_cache(samples, seed, cache_dir)
+        print(f"  cold {results['cache']['cold_context_sec']:.2f}s, warm "
+              f"{results['cache']['warm_context_sec']:.3f}s -> "
+              f"{results['cache']['speedup']:.0f}x "
+              f"({results['cache']['warm_hits']} cache hits)")
+
+        print(f"== matrix: serial cold scalar vs jobs={jobs} warm fast ==")
+        results["matrix"] = bench_matrix(schemes, workloads, samples, seed,
+                                         cache_dir, jobs)
+        print(f"  baseline {results['matrix']['baseline_sec']:.1f}s, "
+              f"optimized {results['matrix']['optimized_sec']:.1f}s -> "
+              f"{results['matrix']['speedup']:.2f}x, bit-identical: "
+              f"{results['matrix']['bit_identical']}")
+
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+    )
+    out.write_text(json.dumps(results, indent=1))
+    print(f"wrote {out}")
+
+    failures = []
+    if results["stepping"]["speedup"] < 2.0:
+        failures.append(
+            f"run_period speedup {results['stepping']['speedup']:.2f}x < 2x"
+        )
+    if results["cache"]["warm_misses"] != 0:
+        failures.append(
+            f"warm context missed the cache "
+            f"{results['cache']['warm_misses']} time(s)"
+        )
+    if not results["matrix"]["bit_identical"]:
+        failures.append("optimized matrix diverged from the baseline")
+    # The 3x matrix floor needs real parallelism; on starved CI boxes the
+    # cache+fastpath stack still has to win, just with a lower bar.
+    matrix_floor = 1.5 if (args.quick or (os.cpu_count() or 1) < 4) else 3.0
+    if results["matrix"]["speedup"] < matrix_floor:
+        failures.append(
+            f"matrix speedup {results['matrix']['speedup']:.2f}x < "
+            f"{matrix_floor}x"
+        )
+    if failures:
+        print("FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print("PASSED")
+    return 0
+
+
+# Keep pytest collection from double-running the sweep; this file is a
+# standalone script like bench_telemetry.py's CI mode.
+def test_perf_smoke():
+    assert main(["--quick"]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

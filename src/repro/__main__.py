@@ -34,6 +34,24 @@ def _add_context_args(parser):
                         help="characterization seed")
     parser.add_argument("--telemetry", metavar="DIR", default=None,
                         help="record metrics/spans/flight dumps into DIR")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for the experiment matrix "
+                             "(-1 = all cores; default serial)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="design-artifact cache directory "
+                             "(default $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent design-artifact cache")
+
+
+def _resolve_cache(args):
+    from repro.cache import DesignCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return DesignCache(args.cache_dir)
+    return DesignCache()
 
 
 def _make_context(args):
@@ -41,8 +59,12 @@ def _make_context(args):
 
     print("Building design context (characterization + synthesis)...",
           file=sys.stderr)
-    return DesignContext.create(samples_per_program=args.samples,
-                                seed=args.seed)
+    context = DesignContext.create(samples_per_program=args.samples,
+                                   seed=args.seed, cache=_resolve_cache(args))
+    if context.cache is not None and context.cache.hits:
+        print(f"Design cache: {context.cache.hits} hit(s) from "
+              f"{context.cache.root}", file=sys.stderr)
+    return context
 
 
 def main(argv=None):
@@ -93,6 +115,15 @@ def main(argv=None):
     p_res.add_argument("--fault-time", type=float, default=60.0,
                        help="fault onset time (s)")
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the design-artifact cache"
+    )
+    p_cache.add_argument("action", choices=("info", "clear"),
+                         help="'info' lists entries, 'clear' deletes them")
+    p_cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="cache directory (default $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+
     args = parser.parse_args(argv)
 
     if args.command == "tables":
@@ -105,6 +136,18 @@ def main(argv=None):
         from repro.telemetry import summarize_dir
 
         print(summarize_dir(args.dir))
+        return 0
+
+    if args.command == "cache":
+        from repro.cache import DesignCache
+
+        cache = DesignCache(args.cache_dir) if args.cache_dir else DesignCache()
+        if args.action == "info":
+            print(cache.info())
+        else:
+            removed = cache.clear()
+            print(f"removed {removed} cache entr"
+                  f"{'y' if removed == 1 else 'ies'} from {cache.root}")
         return 0
 
     session = None
@@ -148,14 +191,18 @@ def _dispatch(args, figure_commands):
 
         result = resilience.run(context, quick=args.quick,
                                 fault_time=args.fault_time,
+                                jobs=args.jobs,
                                 progress=lambda line: print(line, file=sys.stderr))
         print(result.render())
         return 0
 
     module_name, kwargs = figure_commands[args.command]
     import importlib
+    import inspect
 
     module = importlib.import_module(f"repro.experiments.{module_name}")
+    if "jobs" in inspect.signature(module.run).parameters:
+        kwargs = dict(kwargs, jobs=args.jobs)
     result = module.run(context, **kwargs)
     print(result.render())
     return 0

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .cores import core_execution, memory_traffic_gbs, thread_rate_gips
+from .fastpath import plan_window, run_window
 from .placement import PlacementState, plan_placement, spare_capacity
 from .power import cluster_power
 from .sensors import PerformanceCounter, TemperatureSensor, WindowedPowerSensor
@@ -69,7 +70,14 @@ class Board:
     picks up the process-wide session (usually ``None`` — telemetry
     disabled), and every instrumented path stays behind a single
     ``is not None`` check.
+
+    ``enable_fast_path`` (class attribute, overridable per instance)
+    controls whether :meth:`run_period` may use the vectorized window
+    stepping of :mod:`repro.board.fastpath`; disabling it forces scalar
+    :meth:`step` everywhere (used by benchmarks to measure the speedup).
     """
+
+    enable_fast_path = True
 
     def __init__(self, applications, spec: BoardSpec = None, seed=0, record=True,
                  telemetry=None):
@@ -333,6 +341,27 @@ class Board:
         self.time += dt
         if self.trace is not None:
             self._record(power)
+
+    def run_period(self, n_steps):
+        """Advance up to ``n_steps`` ticks (typically one control period).
+
+        Uses the vectorized fast path of :mod:`repro.board.fastpath`
+        whenever the board state permits, falling back to scalar
+        :meth:`step` around faults, draining stalls, emergency-firmware
+        transitions, and application phase changes.  The resulting board
+        state is bit-identical to calling :meth:`step` ``n_steps`` times
+        (stopping when all applications finish); returns the number of
+        ticks actually executed.
+        """
+        executed = 0
+        while executed < n_steps and not self.done:
+            plan = plan_window(self) if self.enable_fast_path else None
+            if plan is None:
+                self.step()
+                executed += 1
+            else:
+                executed += run_window(self, plan, n_steps - executed)
+        return executed
 
     def run(self, duration=None, max_time=1e9, callback=None):
         """Step until all applications finish (or limits hit).

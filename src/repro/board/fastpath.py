@@ -1,0 +1,241 @@
+"""Vectorized control-period stepping (the board simulation fast path).
+
+:meth:`~repro.board.Board.run_period` advances a whole control period at
+once.  Almost everything :meth:`Board.step` computes is invariant across
+the ticks of one period — the placement membership, the per-core execution
+rates, the DRAM-contention factor, and the dynamic/idle power terms only
+change when a controller actuates, a fault fires, the emergency firmware
+trips, or an application changes phase, none of which happen mid-period in
+the common case.  The fast path therefore *plans* the period once (hoisting
+all of that out of the tick loop, including the numpy reductions in
+``core_execution``/``cluster_power``) and then advances only the genuinely
+sequential state per tick: the thermal/leakage fixed point, the windowed
+power sensors, the RNG noise draw, the emergency-firmware timers, and the
+instruction crediting.
+
+Exactness contract
+------------------
+``run_window`` performs, per tick, the *same floating-point operations in
+the same order* as ``Board.step`` would, so the resulting board state —
+time, energy, temperatures, sensor windows, RNG stream, traces, application
+progress — is bit-identical to scalar stepping.  Whenever that cannot be
+guaranteed the planner refuses (returns ``None``) and the caller falls back
+to scalar ``step()``:
+
+* a fault-injection hook is installed (sensor or actuator);
+* a hotplug or thread-migration stall is still draining;
+* and, mid-window, the moment an application changes phase / finishes a
+  thread or the emergency firmware changes state, the window ends and the
+  next tick is re-planned (the tick that *caused* the change is still exact:
+  scalar stepping reads rates at the top of the tick too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cores import core_execution
+from .power import _REFERENCE_TEMP
+from .specs import BIG, LITTLE
+
+__all__ = ["plan_window", "run_window", "WindowPlan"]
+
+
+@dataclass
+class _ClusterPlan:
+    """Step-invariant per-cluster terms of one planned window."""
+
+    dyn: float  # dynamic power (W), constant while rates hold
+    leak_base: float  # cores_on * leak_coeff * voltage (W per temp factor)
+    leak_temp_coeff: float
+    idle: float  # idle power (W)
+    instructions: float  # giga-instructions retired per tick
+    powered: bool  # False replicates the cores_on<=0 / freq<=0 guard
+
+
+@dataclass
+class WindowPlan:
+    """Everything ``run_window`` needs to replay ticks without re-planning."""
+
+    big: _ClusterPlan
+    little: _ClusterPlan
+    credits: list  # [(app, thread, giga_instructions_per_tick), ...] in order
+    bips: dict  # the constant _instant_bips payload
+    apps: list  # [(app, runnable-thread snapshot), ...] membership guard
+    emergency_snapshot: tuple  # (thermal, power big, power little) throttles
+
+
+def _emergency_snapshot(board):
+    state = board.emergency.state
+    return (
+        state.thermal_throttled,
+        state.power_throttled[BIG],
+        state.power_throttled[LITTLE],
+    )
+
+
+def plan_window(board):
+    """Plan a fast window from the board's current state (or ``None``).
+
+    Mirrors the top half of :meth:`Board.step` exactly — including the
+    one side effect scalar stepping performs there, the placement-membership
+    refresh — and captures every step-invariant quantity.
+    """
+    # Any installed fault hook means per-tick fault semantics may apply;
+    # stay on the scalar path for the whole faulted region.
+    if board.fault_hooks is not None:
+        return None
+    if board.temp_sensor.fault_hook is not None:
+        return None
+    if any(s.fault_hook is not None for s in board.power_sensors.values()):
+        return None
+    for runtime in board.clusters.values():
+        if runtime.pending_hotplug_stall > 0:
+            return None
+    board._refresh_placement_membership()
+    phase_of = {}
+    apps = []
+    for app in board.applications:
+        if app.done:
+            continue
+        runnable = app.runnable_threads()
+        apps.append((app, runnable))
+        for thread in runnable:
+            if thread.migration_stall > 0:
+                return None
+            phase_of[thread] = (app, app.current_phase)
+    if not phase_of:
+        return None
+    spec = board.spec
+    dt = spec.sim_dt
+    bw_scale = board._bandwidth_scale(phase_of)
+    plans = {}
+    credits = []
+    bips = {}
+    for name in (BIG, LITTLE):
+        cspec = spec.cluster(name)
+        freq = board._effective_frequency(name)
+        cores_active = board._effective_cores(name)
+        busy_activity = []
+        instructions = 0.0
+        for idx in range(cspec.n_cores):
+            if idx >= cores_active:
+                busy_activity.append(0.0)
+                continue
+            core_threads = [
+                (t, phase_of[t][1])
+                for t in board.placement.assignment[name][idx]
+                if t in phase_of
+            ]
+            work, busy, activity = core_execution(
+                cspec, freq, core_threads, dt,
+                spec.mem_latency_ns, bw_scale,
+            )
+            for (thread, _), done in zip(core_threads, work):
+                credits.append((phase_of[thread][0], thread, done))
+                instructions += done
+            busy_activity.append(busy * activity)
+        if cores_active <= 0 or freq <= 0:
+            plans[name] = _ClusterPlan(0.0, 0.0, 0.0, 0.0, instructions, False)
+        else:
+            voltage = cspec.voltage(freq)
+            activity_sum = (
+                float(np.sum(busy_activity[:cores_active]))
+                if len(busy_activity) else 0.0
+            )
+            plans[name] = _ClusterPlan(
+                dyn=float(cspec.ceff_dynamic * voltage**2 * freq * activity_sum),
+                leak_base=cores_active * cspec.leak_coeff * voltage,
+                leak_temp_coeff=cspec.leak_temp_coeff,
+                idle=float(cores_active * cspec.idle_power),
+                instructions=instructions,
+                powered=True,
+            )
+        bips[name] = instructions / dt
+    return WindowPlan(
+        big=plans[BIG],
+        little=plans[LITTLE],
+        credits=credits,
+        bips=bips,
+        apps=apps,
+        emergency_snapshot=_emergency_snapshot(board),
+    )
+
+
+def _membership_changed(apps):
+    """Did any application's runnable-thread set change since planning?"""
+    for app, snapshot in apps:
+        if app.done:
+            return True
+        runnable = app.runnable_threads()
+        if len(runnable) != len(snapshot):
+            return True
+        for now, then in zip(runnable, snapshot):
+            if now is not then:
+                return True
+    return False
+
+
+def run_window(board, plan, max_steps):
+    """Advance up to ``max_steps`` ticks under ``plan``; returns ticks run.
+
+    Stops early (after completing the offending tick, exactly like scalar
+    stepping would) when an application event or an emergency-firmware
+    state change invalidates the plan.
+    """
+    spec = board.spec
+    dt = spec.sim_dt
+    static_power = spec.board_static_power
+    thermal = board.thermal
+    emergency = board.emergency
+    temp_sensor = board.temp_sensor
+    sensor_big = board.power_sensors[BIG]
+    sensor_little = board.power_sensors[LITTLE]
+    counter_big = board.perf_counters[BIG]
+    counter_little = board.perf_counters[LITTLE]
+    pb, pl = plan.big, plan.little
+    credits = plan.credits
+    snapshot = plan.emergency_snapshot
+    steps = 0
+    while steps < max_steps:
+        temperature = thermal.temperature
+        # Exact replay of cluster_power().total for each cluster: dynamic
+        # and idle are constants, leakage tracks the hot-spot temperature.
+        if pb.powered:
+            factor = 1.0 + pb.leak_temp_coeff * (temperature - _REFERENCE_TEMP)
+            power_big = pb.dyn + pb.leak_base * max(factor, 0.2) + pb.idle
+        else:
+            power_big = 0.0
+        if pl.powered:
+            factor = 1.0 + pl.leak_temp_coeff * (temperature - _REFERENCE_TEMP)
+            power_little = pl.dyn + pl.leak_base * max(factor, 0.2) + pl.idle
+        else:
+            power_little = 0.0
+        # Application crediting (scalar stepping credits with the tick-start
+        # time plus dt; clamping and phase advancement live in execute()).
+        now = board.time + dt
+        for app, thread, done in credits:
+            app.execute(thread, done, now)
+        power = {BIG: power_big, LITTLE: power_little}
+        thermal.step(power_big, power_little, dt)
+        total_power = power_big + power_little + static_power
+        board.energy += total_power * dt
+        sensor_big.update(power_big)
+        counter_big.add(pb.instructions)
+        sensor_little.update(power_little)
+        counter_little.add(pl.instructions)
+        temp_sensor.update(thermal.temperature)
+        emergency.update(thermal.temperature, power, dt)
+        board._instant_power = power
+        board._instant_bips = plan.bips
+        board.time += dt
+        if board.trace is not None:
+            board._record(power)
+        steps += 1
+        if _emergency_snapshot(board) != snapshot:
+            break
+        if _membership_changed(plan.apps):
+            break
+    return steps

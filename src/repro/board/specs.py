@@ -78,12 +78,40 @@ class BoardSpec:
     rng_seed: int = 0
     extra: dict = field(default_factory=dict)
 
+    def __post_init__(self):
+        # Catch a non-divisible simulation grid at construction time rather
+        # than letting int(round(...)) silently stretch the control period.
+        self.period_steps()
+
     def cluster(self, name):
         if name == BIG:
             return self.big
         if name == LITTLE:
             return self.little
         raise KeyError(f"unknown cluster {name!r}")
+
+    def period_steps(self):
+        """Simulator ticks per control period, validated.
+
+        ``sim_dt`` must evenly divide ``control_period`` (to one part in
+        10^6, absorbing float representation error): a silent
+        ``int(round(...))`` would otherwise stretch or shrink every control
+        period, skewing sensor windows and all reported execution times.
+        """
+        if self.sim_dt <= 0:
+            raise ValueError(f"sim_dt must be positive, got {self.sim_dt}")
+        if self.control_period <= 0:
+            raise ValueError(
+                f"control_period must be positive, got {self.control_period}"
+            )
+        ratio = self.control_period / self.sim_dt
+        steps = int(round(ratio))
+        if steps < 1 or abs(ratio - steps) > 1e-6 * ratio:
+            raise ValueError(
+                f"sim_dt ({self.sim_dt}) must evenly divide control_period "
+                f"({self.control_period}); got {ratio:.6f} steps per period"
+            )
+        return steps
 
 
 def default_xu3_spec(sim_dt=0.05) -> BoardSpec:

@@ -83,7 +83,7 @@ def _training_run(program, spec, samples, seed, focus):
       the hardware knobs stay in sane mid-to-high configurations.
     """
     board = Board(make_application(program), spec=spec, seed=seed, record=False)
-    period_steps = int(round(spec.control_period / spec.sim_dt))
+    period_steps = spec.period_steps()
     big_levels = spec.big.freq_range.levels
     little_levels = spec.little.freq_range.levels
     if focus == "hardware":
@@ -116,10 +116,7 @@ def _training_run(program, spec, samples, seed, focus):
         board.set_cluster_frequency(BIG, seqs["f_big"][k])
         board.set_cluster_frequency(LITTLE, seqs["f_little"][k])
         board.set_placement_knobs(seqs["t_big"][k], seqs["tpc_b"][k], seqs["tpc_l"][k])
-        for _ in range(period_steps):
-            if board.done:
-                break
-            board.step()
+        board.run_period(period_steps)
         rows.append(sample_signals(board, period_steps))
         if board.done:
             break

@@ -7,6 +7,7 @@ under ``benchmarks/``.
 
 from . import (
     ablation,
+    engine,
     exhaustion,
     fig9,
     fig10,
@@ -21,9 +22,15 @@ from . import (
     tables,
     three_layer,
 )
+from .engine import parallel_map, resolve_jobs, run_matrix
 from .metrics import RunMetrics, normalize_to, oscillation_stats
 from .report import render_bars, render_series, render_table
-from .runner import instantiate_workload, run_scheme_matrix, run_workload
+from .runner import (
+    instantiate_workload,
+    run_scheme_matrix,
+    run_workload,
+    workload_name,
+)
 from .schemes import (
     COORDINATED_HEURISTIC,
     DECOUPLED_HEURISTIC,
@@ -35,6 +42,7 @@ from .schemes import (
     DesignContext,
     SchemeSession,
     build_session,
+    prime_designs,
     scheme_descriptions,
 )
 
@@ -62,6 +70,12 @@ __all__ = [
     "run_workload",
     "run_scheme_matrix",
     "instantiate_workload",
+    "workload_name",
+    "engine",
+    "parallel_map",
+    "run_matrix",
+    "resolve_jobs",
+    "prime_designs",
     "SCHEMES",
     "COORDINATED_HEURISTIC",
     "DECOUPLED_HEURISTIC",

@@ -99,12 +99,9 @@ def _run(context, workload, freeze, seed, max_time=600.0):
         hw, sw, session.hw_optimizer, session.sw_optimizer
     )
     board = Board(instantiate_workload(workload), spec=context.spec, seed=seed)
-    period_steps = int(round(context.spec.control_period / context.spec.sim_dt))
+    period_steps = context.spec.period_steps()
     while not board.done and board.time < max_time:
-        for _ in range(period_steps):
-            board.step()
-            if board.done:
-                break
+        board.run_period(period_steps)
         if board.done:
             break
         coordinator.control_step(board, period_steps)
@@ -120,13 +117,22 @@ def _run(context, workload, freeze, seed, max_time=600.0):
 
 
 def run(context: DesignContext = None,
-        workloads=("blackscholes", "gamess", "x264"), seed=7) -> AblationResult:
+        workloads=("blackscholes", "gamess", "x264"), seed=7,
+        jobs=None) -> AblationResult:
     """Run the coordinated/frozen pair on each workload."""
+    from .engine import parallel_map
+
     context = context or DesignContext.create()
     result = AblationResult(list(workloads))
+    tasks = [
+        ("call", (_run, (workload,), {"freeze": freeze, "seed": seed}))
+        for workload in workloads
+        for freeze in (False, True)
+    ]
+    flat = parallel_map(tasks, context, jobs=jobs)
+    it = iter(flat)
     for workload in workloads:
-        coordinated = _run(context, workload, freeze=False, seed=seed)
-        frozen = _run(context, workload, freeze=True, seed=seed)
+        coordinated, frozen = next(it), next(it)
         result.exd_ratio[workload] = frozen.exd / coordinated.exd
         ripple_c = oscillation_stats(coordinated.trace["power_big"])["ripple"]
         ripple_f = oscillation_stats(frozen.trace["power_big"])["ripple"]

@@ -1,0 +1,178 @@
+"""Parallel experiment engine: fan the evaluation matrix across processes.
+
+The paper's evaluation is embarrassingly parallel — every (scheme ×
+workload × seed) cell is an independent closed-loop simulation — but each
+cell takes seconds, and the full matrix is hundreds of cells.  This module
+fans cells across a :class:`concurrent.futures.ProcessPoolExecutor` while
+keeping the three properties the serial harness guarantees:
+
+* **Determinism** — the fully-primed :class:`DesignContext` is pickled once
+  and shipped to every worker (workers never re-synthesize), and each cell
+  carries its own explicit seed, so a parallel run is *bit-identical* to
+  the serial run of the same cells.
+* **Ordered collection** — results are reassembled in task-submission
+  order regardless of completion order; callers see the same shapes the
+  serial loops produce.
+* **Telemetry** — each worker process activates its own
+  :class:`~repro.telemetry.TelemetrySession` under
+  ``<telemetry_dir>/worker-<pid>/``; on join the per-worker directories
+  are merged into one coherent parent directory
+  (:func:`repro.telemetry.merge_worker_dirs`).
+
+``jobs=None`` or ``jobs=1`` short-circuits to a plain in-process loop, so
+every caller can expose a ``--jobs`` knob without special-casing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+from ..telemetry import TelemetrySession, activate, active_session
+from .runner import run_workload, workload_name
+from .schemes import prime_designs
+
+__all__ = ["parallel_map", "run_matrix", "resolve_jobs"]
+
+# Worker-process globals, set once by _init_worker.
+_WORKER_CONTEXT = None
+_WORKER_SESSION = None
+
+
+def resolve_jobs(jobs):
+    """Normalize a ``--jobs`` value: None/0 → serial, -1 → cpu count."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= -1:
+        return max(os.cpu_count() or 1, 1)
+    return max(jobs, 1)
+
+
+def _close_worker_session():
+    global _WORKER_SESSION
+    if _WORKER_SESSION is not None:
+        _WORKER_SESSION.close()
+        _WORKER_SESSION = None
+
+
+def _init_worker(context_blob, telemetry_dir):
+    """Per-process initializer: install the shared context + telemetry."""
+    global _WORKER_CONTEXT, _WORKER_SESSION
+    _WORKER_CONTEXT = pickle.loads(context_blob)
+    if telemetry_dir is not None:
+        out = os.path.join(telemetry_dir, f"worker-{os.getpid()}")
+        _WORKER_SESSION = activate(TelemetrySession(out))
+        # multiprocessing children exit via os._exit (atexit never runs),
+        # so register on multiprocessing's own finalizer list as a backstop;
+        # _run_cell also flushes after every task.
+        from multiprocessing.util import Finalize
+
+        Finalize(None, _close_worker_session, exitpriority=0)
+
+
+def _run_cell(task):
+    """Worker-side execution of one generic task.
+
+    ``task`` is ``(kind, payload)``: ``("cell", ...)`` runs one
+    (scheme, workload) pair via :func:`run_workload`; ``("call", ...)``
+    invokes an arbitrary module-level function with the worker context
+    prepended (used by the figure sweeps whose cells are not plain
+    run_workload calls).
+    """
+    kind, payload = task
+    try:
+        if kind == "cell":
+            scheme, workload, seed, max_time, record = payload
+            return run_workload(scheme, workload, _WORKER_CONTEXT, seed=seed,
+                                max_time=max_time, record=record)
+        if kind == "call":
+            fn, args, kwargs = payload
+            return fn(_WORKER_CONTEXT, *args, **kwargs)
+        raise ValueError(f"unknown task kind {kind!r}")
+    finally:
+        # Keep the worker's on-disk telemetry current: children exit via
+        # os._exit, so waiting for interpreter shutdown would lose it.
+        if _WORKER_SESSION is not None:
+            _WORKER_SESSION.flush()
+
+
+def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
+                 progress=None):
+    """Run engine tasks across ``jobs`` processes; ordered result list.
+
+    ``tasks`` is a list of ``("cell", payload)`` / ``("call", payload)``
+    tuples (see :func:`_run_cell`).  With ``jobs`` ≤ 1 the tasks run in
+    this process against ``context`` directly — same code path the workers
+    execute, minus the pickling.  ``progress`` (if given) is called with
+    each result *in task order*.
+    """
+    jobs = resolve_jobs(jobs)
+    results = []
+    if jobs <= 1 or len(tasks) <= 1:
+        global _WORKER_CONTEXT
+        saved = _WORKER_CONTEXT
+        _WORKER_CONTEXT = context
+        try:
+            for task in tasks:
+                result = _run_cell(task)
+                if progress is not None:
+                    progress(result)
+                results.append(result)
+        finally:
+            _WORKER_CONTEXT = saved
+        return results
+
+    # Prime every lazy design before pickling so workers never synthesize:
+    # that keeps workers bit-identical to the parent AND avoids paying the
+    # synthesis cost once per process.
+    prime_designs(context)
+    blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+    tel_dir = str(telemetry_dir) if telemetry_dir is not None else None
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)),
+        initializer=_init_worker,
+        initargs=(blob, tel_dir),
+    ) as pool:
+        futures = [pool.submit(_run_cell, task) for task in tasks]
+        for future in futures:  # submission order == collection order
+            result = future.result()
+            if progress is not None:
+                progress(result)
+            results.append(result)
+    if tel_dir is not None:
+        from ..telemetry.merge import merge_worker_dirs
+
+        merge_worker_dirs(tel_dir)
+    return results
+
+
+def run_matrix(schemes, workloads, context, seed=7, max_time=600.0,
+               record=False, progress=None, jobs=None, telemetry_dir=None):
+    """Parallel counterpart of :func:`runner.run_scheme_matrix`.
+
+    Same nested ``{workload: {scheme: RunMetrics}}`` dict, same cell seeds,
+    assembled in the serial loop's (workload, scheme) order.
+    """
+    schemes = list(schemes)
+    workloads = list(workloads)
+    tel_dir = telemetry_dir
+    if tel_dir is None:
+        session = active_session()
+        if session is not None and session.out_dir is not None:
+            tel_dir = str(session.out_dir)
+    tasks = [
+        ("cell", (scheme, workload, seed, max_time, record))
+        for workload in workloads
+        for scheme in schemes
+    ]
+    flat = parallel_map(tasks, context, jobs=jobs, telemetry_dir=tel_dir,
+                        progress=progress)
+    results = {}
+    it = iter(flat)
+    for workload in workloads:
+        results[workload_name(workload)] = {
+            scheme: next(it) for scheme in schemes
+        }
+    return results

@@ -79,7 +79,7 @@ def _run_once(context, fault_fn, workload="gamess", max_time=200.0, seed=11):
     )
     board = Board(make_application(workload), spec=context.spec, seed=seed,
                   record=False)
-    period_steps = int(round(context.spec.control_period / context.spec.sim_dt))
+    period_steps = context.spec.period_steps()
     fault_time = max_time / 3.0 if fault_fn else None
     faulted = False
     fault_period = -1

@@ -69,12 +69,16 @@ class Fig1011Result:
         return "\n\n".join(parts)
 
 
-def run(context: DesignContext = None, workload="blackscholes", seed=7):
-    """Regenerate Figures 10 and 11."""
+def run(context: DesignContext = None, workload="blackscholes", seed=7,
+        jobs=None):
+    """Regenerate Figures 10 and 11 (``jobs`` fans the four runs out)."""
     context = context or DesignContext.create()
     result = Fig1011Result(workload, context.spec.power_limit_big)
+    matrix = run_scheme_matrix(TABLE_IV_SCHEMES, [workload], context,
+                               seed=seed, record=True, jobs=jobs)
+    per_scheme = next(iter(matrix.values()))
     for scheme in TABLE_IV_SCHEMES:
-        metrics = run_workload(scheme, workload, context, seed=seed, record=True)
+        metrics = per_scheme[scheme]
         result.traces[scheme] = metrics.trace
         result.completion[scheme] = metrics.execution_time
         result.power_stats[scheme] = oscillation_stats(

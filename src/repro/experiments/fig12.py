@@ -66,11 +66,12 @@ class Fig1213Result:
         return "\n\n".join(parts)
 
 
-def run(context: DesignContext = None, quick=True, seed=7) -> Fig1213Result:
+def run(context: DesignContext = None, quick=True, seed=7,
+        jobs=None) -> Fig1213Result:
     context = context or DesignContext.create()
     workloads = QUICK_WORKLOADS if quick else program_names("evaluation")
     results = run_scheme_matrix(LQG_COMPARISON_SCHEMES, workloads, context,
-                                seed=seed)
+                                seed=seed, jobs=jobs)
     out = Fig1213Result(LQG_COMPARISON_SCHEMES, list(results))
     for app, per_scheme in results.items():
         out.exd[app] = normalize_to(per_scheme, COORDINATED_HEURISTIC, "exd")

@@ -44,10 +44,12 @@ class Fig14Result:
         )
 
 
-def run(context: DesignContext = None, schemes=None, seed=7) -> Fig14Result:
+def run(context: DesignContext = None, schemes=None, seed=7,
+        jobs=None) -> Fig14Result:
     context = context or DesignContext.create()
     schemes = schemes or SCHEMES
-    results = run_scheme_matrix(schemes, mix_names(), context, seed=seed)
+    results = run_scheme_matrix(schemes, mix_names(), context, seed=seed,
+                                jobs=jobs)
     out = Fig14Result(list(schemes), list(results))
     for mix, per_scheme in results.items():
         out.exd[mix] = normalize_to(per_scheme, COORDINATED_HEURISTIC, "exd")

@@ -54,12 +54,9 @@ def run_fixed_targets(context, workload="blackscholes", max_time=150.0, seed=7):
     session.sw_controller.set_targets(SW_FIXED_TARGETS)
     coordinator = MultilayerCoordinator(session.hw_controller, session.sw_controller)
     board = Board(make_application(workload), spec=context.spec, seed=seed)
-    period_steps = int(round(context.spec.control_period / context.spec.sim_dt))
+    period_steps = context.spec.period_steps()
     while not board.done and board.time < max_time:
-        for _ in range(period_steps):
-            board.step()
-            if board.done:
-                break
+        board.run_period(period_steps)
         if board.done:
             break
         coordinator.control_step(board, period_steps)
@@ -111,9 +108,22 @@ class Fig15Result:
         return "\n\n".join(parts)
 
 
+def _exd_cell(context, bounds, scheme, workload, seed):
+    """Engine task: one ExD run on a bounds-override variant.
+
+    Module-level so it pickles; the variant is rebuilt from the shared
+    worker context (the persistent cache makes re-synthesis a hit when the
+    parent already designed this variant).
+    """
+    variant = context.variant(bounds_override=bounds)
+    return run_workload(scheme, workload, variant, seed=seed)
+
+
 def run(context: DesignContext = None, workloads=("blackscholes", "gamess"),
-        include_exd=True, seed=7) -> Fig15Result:
+        include_exd=True, seed=7, jobs=None) -> Fig15Result:
     """Regenerate Figure 15 (both halves)."""
+    from .engine import parallel_map
+
     context = context or DesignContext.create()
     result = Fig15Result(list(BOUND_SETTINGS))
     perf_range = context.characterization.range_of("bips_total")
@@ -133,13 +143,19 @@ def run(context: DesignContext = None, workloads=("blackscholes", "gamess"),
             "within_bound_frac": float(np.mean(np.abs(steady - target) <= bound_abs))
             if steady.size else float("nan"),
         }
-        if include_exd:
+    if include_exd:
+        tasks = [
+            ("call", (_exd_cell, (fractions, scheme, workload, seed), {}))
+            for setting, fractions in BOUND_SETTINGS.items()
+            for workload in workloads
+            for scheme in (YUKTA_HW_SSV_OS_SSV, COORDINATED_HEURISTIC)
+        ]
+        flat = parallel_map(tasks, context, jobs=jobs)
+        it = iter(flat)
+        for setting in BOUND_SETTINGS:
             ratios = []
-            for workload in workloads:
-                yukta = run_workload(YUKTA_HW_SSV_OS_SSV, workload, variant,
-                                     seed=seed)
-                base = run_workload(COORDINATED_HEURISTIC, workload, variant,
-                                    seed=seed)
+            for _ in workloads:
+                yukta, base = next(it), next(it)
                 ratios.append(yukta.exd / base.exd)
             result.exd[setting] = float(np.mean(ratios))
     return result

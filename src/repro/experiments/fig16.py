@@ -62,9 +62,17 @@ class Fig16Result:
         return "\n\n".join(parts)
 
 
+def _exd_cell(context, guardband, scheme, workload, seed):
+    """Engine task: one ExD run on a guardband-override variant."""
+    variant = context.variant(guardband_override=guardband)
+    return run_workload(scheme, workload, variant, seed=seed)
+
+
 def run(context: DesignContext = None, workloads=("blackscholes", "gamess"),
-        include_exd=True, guardbands=None, seed=7) -> Fig16Result:
+        include_exd=True, guardbands=None, seed=7, jobs=None) -> Fig16Result:
     """Regenerate Figure 16."""
+    from .engine import parallel_map
+
     context = context or DesignContext.create()
     guardbands = list(guardbands or GUARDBANDS)
     result = Fig16Result(guardbands)
@@ -80,13 +88,19 @@ def run(context: DesignContext = None, workloads=("blackscholes", "gamess"),
         result.gamma[gb] = gamma
         result.peak_mu[gb] = design.dk_result.mu.peak_upper
         result.achieved_bounds[gb] = achieved / reference
-        if include_exd:
+    if include_exd:
+        tasks = [
+            ("call", (_exd_cell, (gb, scheme, workload, seed), {}))
+            for gb in guardbands
+            for workload in workloads
+            for scheme in (YUKTA_HW_SSV_OS_SSV, COORDINATED_HEURISTIC)
+        ]
+        flat = parallel_map(tasks, context, jobs=jobs)
+        it = iter(flat)
+        for gb in guardbands:
             ratios = []
-            for workload in workloads:
-                yukta = run_workload(YUKTA_HW_SSV_OS_SSV, workload, variant,
-                                     seed=seed)
-                base = run_workload(COORDINATED_HEURISTIC, workload, variant,
-                                    seed=seed)
+            for _ in workloads:
+                yukta, base = next(it), next(it)
                 ratios.append(yukta.exd / base.exd)
             result.exd[gb] = float(np.mean(ratios))
     return result

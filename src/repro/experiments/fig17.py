@@ -56,42 +56,55 @@ class Fig17Result:
         return "\n\n".join(parts)
 
 
-def run(context: DesignContext = None, workload="blackscholes", max_time=120.0,
-        seed=7) -> Fig17Result:
-    """Regenerate Figure 17."""
-    context = context or DesignContext.create()
-    result = Fig17Result(list(INPUT_WEIGHTS))
+def _weight_cell(context, weight, workload, max_time, seed):
+    """Engine task: one fixed-power tracking run at one input weight.
+
+    Returns the (times, power, actuation) arrays rather than the live
+    coordinator so the payload pickles cheaply back to the parent.
+    """
     targets = list(HW_FIXED_TARGETS)
     targets[1] = POWER_TARGET
-    for weight in INPUT_WEIGHTS:
-        variant = context.variant(input_weight_override=weight)
-        session = build_session(YUKTA_HW_SSV_OS_SSV, variant)
-        session.hw_controller.set_targets(targets)
-        session.sw_controller.set_targets(SW_FIXED_TARGETS)
-        coordinator = MultilayerCoordinator(
-            session.hw_controller, session.sw_controller
-        )
-        board = Board(make_application(workload), spec=variant.spec, seed=seed)
-        period_steps = int(round(variant.spec.control_period / variant.spec.sim_dt))
-        while not board.done and board.time < max_time:
-            for _ in range(period_steps):
-                board.step()
-                if board.done:
-                    break
-            if board.done:
-                break
-            coordinator.control_step(board, period_steps)
-        times = np.array([r.time for r in coordinator.records])
-        power = np.array([r.outputs_hw[1] for r in coordinator.records])
+    variant = context.variant(input_weight_override=weight)
+    session = build_session(YUKTA_HW_SSV_OS_SSV, variant)
+    session.hw_controller.set_targets(targets)
+    session.sw_controller.set_targets(SW_FIXED_TARGETS)
+    coordinator = MultilayerCoordinator(
+        session.hw_controller, session.sw_controller
+    )
+    board = Board(make_application(workload), spec=variant.spec, seed=seed)
+    period_steps = variant.spec.period_steps()
+    while not board.done and board.time < max_time:
+        board.run_period(period_steps)
+        if board.done:
+            break
+        coordinator.control_step(board, period_steps)
+    times = np.array([r.time for r in coordinator.records])
+    power = np.array([r.outputs_hw[1] for r in coordinator.records])
+    actuation = np.array(
+        [[r.actuation_hw[0], r.actuation_hw[2]] for r in coordinator.records]
+    )
+    return times, power, actuation
+
+
+def run(context: DesignContext = None, workload="blackscholes", max_time=120.0,
+        seed=7, jobs=None) -> Fig17Result:
+    """Regenerate Figure 17 (``jobs`` fans the weight settings out)."""
+    from .engine import parallel_map
+
+    context = context or DesignContext.create()
+    result = Fig17Result(list(INPUT_WEIGHTS))
+    tasks = [
+        ("call", (_weight_cell, (weight, workload, max_time, seed), {}))
+        for weight in INPUT_WEIGHTS
+    ]
+    flat = parallel_map(tasks, context, jobs=jobs)
+    for weight, (times, power, actuation) in zip(INPUT_WEIGHTS, flat):
         result.series[weight] = (times, power)
         skip = max(len(power) // 4, 4)
         steady = power[skip:]
         diffs = np.diff(steady) if steady.size > 1 else np.zeros(1)
         # Actuation activity: how many quantization notches the controller
         # moves its knobs per period (the paper's eager-vs-sluggish axis).
-        actuation = np.array(
-            [[r.actuation_hw[0], r.actuation_hw[2]] for r in coordinator.records]
-        )
         if actuation.shape[0] > 1:
             moves = (
                 np.abs(np.diff(actuation[:, 0])) / 1.0  # core notches

@@ -152,7 +152,7 @@ def supervised_run(context, scheme, campaign=None, workload="gamess",
                   record=False, telemetry=tel)
     injector = (FaultInjector(board, campaign, seed=seed, telemetry=tel)
                 if campaign else None)
-    period_steps = int(round(spec.control_period / spec.sim_dt))
+    period_steps = spec.period_steps()
     temp_violation = 0.0
     power_violation = 0.0
     while not board.done and board.time < max_time:
@@ -162,6 +162,8 @@ def supervised_run(context, scheme, campaign=None, workload="gamess",
         else:
             sim_span = NULL_SPAN
         with sim_span:
+            # Per-tick supervision bookkeeping (injector phases, violation
+            # clocks) needs the scalar loop; run_period would skip it.
             for _ in range(period_steps):
                 board.step()
                 if injector is not None:
@@ -186,45 +188,85 @@ def supervised_run(context, scheme, campaign=None, workload="gamess",
     )
 
 
-def _latency_periods(run, spec):
-    detected_at = run.supervisor.detection_time
-    if detected_at is None or run.fault_onset < 0:
+def _latency_periods(detection_time, fault_onset, spec):
+    if detection_time is None or fault_onset < 0:
         return -1
-    return max(0, int(round((detected_at - run.fault_onset) / spec.control_period)))
+    return max(
+        0, int(round((detection_time - fault_onset) / spec.control_period))
+    )
+
+
+def _fault_cell(context, scheme, fault_index, fault_time, quick, workload,
+                max_time, seed, config):
+    """Engine task: one supervised run, summarized as a plain dict.
+
+    ``fault_index`` < 0 is the fault-free baseline.  The fault matrix is
+    rebuilt in the worker from its parameters (campaign objects carry
+    mutable per-run state, so shipping indices keeps cells independent),
+    and only picklable scalars travel back.
+    """
+    campaign = None
+    if fault_index >= 0:
+        campaign = default_fault_matrix(fault_time=fault_time,
+                                        quick=quick)[fault_index][1]
+    result = supervised_run(context, scheme, campaign=campaign,
+                            workload=workload, max_time=max_time, seed=seed,
+                            config=config)
+    return {
+        "exd": result.exd,
+        "completed": result.completed,
+        "tripped": result.supervisor.tripped,
+        "detection_time": result.supervisor.detection_time,
+        "time_degraded": result.supervisor.time_degraded,
+        "recovered": result.supervisor.recovered,
+        "temp_violation_time": result.temp_violation_time,
+        "power_violation_time": result.power_violation_time,
+        "fault_onset": result.fault_onset,
+    }
 
 
 def run(context: DesignContext = None, schemes=DEFAULT_SCHEMES,
         workload="gamess", fault_time=60.0, max_time=200.0, seed=11,
-        quick=False, config: SupervisorConfig = None, progress=None):
-    """The full fault-matrix × scheme sweep."""
+        quick=False, config: SupervisorConfig = None, progress=None,
+        jobs=None):
+    """The full fault-matrix × scheme sweep (``jobs`` fans the cells out)."""
+    from .engine import parallel_map
+
     context = context or DesignContext.create()
     matrix = default_fault_matrix(fault_time=fault_time, quick=quick)
+    fault_names = [name for name, _ in matrix]
+    tasks = [
+        ("call", (_fault_cell, (scheme, index, fault_time, quick, workload,
+                                max_time, seed, config), {}))
+        for scheme in schemes
+        for index in range(-1, len(matrix))
+    ]
+    flat = parallel_map(tasks, context, jobs=jobs)
+    it = iter(flat)
     baselines = {}
     rows = []
     for scheme in schemes:
-        base = supervised_run(context, scheme, campaign=None, workload=workload,
-                              max_time=max_time, seed=seed, config=config)
+        base = next(it)
         baselines[scheme] = {
-            "exd": base.exd,
-            "false_trip": base.supervisor.tripped,
+            "exd": base["exd"],
+            "false_trip": base["tripped"],
         }
         if progress is not None:
-            progress(f"{scheme} fault-free: ExD={base.exd:.0f}")
-        for fault_name, campaign in matrix:
-            result = supervised_run(
-                context, scheme, campaign=campaign, workload=workload,
-                max_time=max_time, seed=seed, config=config,
-            )
-            penalty = 100.0 * (result.exd - base.exd) / base.exd
+            progress(f"{scheme} fault-free: ExD={base['exd']:.0f}")
+        for fault_name in fault_names:
+            cell = next(it)
+            penalty = 100.0 * (cell["exd"] - base["exd"]) / base["exd"]
             row = ResilienceRow(
                 fault=fault_name,
                 scheme=scheme,
-                detected=result.supervisor.tripped,
-                detect_latency=_latency_periods(result, context.spec),
-                degraded_time=result.supervisor.time_degraded,
-                recovered=result.supervisor.recovered,
-                temp_violation_time=result.temp_violation_time,
-                power_violation_time=result.power_violation_time,
+                detected=cell["tripped"],
+                detect_latency=_latency_periods(
+                    cell["detection_time"], cell["fault_onset"], context.spec
+                ),
+                degraded_time=cell["time_degraded"],
+                recovered=cell["recovered"],
+                temp_violation_time=cell["temp_violation_time"],
+                power_violation_time=cell["power_violation_time"],
                 exd_penalty_pct=penalty,
             )
             rows.append(row)

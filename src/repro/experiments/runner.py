@@ -21,7 +21,12 @@ from ..workloads import make_application, make_mix
 from .metrics import RunMetrics
 from .schemes import DesignContext, SchemeSession, build_session
 
-__all__ = ["run_workload", "run_scheme_matrix", "instantiate_workload"]
+__all__ = [
+    "run_workload",
+    "run_scheme_matrix",
+    "instantiate_workload",
+    "workload_name",
+]
 
 
 def instantiate_workload(workload):
@@ -34,20 +39,21 @@ def instantiate_workload(workload):
         return make_mix(workload)
 
 
+def workload_name(workload):
+    """The canonical result-dict key for a workload argument."""
+    if isinstance(workload, str):
+        return workload
+    return "+".join(a.name for a in instantiate_workload(workload))
+
+
 def _simulate_period(board, period_steps, tel):
     """Advance the board one control period (optionally under a span)."""
     if tel is None:
-        for _ in range(period_steps):
-            board.step()
-            if board.done:
-                break
+        board.run_period(period_steps)
         return
     t0 = time.perf_counter()
     with tel.span("sim", cat="period", board_time=board.time):
-        for _ in range(period_steps):
-            board.step()
-            if board.done:
-                break
+        board.run_period(period_steps)
     tel.sim_period_hist.observe(time.perf_counter() - t0)
 
 
@@ -114,7 +120,7 @@ def run_workload(
     apps = instantiate_workload(workload)
     board = Board(apps, spec=context.spec, seed=seed, record=record,
                   telemetry=tel)
-    period_steps = int(round(context.spec.control_period / context.spec.sim_dt))
+    period_steps = context.spec.period_steps()
     if session.monolithic is not None:
         _monolithic_loop(board, session, period_steps, max_time, telemetry=tel)
         coordinator = None
@@ -126,23 +132,14 @@ def run_workload(
             session.sw_optimizer,
             telemetry=tel,
         )
-        if tel is None:
-            while not board.done and board.time < max_time:
-                for _ in range(period_steps):
-                    board.step()
-                    if board.done:
-                        break
-                if board.done:
-                    break
-                coordinator.control_step(board, period_steps)
-        else:
-            while not board.done and board.time < max_time:
+        while not board.done and board.time < max_time:
+            if tel is not None:
                 tel.begin_period(board.time)
-                _simulate_period(board, period_steps, tel)
-                if board.done:
-                    break
-                coordinator.control_step(board, period_steps)
-    workload_name = workload if isinstance(workload, str) else "+".join(
+            _simulate_period(board, period_steps, tel)
+            if board.done:
+                break
+            coordinator.control_step(board, period_steps)
+    name = workload if isinstance(workload, str) else "+".join(
         a.name for a in apps
     )
     trace = board.trace.as_arrays() if record and board.trace else {}
@@ -154,7 +151,7 @@ def run_workload(
         notes["guardband_exhausted"] = session.hw_controller.guardband_exhausted
     return RunMetrics(
         scheme=scheme_name,
-        workload=workload_name,
+        workload=name,
         execution_time=board.time,
         energy=board.energy,
         completed=board.done,
@@ -164,10 +161,23 @@ def run_workload(
 
 
 def run_scheme_matrix(schemes, workloads, context, seed=7, max_time=600.0,
-                      record=False, progress=None):
-    """Run every (scheme, workload) pair; returns nested dict of metrics."""
+                      record=False, progress=None, jobs=None):
+    """Run every (scheme, workload) pair; returns nested dict of metrics.
+
+    ``jobs`` > 1 fans the matrix cells across worker processes through the
+    parallel experiment engine — results are bit-identical to the serial
+    path (same context, same per-cell seeds).  The result dict is keyed by
+    workload name (resolved up front, so empty scheme lists are safe).
+    """
+    if jobs is not None and jobs != 1:
+        from .engine import run_matrix
+
+        return run_matrix(schemes, workloads, context, seed=seed,
+                          max_time=max_time, record=record,
+                          progress=progress, jobs=jobs)
     results = {}
     for workload in workloads:
+        name = workload_name(workload)
         per_scheme = {}
         for scheme in schemes:
             metrics = run_workload(
@@ -177,6 +187,5 @@ def run_scheme_matrix(schemes, workloads, context, seed=7, max_time=600.0,
             per_scheme[scheme] = metrics
             if progress is not None:
                 progress(metrics)
-        name = metrics.workload
         results[name] = per_scheme
     return results

@@ -69,7 +69,7 @@ def _run_scheduled(context, gs_design, workload, seed=7, max_time=600.0):
     )
     board = Board(instantiate_workload(workload), spec=context.spec, seed=seed,
                   record=False)
-    period_steps = int(round(context.spec.control_period / context.spec.sim_dt))
+    period_steps = context.spec.period_steps()
     while not board.done and board.time < max_time:
         for _ in range(period_steps):
             board.step()

@@ -25,6 +25,7 @@ from ..baselines import (
     design_monolithic_lqg,
 )
 from ..board import default_xu3_spec
+from ..cache import DesignCache, fingerprint
 from ..core import (
     ExDOptimizer,
     TargetChannel,
@@ -39,6 +40,7 @@ __all__ = [
     "SchemeSession",
     "SCHEMES",
     "build_session",
+    "prime_designs",
     "scheme_descriptions",
 ]
 
@@ -107,17 +109,34 @@ class DesignContext:
     lqg_sw: object = None
     lqg_mono: object = None
     overrides: dict = field(default_factory=dict)
+    cache: object = None  # DesignCache, or None to keep everything in-memory
+    char_fingerprint: str = ""  # identifies (spec, characterization params)
 
     @classmethod
     def create(cls, spec=None, samples_per_program=160, seed=1234,
                bounds_override=None, guardband_override=None,
-               input_weight_override=None):
-        """Characterize the board and synthesize every controller needed."""
+               input_weight_override=None, cache=None):
+        """Characterize the board and synthesize every controller needed.
+
+        ``cache`` (see :meth:`repro.cache.DesignCache.resolve`) memoizes the
+        characterization campaign and all synthesized controllers on disk:
+        both are deterministic functions of ``(spec, samples_per_program,
+        seed)`` plus the design overrides, so a warm cache makes context
+        construction near-instant.
+        """
         spec = spec or default_xu3_spec()
-        characterization = characterize_board(
+        cache = DesignCache.resolve(cache)
+        char_fp = fingerprint("characterization", spec, samples_per_program,
+                              seed)
+        build = lambda: characterize_board(
             spec, samples_per_program=samples_per_program, seed=seed
         )
-        ctx = cls(spec=spec, characterization=characterization)
+        if cache is not None:
+            characterization = cache.fetch(char_fp, build)
+        else:
+            characterization = build()
+        ctx = cls(spec=spec, characterization=characterization,
+                  cache=cache, char_fingerprint=char_fp)
         ctx.overrides = {
             "bounds": bounds_override,
             "guardband": guardband_override,
@@ -131,15 +150,32 @@ class DesignContext:
 
         Sensitivity sweeps (Figs. 15-17) redesign controllers under
         different bounds/guardbands/weights without re-running the training
-        campaign — exactly what a design team would do.
+        campaign — exactly what a design team would do.  The persistent
+        cache carries over, so re-synthesized variants hit disk too.
         """
-        ctx = DesignContext(spec=self.spec, characterization=self.characterization)
+        ctx = DesignContext(spec=self.spec, characterization=self.characterization,
+                            cache=self.cache,
+                            char_fingerprint=self.char_fingerprint)
         ctx.overrides = {
             "bounds": bounds_override,
             "guardband": guardband_override,
             "input_weight": input_weight_override,
         }
         return ctx
+
+    def _design(self, slot, kind, build):
+        """Memoized design lookup: in-memory slot first, then the cache."""
+        value = getattr(self, slot)
+        if value is not None:
+            return value
+        if self.cache is not None and self.char_fingerprint:
+            key = fingerprint("design", kind, self.char_fingerprint,
+                              self.overrides)
+            value = self.cache.fetch(key, build)
+        else:
+            value = build()
+        setattr(self, slot, value)
+        return value
 
     # --- lazy designs ------------------------------------------------------
     def _hw_spec(self):
@@ -162,38 +198,43 @@ class DesignContext:
         return layer
 
     def get_hw_design(self):
-        if self.hw_design is None:
-            self.hw_design = design_layer(self._hw_spec(), self.characterization,
-                                          reduce_to=20, effort_scale=5.0,
-                                          accuracy_boost=10.0)
-        return self.hw_design
+        return self._design(
+            "hw_design", "hw-ssv",
+            lambda: design_layer(self._hw_spec(), self.characterization,
+                                 reduce_to=20, effort_scale=5.0,
+                                 accuracy_boost=10.0),
+        )
 
     def get_sw_design(self):
-        if self.sw_design is None:
-            # Placement moves are cheap relative to DVFS/hotplug, so the
-            # software design runs with a lighter internal effort scale
-            # (the user-facing weight stays the paper's 2).
-            self.sw_design = design_layer(self._sw_spec(), self.characterization,
-                                          reduce_to=20, effort_scale=2.5,
-                                          accuracy_boost=10.0)
-        return self.sw_design
+        # Placement moves are cheap relative to DVFS/hotplug, so the
+        # software design runs with a lighter internal effort scale
+        # (the user-facing weight stays the paper's 2).
+        return self._design(
+            "sw_design", "sw-ssv",
+            lambda: design_layer(self._sw_spec(), self.characterization,
+                                 reduce_to=20, effort_scale=2.5,
+                                 accuracy_boost=10.0),
+        )
 
     def get_lqg_hw(self):
-        if self.lqg_hw is None:
-            self.lqg_hw = design_lqg_hw(self._hw_spec(), self.characterization)
-        return self.lqg_hw
+        return self._design(
+            "lqg_hw", "lqg-hw",
+            lambda: design_lqg_hw(self._hw_spec(), self.characterization),
+        )
 
     def get_lqg_sw(self):
-        if self.lqg_sw is None:
-            self.lqg_sw = design_lqg_sw(self._sw_spec(), self.characterization)
-        return self.lqg_sw
+        return self._design(
+            "lqg_sw", "lqg-sw",
+            lambda: design_lqg_sw(self._sw_spec(), self.characterization),
+        )
 
     def get_lqg_mono(self):
-        if self.lqg_mono is None:
-            self.lqg_mono = design_monolithic_lqg(
+        return self._design(
+            "lqg_mono", "lqg-mono",
+            lambda: design_monolithic_lqg(
                 self._hw_spec(), self._sw_spec(), self.characterization
-            )
-        return self.lqg_mono
+            ),
+        )
 
     # --- optimizer factories ------------------------------------------------
     def hw_optimizer(self):
@@ -246,6 +287,29 @@ class SchemeSession:
     hw_optimizer: object = None
     sw_optimizer: object = None
     monolithic: object = None  # MonolithicLQGAdapter, if applicable
+
+
+# Which lazy designs each scheme pulls in (heuristic schemes need none).
+_SCHEME_DESIGNS = {
+    YUKTA_HW_SSV_OS_HEUR: ("get_hw_design",),
+    YUKTA_HW_SSV_OS_SSV: ("get_hw_design", "get_sw_design"),
+    DECOUPLED_LQG: ("get_lqg_hw", "get_lqg_sw"),
+    MONOLITHIC_LQG: ("get_lqg_mono",),
+}
+
+
+def prime_designs(context: DesignContext, schemes=None):
+    """Force-synthesize every design the given schemes will need.
+
+    The parallel experiment engine ships the context to workers by pickling
+    it once; priming first means every worker receives finished designs (no
+    redundant per-worker synthesis, and — since synthesis is the only
+    context mutation — the parent/worker contexts stay identical).
+    """
+    for scheme in schemes if schemes is not None else SCHEMES:
+        for getter in _SCHEME_DESIGNS.get(scheme, ()):
+            getattr(context, getter)()
+    return context
 
 
 def build_session(scheme_name, context: DesignContext) -> SchemeSession:

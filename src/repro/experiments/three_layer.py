@@ -69,7 +69,7 @@ def _run_stack(context, app_design, heartbeat_target, total_items=600,
             heartbeat_target=heartbeat_target,
         )
         coordinator = ThreeLayerCoordinator(two, runtime)
-    period_steps = int(round(context.spec.control_period / context.spec.sim_dt))
+    period_steps = context.spec.period_steps()
     while not board.done and board.time < max_time:
         for _ in range(period_steps):
             board.step()

@@ -92,7 +92,7 @@ def characterize_app_layer(base_context, samples=200, seed=77):
     from ..experiments.schemes import YUKTA_HW_SSV_OS_SSV, build_session
 
     spec = base_context.spec
-    period_steps = int(round(spec.control_period / spec.sim_dt))
+    period_steps = spec.period_steps()
     runs = []
     for run_idx in range(2):
         app = make_qos_application(total_items=10_000)

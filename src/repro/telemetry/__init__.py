@@ -32,6 +32,7 @@ finished directory with ``python -m repro trace DIR``.
 """
 
 from .flight import FlightRecorder, jsonable
+from .merge import merge_metrics_dicts, merge_worker_dirs
 from .registry import (
     Counter,
     Gauge,
@@ -65,4 +66,6 @@ __all__ = [
     "load_spans",
     "load_flight_dumps",
     "summarize_dir",
+    "merge_worker_dirs",
+    "merge_metrics_dicts",
 ]

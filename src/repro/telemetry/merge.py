@@ -1,0 +1,145 @@
+"""Merging per-worker telemetry directories into one coherent session dir.
+
+The parallel experiment engine gives every worker process its own
+:class:`~repro.telemetry.TelemetrySession` rooted at
+``<parent>/worker-<n>/``: sessions are process-local by design, so workers
+never contend on shared files.  When the pool joins, :func:`merge_worker_dirs`
+folds the worker outputs back into the parent directory:
+
+* ``metrics.json`` — counters and histograms are *summed* across workers
+  (counts, sums, and per-bucket cumulative totals); gauges keep the value
+  from the last worker that reported the family (gauges are "last write
+  wins" within a process, and the same holds across the merge).
+* ``spans.jsonl`` — concatenated in worker order, each span annotated with
+  a ``worker`` attribute so interleaved timelines stay attributable.
+* ``metrics.prom`` — re-rendered from the merged JSON snapshot in
+  Prometheus text exposition format.
+
+Worker directories are left in place (they are the ground truth for
+debugging a single worker); the merged artifacts land next to them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["merge_worker_dirs", "merge_metrics_dicts"]
+
+
+def _merge_values(kind, base_values, new_values):
+    """Fold one family's value list from a worker into the accumulator."""
+    by_labels = {
+        json.dumps(v["labels"], sort_keys=True): v for v in base_values
+    }
+    for value in new_values:
+        key = json.dumps(value["labels"], sort_keys=True)
+        seen = by_labels.get(key)
+        if seen is None:
+            by_labels[key] = json.loads(json.dumps(value))
+            continue
+        if kind == "histogram":
+            seen["sum"] += value["sum"]
+            seen["count"] += value["count"]
+            mine = {b["le"]: b for b in seen["buckets"]}
+            for bucket in value["buckets"]:
+                if bucket["le"] in mine:
+                    mine[bucket["le"]]["cumulative"] += bucket["cumulative"]
+                else:
+                    seen["buckets"].append(dict(bucket))
+        elif kind == "counter":
+            seen["value"] += value["value"]
+        else:  # gauge: last writer wins
+            seen["value"] = value["value"]
+    return list(by_labels.values())
+
+
+def merge_metrics_dicts(dicts):
+    """Merge several ``MetricsRegistry.to_dict()`` snapshots into one."""
+    merged = {}
+    for snapshot in dicts:
+        for name, family in snapshot.items():
+            seen = merged.get(name)
+            if seen is None:
+                merged[name] = json.loads(json.dumps(family))
+                continue
+            seen["values"] = _merge_values(
+                family.get("type", "counter"), seen["values"],
+                family["values"],
+            )
+    return dict(sorted(merged.items()))
+
+
+def _render_prometheus(merged):
+    """Prometheus text exposition of a merged metrics dict."""
+    lines = []
+    for name, family in merged.items():
+        if family.get("help"):
+            help_text = family["help"].replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {family.get('type', 'counter')}")
+        for value in family["values"]:
+            label_str = _label_str(value["labels"])
+            if family.get("type") == "histogram":
+                for bucket in value["buckets"]:
+                    bl = _label_str({**value["labels"], "le": bucket["le"]})
+                    lines.append(f"{name}_bucket{bl} {bucket['cumulative']}")
+                lines.append(f"{name}_sum{label_str} {value['sum']}")
+                lines.append(f"{name}_count{label_str} {value['count']}")
+            else:
+                lines.append(f"{name}{label_str} {value['value']}")
+    return "\n".join(lines) + "\n"
+
+
+def _label_str(labels):
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def merge_worker_dirs(parent_dir, worker_dirs=None):
+    """Merge worker telemetry into ``parent_dir``; returns the merged dict.
+
+    ``worker_dirs`` defaults to every ``worker-*`` subdirectory of the
+    parent, sorted by name (deterministic merge order).  Missing or
+    unparsable worker artifacts are skipped — a crashed worker must not
+    take the merged report down with it.
+    """
+    parent = Path(parent_dir)
+    if worker_dirs is None:
+        worker_dirs = sorted(p for p in parent.glob("worker-*") if p.is_dir())
+    else:
+        worker_dirs = [Path(p) for p in worker_dirs]
+
+    snapshots = []
+    span_lines = []
+    for worker in worker_dirs:
+        metrics_path = worker / "metrics.json"
+        if metrics_path.is_file():
+            try:
+                snapshots.append(json.loads(metrics_path.read_text()))
+            except (json.JSONDecodeError, OSError):
+                pass
+        spans_path = worker / "spans.jsonl"
+        if spans_path.is_file():
+            try:
+                for line in spans_path.read_text().splitlines():
+                    if not line.strip():
+                        continue
+                    try:
+                        span = json.loads(line)
+                        span["worker"] = worker.name
+                        span_lines.append(json.dumps(span))
+                    except json.JSONDecodeError:
+                        continue
+            except OSError:
+                pass
+
+    merged = merge_metrics_dicts(snapshots)
+    parent.mkdir(parents=True, exist_ok=True)
+    (parent / "metrics.json").write_text(json.dumps(merged, indent=1))
+    (parent / "metrics.prom").write_text(_render_prometheus(merged))
+    if span_lines:
+        (parent / "spans.jsonl").write_text("\n".join(span_lines) + "\n")
+    return merged

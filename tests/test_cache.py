@@ -1,0 +1,161 @@
+"""The persistent design-artifact cache: keying, recovery, CLI hygiene."""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.board import default_xu3_spec
+from repro.cache import MISS, DesignCache, fingerprint
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        spec = default_xu3_spec()
+        assert fingerprint("char", spec, 40, 3) == fingerprint("char", spec, 40, 3)
+
+    def test_sensitive_to_every_part(self):
+        spec = default_xu3_spec()
+        base = fingerprint("char", spec, 40, 3)
+        assert fingerprint("char", spec, 41, 3) != base
+        assert fingerprint("char", spec, 40, 4) != base
+        assert fingerprint("other", spec, 40, 3) != base
+
+    def test_sensitive_to_spec_fields(self):
+        import dataclasses
+
+        spec = default_xu3_spec()
+        other = dataclasses.replace(spec, temp_limit=80.0)
+        assert fingerprint(spec) != fingerprint(other)
+
+    def test_overrides_dict_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": None}) == fingerprint({"b": None, "a": 1})
+
+
+class TestDesignCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        assert cache.get("k" * 8) is MISS
+        cache.put("k" * 8, {"x": 1})
+        assert cache.get("k" * 8) == {"x": 1}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_fetch_builds_once(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        calls = []
+        build = lambda: calls.append(1) or "artifact"
+        assert cache.fetch("key1", build) == "artifact"
+        assert cache.fetch("key1", build) == "artifact"
+        assert len(calls) == 1
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.put("key2", [1, 2, 3])
+        path = cache._path("key2")
+        path.write_bytes(b"not a pickle")
+        assert cache.get("key2") is MISS
+        assert not path.exists()  # corrupted entry deleted
+        assert cache.fetch("key2", lambda: [4]) == [4]  # recomputed
+
+    def test_version_stamp_invalidates(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        payload = {"version": "0.0.0-old", "key": "key3", "value": 42}
+        cache._path("key3").write_bytes(pickle.dumps(payload))
+        assert cache.get("key3") is MISS
+
+    def test_key_mismatch_invalidates(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        payload = {"version": repro.__version__, "key": "other", "value": 42}
+        cache._path("key4").write_bytes(pickle.dumps(payload))
+        assert cache.get("key4") is MISS
+
+    def test_info_and_clear(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.put("aaaa", 1)
+        cache.put("bbbb", 2)
+        info = cache.info()
+        assert str(tmp_path) in info and "entries: 2" in info
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_resolve_forms(self, tmp_path):
+        assert DesignCache.resolve(None) is None
+        assert DesignCache.resolve(False) is None
+        cache = DesignCache(tmp_path)
+        assert DesignCache.resolve(cache) is cache
+        assert DesignCache.resolve(str(tmp_path)).root == tmp_path
+        assert DesignCache.resolve(True).root is not None
+
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert DesignCache().root == tmp_path / "envcache"
+
+
+class TestContextCaching:
+    @pytest.fixture(scope="class")
+    def cache_dir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("design-cache")
+
+    def test_characterization_round_trip(self, cache_dir):
+        from repro.experiments import DesignContext
+
+        cold = DesignContext.create(samples_per_program=40, seed=5,
+                                    cache=cache_dir)
+        assert cold.cache.misses >= 1
+        warm = DesignContext.create(samples_per_program=40, seed=5,
+                                    cache=cache_dir)
+        assert warm.cache.hits >= 1 and warm.cache.misses == 0
+        assert (
+            warm.characterization.output_ranges
+            == cold.characterization.output_ranges
+        )
+
+    def test_designs_cached_and_equivalent(self, cache_dir):
+        import numpy as np
+
+        from repro.experiments import DesignContext
+
+        cold = DesignContext.create(samples_per_program=40, seed=5,
+                                    cache=cache_dir)
+        design = cold.get_hw_design()
+        warm = DesignContext.create(samples_per_program=40, seed=5,
+                                    cache=cache_dir)
+        hits_before = warm.cache.hits
+        cached = warm.get_hw_design()
+        assert warm.cache.hits == hits_before + 1
+        assert np.array_equal(
+            cached.controller.state_machine.A, design.controller.state_machine.A
+        )
+
+    def test_variant_overrides_get_distinct_keys(self, cache_dir):
+        from repro.experiments import DesignContext
+
+        ctx = DesignContext.create(samples_per_program=40, seed=5,
+                                   cache=cache_dir)
+        ctx.get_hw_design()
+        entries_before = len(ctx.cache.entries())
+        variant = ctx.variant(guardband_override=2.5)
+        variant.get_hw_design()
+        assert len(ctx.cache.entries()) == entries_before + 1
+
+    def test_no_cache_still_works(self):
+        from repro.experiments import DesignContext
+
+        ctx = DesignContext.create(samples_per_program=40, seed=5, cache=None)
+        assert ctx.cache is None
+        assert ctx.get_hw_design() is not None
+
+
+class TestCacheCLI:
+    def test_info_and_clear(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache = DesignCache(tmp_path)
+        cache.put("cccc", 7)
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out
+        assert DesignCache(tmp_path).entries() == []
