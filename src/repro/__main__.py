@@ -11,6 +11,7 @@ Commands
 ``resilience``        the fault-matrix sweep under the safe-mode supervisor
 ``three-layer``       the Sec. III-D three-layer demonstration
 ``trace``             summarize a recorded telemetry directory
+``verify``            invariant monitor + oracle pairs + golden traces
 
 Telemetry
 ---------
@@ -115,6 +116,28 @@ def main(argv=None):
     p_res.add_argument("--fault-time", type=float, default=60.0,
                        help="fault onset time (s)")
 
+    p_verify = sub.add_parser(
+        "verify",
+        help="invariant monitor + differential oracles + golden traces",
+    )
+    p_verify.add_argument("--quick", action="store_true",
+                          help="CI smoke configuration (smaller budgets)")
+    p_verify.add_argument("--regen-golden", action="store_true",
+                          help="re-mint the golden traces instead of "
+                               "comparing against them")
+    p_verify.add_argument("--golden-dir", metavar="DIR", default=None,
+                          help="golden-trace directory "
+                               "(default tests/golden/)")
+    p_verify.add_argument("--samples", type=int, default=None,
+                          help="characterization samples per training "
+                               "program (default 48 quick / 120 full)")
+    p_verify.add_argument("--seed", type=int, default=99,
+                          help="verification context seed")
+    p_verify.add_argument("--jobs", "-j", type=int, default=2,
+                          help="worker processes for the parallel oracle")
+    p_verify.add_argument("--telemetry", metavar="DIR", default=None,
+                          help="record metrics/spans/flight dumps into DIR")
+
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the design-artifact cache"
     )
@@ -171,6 +194,23 @@ def main(argv=None):
 
 
 def _dispatch(args, figure_commands):
+    if args.command == "verify":
+        from repro.telemetry import active_session
+        from repro.verify import run_verify
+
+        report = run_verify(
+            quick=args.quick,
+            regen_golden=args.regen_golden,
+            golden_dir=args.golden_dir,
+            samples=args.samples,
+            seed=args.seed,
+            jobs=args.jobs,
+            telemetry=active_session(),
+            log=lambda line: print(line, file=sys.stderr),
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+
     context = _make_context(args)
 
     if args.command == "design":

@@ -63,6 +63,7 @@ class MultilayerCoordinator:
         hw_optimizer: ExDOptimizer = None,
         sw_optimizer: ExDOptimizer = None,
         telemetry=None,
+        monitor=None,
     ):
         self.hw_controller = hw_controller
         self.sw_controller = sw_controller
@@ -73,6 +74,13 @@ class MultilayerCoordinator:
 
             telemetry = active_session()
         self.telemetry = telemetry
+        if monitor is None:
+            from ..verify.invariants import active_monitor
+
+            monitor = active_monitor()
+        # Runtime invariant monitor (repro.verify); same is-None fast path
+        # as telemetry, so un-verified runs pay one attribute check.
+        self.monitor = monitor
         self.records = []
         self._last_hw_actuation = None
         self._last_sw_actuation = None
@@ -207,6 +215,9 @@ class MultilayerCoordinator:
             self._publish_telemetry(
                 tel, board, signals, hw_u, sw_u, exd, override_active, t_start
             )
+        if self.monitor is not None:
+            self.monitor.check_period(board, coordinator=self,
+                                      signals=signals)
         return hw_u, sw_u
 
     # ------------------------------------------------------------------

@@ -99,14 +99,16 @@ def _run_cell(task):
 
 
 def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
-                 progress=None):
+                 progress=None, prime=None):
     """Run engine tasks across ``jobs`` processes; ordered result list.
 
     ``tasks`` is a list of ``("cell", payload)`` / ``("call", payload)``
     tuples (see :func:`_run_cell`).  With ``jobs`` ≤ 1 the tasks run in
     this process against ``context`` directly — same code path the workers
     execute, minus the pickling.  ``progress`` (if given) is called with
-    each result *in task order*.
+    each result *in task order*.  ``prime`` restricts pre-pool design
+    priming to the named schemes (``None`` primes everything — safe for
+    arbitrary ``("call", ...)`` tasks).
     """
     jobs = resolve_jobs(jobs)
     results = []
@@ -127,7 +129,7 @@ def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
     # Prime every lazy design before pickling so workers never synthesize:
     # that keeps workers bit-identical to the parent AND avoids paying the
     # synthesis cost once per process.
-    prime_designs(context)
+    prime_designs(context, prime)
     blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
     tel_dir = str(telemetry_dir) if telemetry_dir is not None else None
     with ProcessPoolExecutor(
@@ -168,7 +170,7 @@ def run_matrix(schemes, workloads, context, seed=7, max_time=600.0,
         for scheme in schemes
     ]
     flat = parallel_map(tasks, context, jobs=jobs, telemetry_dir=tel_dir,
-                        progress=progress)
+                        progress=progress, prime=schemes)
     results = {}
     it = iter(flat)
     for workload in workloads:

@@ -57,11 +57,18 @@ def _simulate_period(board, period_steps, tel):
     tel.sim_period_hist.observe(time.perf_counter() - t0)
 
 
-def _monolithic_loop(board, session, period_steps, max_time, telemetry=None):
+def _monolithic_loop(board, session, period_steps, max_time, telemetry=None,
+                     monitor=None):
     """Control loop for the single-controller (monolithic LQG) scheme."""
+    import types
+
     mono = session.monolithic
     hw_opt, sw_opt = session.hw_optimizer, session.sw_optimizer
     tel = telemetry
+    # The invariant monitor inspects optimizers through coordinator-shaped
+    # attribute access; the monolithic loop has no coordinator, so hand it
+    # a shim carrying the same two attributes.
+    opt_shim = types.SimpleNamespace(hw_optimizer=hw_opt, sw_optimizer=sw_opt)
     while not board.done and board.time < max_time:
         if tel is not None:
             tel.begin_period(board.time)
@@ -97,6 +104,9 @@ def _monolithic_loop(board, session, period_steps, max_time, telemetry=None):
         if tel is not None:
             tel.periods.inc()
             tel.exd_gauge.set(exd)
+        if monitor is not None:
+            monitor.check_period(board, coordinator=opt_shim,
+                                 signals=signals)
 
 
 def run_workload(
@@ -107,22 +117,29 @@ def run_workload(
     max_time=600.0,
     record=True,
     telemetry=None,
+    monitor=None,
 ) -> RunMetrics:
     """Run one workload to completion under one scheme.
 
     ``telemetry`` is an optional
     :class:`~repro.telemetry.TelemetrySession`; omitted, the run inherits
     the process-wide session (``None`` = disabled, the near-zero-overhead
-    fast path).
+    fast path).  ``monitor`` is an optional
+    :class:`~repro.verify.InvariantMonitor` with the same inheritance
+    rule (``repro verify`` installs one process-wide).
     """
+    from ..verify.invariants import active_monitor
+
     tel = telemetry if telemetry is not None else active_session()
+    mon = monitor if monitor is not None else active_monitor()
     session = build_session(scheme_name, context)
     apps = instantiate_workload(workload)
     board = Board(apps, spec=context.spec, seed=seed, record=record,
                   telemetry=tel)
     period_steps = context.spec.period_steps()
     if session.monolithic is not None:
-        _monolithic_loop(board, session, period_steps, max_time, telemetry=tel)
+        _monolithic_loop(board, session, period_steps, max_time,
+                         telemetry=tel, monitor=mon)
         coordinator = None
     else:
         coordinator = MultilayerCoordinator(
@@ -131,6 +148,7 @@ def run_workload(
             session.hw_optimizer,
             session.sw_optimizer,
             telemetry=tel,
+            monitor=mon,
         )
         while not board.done and board.time < max_time:
             if tel is not None:

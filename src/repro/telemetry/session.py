@@ -111,6 +111,9 @@ class TelemetrySession:
         self.fault_events = reg.counter(
             "fault_events_total", "fault-injector event edges",
             labels=("kind", "phase"))
+        self.invariant_violations = reg.counter(
+            "invariant_violations_total",
+            "runtime invariant-monitor violations", labels=("check",))
         self.flight_dumps = reg.counter(
             "flight_dumps_total", "flight-recorder dumps", labels=("reason",))
         self.control_step_hist = reg.histogram(

@@ -1,0 +1,80 @@
+"""Correctness verification: invariant monitoring, oracles, golden traces.
+
+Three pillars keep the growing stack honest (docs/VERIFICATION.md):
+
+``repro.verify.invariants``
+    A runtime :class:`InvariantMonitor` that audits the board, emergency
+    firmware, coordinator, and ExD optimizers every control period against
+    physical and control-law invariants.  Hooked in with the same
+    ``is None`` fast path as telemetry, so un-monitored runs pay a single
+    attribute check.
+``repro.verify.oracles``
+    Differential oracles replaying identical inputs through pairs of
+    implementations that must agree — fastpath vs scalar stepping, the
+    parallel engine vs the serial matrix, cached vs fresh synthesis, and
+    the LQG synthesis vs an independent textbook Riccati recursion — with
+    first-divergence and ULP-distance reporting.
+``repro.verify.golden``
+    A golden-trace regression suite: canonical control-period traces
+    checked into ``tests/golden/`` and a tolerance-aware comparator, so
+    behavioral drift becomes a reviewed diff instead of a silent change.
+
+``python -m repro verify [--quick] [--regen-golden]`` runs all three.
+"""
+
+from .golden import (
+    GOLDEN_DIR,
+    GOLDEN_MATRIX,
+    TraceMismatch,
+    capture_trace,
+    compare_traces,
+    golden_path,
+    load_golden,
+    verify_goldens,
+    write_golden,
+)
+from .invariants import (
+    InvariantMonitor,
+    Violation,
+    activate_monitor,
+    active_monitor,
+    deactivate_monitor,
+    power_ceiling,
+    temperature_ceiling,
+)
+from .oracles import (
+    OracleResult,
+    oracle_cache,
+    oracle_fastpath,
+    oracle_lqg_reference,
+    oracle_parallel_matrix,
+    ulp_distance,
+)
+from .runner import VerifyReport, run_verify
+
+__all__ = [
+    "InvariantMonitor",
+    "Violation",
+    "activate_monitor",
+    "active_monitor",
+    "deactivate_monitor",
+    "power_ceiling",
+    "temperature_ceiling",
+    "OracleResult",
+    "oracle_fastpath",
+    "oracle_parallel_matrix",
+    "oracle_cache",
+    "oracle_lqg_reference",
+    "ulp_distance",
+    "GOLDEN_DIR",
+    "GOLDEN_MATRIX",
+    "TraceMismatch",
+    "capture_trace",
+    "compare_traces",
+    "golden_path",
+    "load_golden",
+    "write_golden",
+    "verify_goldens",
+    "VerifyReport",
+    "run_verify",
+]

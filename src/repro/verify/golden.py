@@ -1,0 +1,234 @@
+"""Golden-trace regression suite: canonical runs as reviewed artifacts.
+
+A *golden trace* is the recorded behavior of one canonical
+(scheme, workload) cell — sub-sampled board trace plus run summary —
+checked into ``tests/golden/`` as JSON.  The comparator replays the cell
+and diffs the fresh trace against the golden one with per-signal
+tolerances, so any behavioral drift (a model change, a solver change, an
+accidental semantics change in the fastpath) shows up as a reviewable
+diff instead of silently shifting every downstream figure.
+
+The canonical matrix uses the heuristic schemes only: they need no
+synthesized artifacts, so the goldens exercise the full board physics and
+control loop while staying fast and independent of scipy solver details.
+
+Regenerate after an *intentional* behavior change with::
+
+    python -m repro verify --regen-golden
+
+and commit the resulting JSON diff alongside the code change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .oracles import ulp_distance
+
+__all__ = [
+    "GOLDEN_DIR",
+    "GOLDEN_MATRIX",
+    "GOLDEN_SIGNALS",
+    "TraceMismatch",
+    "capture_trace",
+    "compare_traces",
+    "golden_path",
+    "load_golden",
+    "write_golden",
+    "verify_goldens",
+    "regen_goldens",
+]
+
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+# The canonical scheme x workload matrix (kept deliberately small: these
+# run on every CI push).  max_time bounds the simulated horizon so a cell
+# costs well under a second of wall clock.
+GOLDEN_MATRIX = (
+    ("coordinated-heuristic", "blackscholes"),
+    ("coordinated-heuristic", "mcf"),
+    ("decoupled-heuristic", "blackscholes"),
+)
+
+# Which BoardTrace signals are pinned, sub-sampled every ``stride`` steps.
+GOLDEN_SIGNALS = (
+    "times", "power_big", "power_little", "temperature", "bips_total",
+    "freq_big", "freq_little", "cores_big", "cores_little",
+)
+
+_FORMAT = 1
+_DEFAULT_RTOL = 1e-9
+_DEFAULT_ATOL = 1e-12
+
+
+@dataclass
+class TraceMismatch:
+    """One golden-vs-fresh disagreement beyond tolerance."""
+
+    location: str  # e.g. "signals.power_big[12]" or "summary.energy"
+    golden: float
+    fresh: float
+    ulp: float
+
+    def __str__(self):
+        return (
+            f"{self.location}: golden {self.golden!r} vs fresh "
+            f"{self.fresh!r} ({self.ulp} ULP)"
+        )
+
+
+def golden_path(scheme, workload, golden_dir=None):
+    root = Path(golden_dir) if golden_dir is not None else GOLDEN_DIR
+    return root / f"{scheme}__{workload}.json"
+
+
+def capture_trace(scheme, workload, context, seed=7, max_time=20.0,
+                  stride=10):
+    """Run one canonical cell and package its trace as a JSON-able dict."""
+    from ..experiments.runner import run_workload
+
+    metrics = run_workload(scheme, workload, context, seed=seed,
+                           max_time=max_time, record=True, telemetry=None)
+    signals = {}
+    for name in GOLDEN_SIGNALS:
+        arr = np.asarray(metrics.trace.get(name, ()), dtype=float)
+        signals[name] = [float(v) for v in arr[::stride]]
+    return {
+        "format": _FORMAT,
+        "meta": {
+            "scheme": scheme,
+            "workload": workload,
+            "seed": seed,
+            "max_time": max_time,
+            "stride": stride,
+            "sim_dt": context.spec.sim_dt,
+            "control_period": context.spec.control_period,
+        },
+        "summary": {
+            "execution_time": float(metrics.execution_time),
+            "energy": float(metrics.energy),
+            "completed": bool(metrics.completed),
+            "emergency_trips": int(metrics.notes.get("emergency_trips", 0)),
+        },
+        "signals": signals,
+    }
+
+
+def compare_traces(golden, fresh, rtol=_DEFAULT_RTOL, atol=_DEFAULT_ATOL,
+                   max_mismatches=20):
+    """Diff two trace dicts; returns a list of :class:`TraceMismatch`.
+
+    ``rtol``/``atol`` absorb harmless last-bit float drift (e.g. a libm
+    difference between the machine that minted the golden and the one
+    verifying it) while still catching any genuine model change, which
+    moves signals by orders of magnitude more.
+    """
+    mismatches = []
+
+    def _check(location, a, b):
+        if len(mismatches) >= max_mismatches:
+            return
+        if isinstance(a, bool) or isinstance(b, bool):
+            if bool(a) != bool(b):
+                mismatches.append(TraceMismatch(location, float(a), float(b),
+                                                float("inf")))
+            return
+        a, b = float(a), float(b)
+        if a == b:
+            return
+        if not (np.isfinite(a) and np.isfinite(b)):
+            if not (np.isnan(a) and np.isnan(b)):
+                mismatches.append(
+                    TraceMismatch(location, a, b, ulp_distance(a, b))
+                )
+            return
+        if abs(a - b) > atol + rtol * max(abs(a), abs(b)):
+            mismatches.append(TraceMismatch(location, a, b, ulp_distance(a, b)))
+
+    for key in sorted(set(golden.get("summary", {})) | set(fresh.get("summary", {}))):
+        ga = golden.get("summary", {}).get(key)
+        fa = fresh.get("summary", {}).get(key)
+        if ga is None or fa is None:
+            mismatches.append(TraceMismatch(f"summary.{key}",
+                                            float("nan"), float("nan"),
+                                            float("inf")))
+            continue
+        _check(f"summary.{key}", ga, fa)
+    golden_signals = golden.get("signals", {})
+    fresh_signals = fresh.get("signals", {})
+    for name in sorted(set(golden_signals) | set(fresh_signals)):
+        ga = golden_signals.get(name)
+        fa = fresh_signals.get(name)
+        if ga is None or fa is None or len(ga) != len(fa):
+            mismatches.append(TraceMismatch(
+                f"signals.{name}.length",
+                float(len(ga)) if ga is not None else float("nan"),
+                float(len(fa)) if fa is not None else float("nan"),
+                float("inf"),
+            ))
+            continue
+        for i, (a, b) in enumerate(zip(ga, fa)):
+            if len(mismatches) >= max_mismatches:
+                break
+            _check(f"signals.{name}[{i}]", a, b)
+    return mismatches
+
+
+def write_golden(trace, scheme, workload, golden_dir=None):
+    """Serialize one golden trace (full float precision); returns its path."""
+    path = golden_path(scheme, workload, golden_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_golden(scheme, workload, golden_dir=None):
+    """Load one golden trace, or ``None`` if it has not been minted."""
+    path = golden_path(scheme, workload, golden_dir)
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())
+
+
+def regen_goldens(context, golden_dir=None, matrix=None, log=None):
+    """Re-mint every golden trace in the canonical matrix."""
+    paths = []
+    for scheme, workload in (matrix or GOLDEN_MATRIX):
+        trace = capture_trace(scheme, workload, context)
+        paths.append(write_golden(trace, scheme, workload, golden_dir))
+        if log is not None:
+            log(f"golden regenerated: {paths[-1]}")
+    return paths
+
+
+def verify_goldens(context, golden_dir=None, matrix=None, rtol=_DEFAULT_RTOL,
+                   atol=_DEFAULT_ATOL):
+    """Replay the canonical matrix against the checked-in goldens.
+
+    Returns ``{cell_name: [TraceMismatch, ...]}``; a missing golden file is
+    reported as a single synthetic mismatch so CI fails loudly rather than
+    skipping silently.
+    """
+    results = {}
+    for scheme, workload in (matrix or GOLDEN_MATRIX):
+        cell = f"{scheme}/{workload}"
+        golden = load_golden(scheme, workload, golden_dir)
+        if golden is None:
+            results[cell] = [TraceMismatch(
+                "golden-file-missing", float("nan"), float("nan"),
+                float("inf"),
+            )]
+            continue
+        meta = golden.get("meta", {})
+        fresh = capture_trace(
+            scheme, workload, context,
+            seed=meta.get("seed", 7),
+            max_time=meta.get("max_time", 20.0),
+            stride=meta.get("stride", 10),
+        )
+        results[cell] = compare_traces(golden, fresh, rtol=rtol, atol=atol)
+    return results

@@ -1,0 +1,417 @@
+"""Runtime invariant monitor for the board and control stack.
+
+The monitor audits, every control period, the physical and control-law
+invariants the Yukta reproduction depends on:
+
+* **Physics** — every power component non-negative and below the ceiling
+  the spec can physically produce; the hot-spot temperature inside the RC
+  model's reachable band; board time strictly increasing and energy
+  non-decreasing.
+* **Firmware envelope** — temperature above the emergency trip point only
+  while the TMU reports itself tripped; trip counts and throttle time
+  monotone; emergency caps actually engaged while throttled.
+* **Actuation legality** — cluster frequencies on the DVFS grid and core
+  counts on the hotplug grid exactly as declared through
+  :mod:`repro.signals.interface`; no thread placed on a hotplugged-out
+  core; no thread placed twice; pending stalls non-negative.
+* **Optimizer sanity** — every ExD target inside its declared channel
+  envelope, and the accept/revert bookkeeping consistent with the walk's
+  own model (``0 <= moves - (accepts + reverts) <= 1``, all monotone).
+
+Integration follows the telemetry pattern: instrumented code holds a
+monitor reference or ``None`` (one attribute check when disabled), and a
+process-wide monitor can be installed with :func:`activate_monitor` so the
+``repro verify`` CLI reaches every layer without threading a parameter
+through the call graph.  Violations are recorded as structured
+:class:`Violation` events; when a telemetry session is active they also
+increment ``invariant_violations_total`` and trigger one flight-recorder
+dump per distinct check, preserving the lead-up.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+
+from ..board.power import _REFERENCE_TEMP
+from ..board.specs import BIG, LITTLE
+
+__all__ = [
+    "Violation",
+    "InvariantMonitor",
+    "activate_monitor",
+    "deactivate_monitor",
+    "active_monitor",
+    "power_ceiling",
+    "temperature_ceiling",
+]
+
+_ACTIVE_MONITOR = None
+
+# Leakage grows with temperature and temperature grows with power, so the
+# ceiling pair is a fixed point; evaluating leakage at this generous die
+# temperature breaks the cycle with a strict over-estimate.
+_TEMP_GUARD = 150.0
+# Phase activity factors may exceed 1.0 slightly (e.g. gamess at 1.05), so
+# the dynamic term gets headroom beyond the nominal all-cores-busy draw.
+_ACTIVITY_GUARD = 1.25
+
+
+def activate_monitor(monitor):
+    """Install a process-wide invariant monitor; returns it."""
+    global _ACTIVE_MONITOR
+    _ACTIVE_MONITOR = monitor
+    return monitor
+
+
+def deactivate_monitor():
+    """Clear the process-wide invariant monitor."""
+    global _ACTIVE_MONITOR
+    _ACTIVE_MONITOR = None
+
+
+def active_monitor():
+    """The process-wide monitor, or ``None`` (monitoring disabled)."""
+    return _ACTIVE_MONITOR
+
+
+def power_ceiling(cluster):
+    """A strict upper bound (W) on what one cluster can physically draw."""
+    freq = cluster.freq_range.high
+    voltage = cluster.voltage(freq)
+    dynamic = (
+        cluster.ceff_dynamic * voltage**2 * freq * cluster.n_cores
+        * _ACTIVITY_GUARD
+    )
+    temp_factor = 1.0 + cluster.leak_temp_coeff * (_TEMP_GUARD - _REFERENCE_TEMP)
+    leakage = cluster.n_cores * cluster.leak_coeff * voltage * max(temp_factor, 0.2)
+    idle = cluster.n_cores * cluster.idle_power
+    return dynamic + leakage + idle
+
+
+def temperature_ceiling(spec):
+    """RC-model reachable temperature bound for a board spec (degC)."""
+    effective = power_ceiling(spec.big) + spec.thermal_weight_little * power_ceiling(
+        spec.little
+    )
+    return spec.ambient_temp + spec.thermal_resistance * effective
+
+
+@dataclass
+class Violation:
+    """One structured invariant-violation event."""
+
+    check: str  # dotted check id, e.g. "power.ceiling"
+    message: str
+    board_time: float = 0.0
+    value: object = None
+    bound: object = None
+
+    def as_dict(self):
+        return {
+            "check": self.check,
+            "message": self.message,
+            "board_time": self.board_time,
+            "value": self.value,
+            "bound": self.bound,
+        }
+
+    def __str__(self):
+        return f"[{self.check}] t={self.board_time:.2f}s: {self.message}"
+
+
+@dataclass
+class _BoardBookkeeping:
+    """Per-board monotonicity state the monitor tracks between checks."""
+
+    time: float = float("-inf")
+    energy: float = float("-inf")
+    trip_count: int = 0
+    throttle_time: float = 0.0
+
+
+@dataclass
+class _OptimizerBookkeeping:
+    moves: int = 0
+    accepts: int = 0
+    reverts: int = 0
+
+
+@dataclass
+class InvariantMonitor:
+    """Checks physical and control invariants against live run state.
+
+    ``telemetry`` is an optional
+    :class:`~repro.telemetry.TelemetrySession`; when present, violations
+    increment the ``invariant_violations_total`` counter and the *first*
+    violation of each distinct check triggers a flight-recorder dump.
+    ``max_violations`` bounds memory on a badly broken run — past the cap
+    only the counters advance.
+    """
+
+    telemetry: object = None
+    tolerance: float = 1e-6
+    noise_sigmas: float = 8.0  # band allowed for noisy sensor readings
+    max_violations: int = 1000
+    violations: list = field(default_factory=list)
+    periods_checked: int = 0
+    counts: dict = field(default_factory=dict)  # check id -> violation count
+
+    def __post_init__(self):
+        self._boards = weakref.WeakKeyDictionary()
+        self._optimizers = weakref.WeakKeyDictionary()
+        self._dumped_checks = set()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_violations(self):
+        return sum(self.counts.values())
+
+    @property
+    def ok(self):
+        return not self.counts
+
+    def summary(self):
+        if self.ok:
+            return (
+                f"invariants: OK ({self.periods_checked} periods checked, "
+                "0 violations)"
+            )
+        lines = [
+            f"invariants: {self.total_violations} violation(s) over "
+            f"{self.periods_checked} periods"
+        ]
+        for check in sorted(self.counts):
+            lines.append(f"  {check}: {self.counts[check]}")
+        for violation in self.violations[:10]:
+            lines.append(f"  first: {violation}")
+        return "\n".join(lines)
+
+    def _emit(self, check, message, board_time=0.0, value=None, bound=None):
+        violation = Violation(check, message, board_time, value, bound)
+        self.counts[check] = self.counts.get(check, 0) + 1
+        if len(self.violations) < self.max_violations:
+            self.violations.append(violation)
+        tel = self.telemetry
+        if tel is not None:
+            tel.invariant_violations.labels(check=check).inc()
+            if check not in self._dumped_checks:
+                self._dumped_checks.add(check)
+                tel.dump_flight(f"invariant-{check}", extra=violation.as_dict())
+        return violation
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def check_period(self, board, coordinator=None, signals=None):
+        """Audit one control period; returns the violations found now."""
+        before = len(self.violations)
+        count_before = self.total_violations
+        self.periods_checked += 1
+        self.check_board(board, _count=False)
+        if signals is not None:
+            self._check_signals(board, signals)
+        if coordinator is not None:
+            for layer, opt in (
+                ("hw", getattr(coordinator, "hw_optimizer", None)),
+                ("sw", getattr(coordinator, "sw_optimizer", None)),
+            ):
+                if opt is not None:
+                    self.check_optimizer(opt, layer=layer,
+                                         board_time=board.time)
+        # Violations past the storage cap still count.
+        return self.violations[before:] if count_before < self.max_violations else []
+
+    def check_board(self, board, _count=True):
+        """Audit the board's physical state (usable without a coordinator)."""
+        if _count:
+            self.periods_checked += 1
+        before = len(self.violations)
+        spec = board.spec
+        t = board.time
+        book = self._boards.get(board)
+        if book is None:
+            book = self._boards[board] = _BoardBookkeeping()
+
+        # --- time / energy monotonicity --------------------------------
+        if t < book.time - self.tolerance:
+            self._emit("board.time-monotone",
+                       f"board time went backwards: {book.time} -> {t}",
+                       t, value=t, bound=book.time)
+        if board.energy < book.energy - self.tolerance:
+            self._emit("board.energy-monotone",
+                       f"energy decreased: {book.energy} -> {board.energy}",
+                       t, value=board.energy, bound=book.energy)
+        book.time = max(book.time, t)
+        book.energy = max(book.energy, board.energy)
+
+        # --- power physicality ------------------------------------------
+        for name in (BIG, LITTLE):
+            ceiling = power_ceiling(spec.cluster(name))
+            instant = board._instant_power[name]
+            if instant < -self.tolerance:
+                self._emit("power.nonnegative",
+                           f"{name} instantaneous power negative: {instant}",
+                           t, value=instant, bound=0.0)
+            if instant > ceiling + self.tolerance:
+                self._emit("power.ceiling",
+                           f"{name} power {instant:.3f} W exceeds physical "
+                           f"ceiling {ceiling:.3f} W", t,
+                           value=instant, bound=ceiling)
+            sensed = board.power_sensors[name].read()
+            if sensed == sensed:  # NaN (sensor dropout fault) is not physics
+                if sensed < -self.tolerance or sensed > ceiling + self.tolerance:
+                    self._emit("power.sensor-band",
+                               f"{name} power sensor reads {sensed:.3f} W "
+                               f"outside [0, {ceiling:.3f}]", t,
+                               value=sensed, bound=ceiling)
+
+        # --- thermal envelope -------------------------------------------
+        temp = board.thermal.temperature
+        t_max = temperature_ceiling(spec)
+        if temp < spec.ambient_temp - self.tolerance:
+            self._emit("thermal.floor",
+                       f"temperature {temp:.2f} below ambient "
+                       f"{spec.ambient_temp:.2f}", t,
+                       value=temp, bound=spec.ambient_temp)
+        if temp > t_max + self.tolerance:
+            self._emit("thermal.rc-ceiling",
+                       f"temperature {temp:.2f} above RC-reachable bound "
+                       f"{t_max:.2f}", t, value=temp, bound=t_max)
+        if (
+            temp > spec.emergency_temp_trip + self.tolerance
+            and not board.emergency.state.thermal_throttled
+        ):
+            self._emit("thermal.trip-consistency",
+                       f"temperature {temp:.2f} above trip point "
+                       f"{spec.emergency_temp_trip:.2f} but TMU not tripped",
+                       t, value=temp, bound=spec.emergency_temp_trip)
+
+        # --- firmware state machine -------------------------------------
+        state = board.emergency.state
+        if state.trip_count < book.trip_count:
+            self._emit("tmu.trips-monotone",
+                       f"trip count decreased: {book.trip_count} -> "
+                       f"{state.trip_count}", t,
+                       value=state.trip_count, bound=book.trip_count)
+        if state.throttle_time < book.throttle_time - self.tolerance:
+            self._emit("tmu.throttle-monotone",
+                       f"throttle time decreased: {book.throttle_time} -> "
+                       f"{state.throttle_time}", t,
+                       value=state.throttle_time, bound=book.throttle_time)
+        book.trip_count = max(book.trip_count, state.trip_count)
+        book.throttle_time = max(book.throttle_time, state.throttle_time)
+        if state.thermal_throttled and board.emergency.frequency_cap(BIG) is None:
+            self._emit("tmu.cap-engaged",
+                       "thermal throttle active but no big-cluster "
+                       "frequency cap engaged", t)
+
+        # --- actuation legality (declared interface grids) ---------------
+        for name in (BIG, LITTLE):
+            cluster = spec.cluster(name)
+            runtime = board.clusters[name]
+            if not cluster.freq_range.contains(runtime.frequency, tol=1e-9):
+                self._emit("actuation.freq-grid",
+                           f"{name} frequency {runtime.frequency} off the "
+                           f"declared DVFS grid", t,
+                           value=runtime.frequency)
+            cores = runtime.cores_on
+            if cores != int(cores) or not (1 <= cores <= cluster.n_cores):
+                self._emit("actuation.core-grid",
+                           f"{name} cores_on {cores} outside "
+                           f"[1, {cluster.n_cores}]", t,
+                           value=cores, bound=cluster.n_cores)
+            if runtime.pending_hotplug_stall < -self.tolerance:
+                self._emit("actuation.stall-nonnegative",
+                           f"{name} pending hotplug stall negative: "
+                           f"{runtime.pending_hotplug_stall}", t,
+                           value=runtime.pending_hotplug_stall, bound=0.0)
+            eff = board._effective_frequency(name)
+            if eff > runtime.frequency + self.tolerance:
+                self._emit("actuation.effective-freq",
+                           f"{name} effective frequency {eff} exceeds the "
+                           f"actuated {runtime.frequency}", t,
+                           value=eff, bound=runtime.frequency)
+
+        # --- placement consistency ---------------------------------------
+        seen = set()
+        for name in (BIG, LITTLE):
+            cores_on = board.clusters[name].cores_on
+            assignment = board.placement.assignment.get(name, [])
+            for idx, core in enumerate(assignment):
+                if idx >= cores_on and core:
+                    self._emit("placement.hotplug-consistency",
+                               f"{len(core)} thread(s) on powered-off core "
+                               f"{name}[{idx}] (cores_on={cores_on})", t,
+                               value=len(core))
+                for thread in core:
+                    key = id(thread)
+                    if key in seen:
+                        self._emit("placement.duplicate-thread",
+                                   f"thread {thread} placed on more than "
+                                   "one core", t)
+                    seen.add(key)
+        return self.violations[before:]
+
+    # ------------------------------------------------------------------
+    # Sampled-signal and optimizer checks
+    # ------------------------------------------------------------------
+    def _check_signals(self, board, signals):
+        """Audit one period's sampled signal dict (controller inputs)."""
+        spec = board.spec
+        t = board.time
+        noise_band = self.noise_sigmas * spec.temp_sensor_noise
+        temp = signals.get("temperature")
+        if temp is not None and temp == temp:
+            t_max = temperature_ceiling(spec) + noise_band
+            t_min = spec.ambient_temp - noise_band
+            if temp < t_min - self.tolerance or temp > t_max + self.tolerance:
+                self._emit("signals.temperature-band",
+                           f"sampled temperature {temp:.2f} outside "
+                           f"[{t_min:.2f}, {t_max:.2f}]", t,
+                           value=temp, bound=t_max)
+        for key in ("bips_total", "bips_big", "bips_little"):
+            value = signals.get(key)
+            if value is not None and value == value and value < -self.tolerance:
+                self._emit("signals.bips-nonnegative",
+                           f"{key} negative: {value}", t, value=value,
+                           bound=0.0)
+
+    def check_optimizer(self, optimizer, layer="hw", board_time=0.0):
+        """Audit one ExD optimizer against its own declared model."""
+        before = len(self.violations)
+        book = self._optimizers.get(optimizer)
+        if book is None:
+            book = self._optimizers[optimizer] = _OptimizerBookkeeping()
+        targets = optimizer.targets
+        for i, channel in enumerate(optimizer.channels):
+            if channel.role == "fixed":
+                continue
+            value = float(targets[i])
+            if (
+                value < channel.low - self.tolerance
+                or value > channel.high + self.tolerance
+            ):
+                self._emit(f"optimizer.{layer}.envelope",
+                           f"target {channel.name}={value} outside "
+                           f"[{channel.low}, {channel.high}]", board_time,
+                           value=value, bound=(channel.low, channel.high))
+        moves, accepts, reverts = (
+            optimizer.moves, optimizer.accepts, optimizer.reverts,
+        )
+        if moves < book.moves or accepts < book.accepts or reverts < book.reverts:
+            self._emit(f"optimizer.{layer}.counters-monotone",
+                       f"walk counters went backwards: moves {book.moves}->"
+                       f"{moves}, accepts {book.accepts}->{accepts}, "
+                       f"reverts {book.reverts}->{reverts}", board_time)
+        # Every move is judged exactly once (accept or revert) at the next
+        # move boundary, so at most one move is ever pending judgement.
+        if not (0 <= moves - (accepts + reverts) <= 1):
+            self._emit(f"optimizer.{layer}.judgement-balance",
+                       f"moves={moves} vs accepts+reverts="
+                       f"{accepts + reverts}: walk bookkeeping broken",
+                       board_time, value=moves, bound=accepts + reverts)
+        book.moves, book.accepts, book.reverts = moves, accepts, reverts
+        return self.violations[before:]

@@ -1,0 +1,409 @@
+"""Differential oracles: implementation pairs that must agree.
+
+Each oracle replays identical inputs through two implementations of the
+same computation and reports the first divergence — step index, signal
+name, both values, and the ULP distance between them:
+
+* :func:`oracle_fastpath` — vectorized window stepping
+  (:mod:`repro.board.fastpath`) vs scalar :meth:`Board.step`, under a
+  randomized-but-legal actuation schedule.  Must be **bit-exact**.
+* :func:`oracle_parallel_matrix` — the process-pool experiment engine vs
+  the serial matrix loop.  Must be **bit-exact**.
+* :func:`oracle_cache` — a design context rebuilt from the persistent
+  cache vs the same artifacts computed fresh.  Must be **bit-exact**
+  (pickle round-trips preserve float bits).
+* :func:`oracle_lqg_reference` — the production LQG synthesis
+  (:mod:`repro.lqg.synthesis`, scipy Riccati solvers) vs an independent
+  textbook fixed-point Riccati recursion.  Agrees within a documented
+  tolerance (iterative vs direct solvers).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "OracleResult",
+    "ulp_distance",
+    "oracle_fastpath",
+    "oracle_parallel_matrix",
+    "oracle_cache",
+    "oracle_lqg_reference",
+]
+
+
+def _ordered_bits(x):
+    """Map a float64 onto the integers so ULP distance is subtraction."""
+    (bits,) = struct.unpack("<q", struct.pack("<d", float(x)))
+    return bits if bits >= 0 else (-0x8000000000000000) - bits
+
+
+def ulp_distance(a, b):
+    """Units-in-the-last-place distance between two float64 values.
+
+    Identical values (including ``-0.0`` vs ``+0.0``) are 0 ULP apart;
+    adjacent representable doubles are 1 apart.  A single NaN is
+    infinitely far from everything; two NaNs count as equal.
+    """
+    a, b = float(a), float(b)
+    if np.isnan(a) or np.isnan(b):
+        return 0 if (np.isnan(a) and np.isnan(b)) else float("inf")
+    return abs(_ordered_bits(a) - _ordered_bits(b))
+
+
+@dataclass
+class Divergence:
+    """Where two implementations first disagreed."""
+
+    step: object  # step index, or a (workload, scheme, field) locator
+    signal: str
+    value_a: float
+    value_b: float
+    ulp: float
+
+    def __str__(self):
+        return (
+            f"first divergence at {self.step} signal {self.signal!r}: "
+            f"{self.value_a!r} vs {self.value_b!r} ({self.ulp} ULP)"
+        )
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one differential-oracle run."""
+
+    name: str
+    agree: bool
+    compared: int  # scalar comparisons performed
+    max_ulp: float = 0.0
+    tolerance_ulp: float = 0.0  # 0 = bit-exactness required
+    divergence: Divergence = None
+    details: dict = field(default_factory=dict)
+
+    def render(self):
+        status = "OK" if self.agree else "FAIL"
+        if self.tolerance_ulp != self.tolerance_ulp:  # NaN: relative tol
+            tol = f"tol rtol={self.details.get('rtol', '?')}"
+        elif self.tolerance_ulp == 0:
+            tol = "bit-exact"
+        else:
+            tol = f"tol {self.tolerance_ulp:g} ULP"
+        line = (
+            f"oracle {self.name:18s} {status}  "
+            f"({self.compared} comparisons, max {self.max_ulp:g} ULP, {tol})"
+        )
+        if self.divergence is not None:
+            line += f"\n  {self.divergence}"
+        return line
+
+
+class _Comparator:
+    """Accumulates comparisons, tracking the first and worst divergence."""
+
+    def __init__(self, tolerance_ulp=0.0):
+        self.tolerance_ulp = tolerance_ulp
+        self.compared = 0
+        self.max_ulp = 0.0
+        self.first = None
+
+    def check(self, step, signal, a, b):
+        self.compared += 1
+        ulp = ulp_distance(a, b)
+        if ulp > self.max_ulp:
+            self.max_ulp = ulp
+        if ulp > self.tolerance_ulp and self.first is None:
+            self.first = Divergence(step, signal, float(a), float(b), ulp)
+
+    def check_array(self, signal, a, b, step_offset=0):
+        a = np.asarray(a, dtype=float).ravel()
+        b = np.asarray(b, dtype=float).ravel()
+        if a.size != b.size:
+            self.compared += 1
+            if self.first is None:
+                self.first = Divergence(
+                    step_offset, signal, float(a.size), float(b.size),
+                    float("inf"),
+                )
+            return
+        for i in range(a.size):
+            self.check(step_offset + i, signal, a[i], b[i])
+
+    def result(self, name, details=None):
+        return OracleResult(
+            name=name,
+            agree=self.first is None,
+            compared=self.compared,
+            max_ulp=self.max_ulp,
+            tolerance_ulp=self.tolerance_ulp,
+            divergence=self.first,
+            details=details or {},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Oracle 1: fastpath vs scalar stepping
+# ---------------------------------------------------------------------------
+def _actuation_schedule(spec, periods, seed):
+    """A deterministic, grid-legal actuation schedule for both boards."""
+    rng = np.random.default_rng(seed)
+    schedule = []
+    for _ in range(periods):
+        schedule.append({
+            "freq_big": float(rng.choice(spec.big.freq_range.levels)),
+            "freq_little": float(rng.choice(spec.little.freq_range.levels)),
+            "cores_big": int(rng.integers(1, spec.big.n_cores + 1)),
+            "cores_little": int(rng.integers(1, spec.little.n_cores + 1)),
+            "placement": (
+                float(rng.integers(0, 9)),
+                float(rng.choice([1.0, 1.5, 2.0, 3.0])),
+                float(rng.choice([1.0, 1.5, 2.0, 3.0])),
+            ),
+        })
+    return schedule
+
+
+def oracle_fastpath(spec=None, workload="blackscholes", seed=3, periods=40,
+                    schedule_seed=11):
+    """Replay one run through fastpath and scalar stepping; must be 0 ULP."""
+    from ..board import BIG, LITTLE, Board, default_xu3_spec
+    from ..workloads import make_application
+
+    spec = spec or default_xu3_spec()
+    period_steps = spec.period_steps()
+    schedule = _actuation_schedule(spec, periods, schedule_seed)
+
+    def _run(enable_fast_path):
+        board = Board(make_application(workload), spec=spec, seed=seed,
+                      record=True, telemetry=None)
+        board.enable_fast_path = enable_fast_path
+        for command in schedule:
+            if board.done:
+                break
+            board.set_cluster_frequency(BIG, command["freq_big"])
+            board.set_cluster_frequency(LITTLE, command["freq_little"])
+            board.set_active_cores(BIG, command["cores_big"])
+            board.set_active_cores(LITTLE, command["cores_little"])
+            board.set_placement_knobs(*command["placement"])
+            board.run_period(period_steps)
+        return board
+
+    fast = _run(True)
+    scalar = _run(False)
+    cmp = _Comparator(tolerance_ulp=0.0)
+    cmp.check("final", "time", fast.time, scalar.time)
+    cmp.check("final", "energy", fast.energy, scalar.energy)
+    cmp.check("final", "temperature", fast.thermal.temperature,
+              scalar.thermal.temperature)
+    for name in (BIG, LITTLE):
+        cmp.check("final", f"instructions_{name}",
+                  fast.perf_counters[name].read_cumulative(),
+                  scalar.perf_counters[name].read_cumulative())
+        cmp.check("final", f"power_sensor_{name}",
+                  fast.power_sensors[name].read(),
+                  scalar.power_sensors[name].read())
+    cmp.check("final", "temp_sensor", fast.temp_sensor.read(),
+              scalar.temp_sensor.read())
+    fast_trace = fast.trace.as_arrays()
+    scalar_trace = scalar.trace.as_arrays()
+    for signal in sorted(fast_trace):
+        cmp.check_array(signal, fast_trace[signal], scalar_trace[signal])
+    return cmp.result("fastpath-vs-scalar", details={
+        "workload": workload, "periods": periods,
+        "steps": len(fast_trace["times"]),
+    })
+
+
+# ---------------------------------------------------------------------------
+# Oracle 2: parallel engine vs serial matrix
+# ---------------------------------------------------------------------------
+def oracle_parallel_matrix(context, schemes=None, workloads=None, seed=7,
+                           max_time=10.0, jobs=2):
+    """Run the same matrix serially and through the pool; must be 0 ULP."""
+    from ..experiments.runner import run_scheme_matrix
+
+    schemes = list(schemes or ["coordinated-heuristic", "decoupled-heuristic"])
+    workloads = list(workloads or ["blackscholes"])
+    serial = run_scheme_matrix(schemes, workloads, context, seed=seed,
+                               max_time=max_time, record=True, jobs=None)
+    parallel = run_scheme_matrix(schemes, workloads, context, seed=seed,
+                                 max_time=max_time, record=True, jobs=jobs)
+    cmp = _Comparator(tolerance_ulp=0.0)
+    for wname, per_scheme in serial.items():
+        for scheme, a in per_scheme.items():
+            b = parallel[wname][scheme]
+            loc = (wname, scheme)
+            cmp.check(loc, "execution_time", a.execution_time,
+                      b.execution_time)
+            cmp.check(loc, "energy", a.energy, b.energy)
+            cmp.check(loc, "completed", float(a.completed),
+                      float(b.completed))
+            for signal in sorted(a.trace):
+                cmp.check_array(f"{wname}/{scheme}/{signal}",
+                                a.trace[signal], b.trace[signal])
+    return cmp.result("parallel-vs-serial", details={
+        "schemes": schemes, "workloads": workloads, "jobs": jobs,
+    })
+
+
+# ---------------------------------------------------------------------------
+# Oracle 3: cached vs fresh synthesis
+# ---------------------------------------------------------------------------
+def _controller_matrices(controller):
+    sm = getattr(controller, "state_machine", controller)
+    return [np.asarray(sm.A), np.asarray(sm.B), np.asarray(sm.C),
+            np.asarray(sm.D)]
+
+
+def oracle_cache(cache_dir, samples=24, seed=321):
+    """Build a context fresh, then again through the cache; must be 0 ULP."""
+    from ..experiments.schemes import DesignContext
+
+    fresh = DesignContext.create(samples_per_program=samples, seed=seed,
+                                 cache=None)
+    primed = DesignContext.create(samples_per_program=samples, seed=seed,
+                                  cache=cache_dir)
+    primed.get_lqg_hw()  # compute once, populating the cache
+    cached = DesignContext.create(samples_per_program=samples, seed=seed,
+                                  cache=cache_dir)
+    cached.get_lqg_hw()  # must come back from disk
+    cmp = _Comparator(tolerance_ulp=0.0)
+    for label, attr in (("hw", "hw_data"), ("sw", "sw_data")):
+        a = getattr(fresh.characterization, attr)
+        b = getattr(cached.characterization, attr)
+        cmp.check_array(f"characterization.{label}.inputs", a.inputs, b.inputs)
+        cmp.check_array(f"characterization.{label}.outputs", a.outputs,
+                        b.outputs)
+    for i, (ma, mb) in enumerate(zip(
+        _controller_matrices(fresh.get_lqg_hw()[0]),
+        _controller_matrices(cached.lqg_hw[0]),
+    )):
+        cmp.check_array(f"lqg_hw.controller.{'ABCD'[i]}", ma, mb)
+    return cmp.result("cache-vs-fresh", details={
+        "samples": samples,
+        "cache_hits": cached.cache.hits if cached.cache else 0,
+        "cache_misses": cached.cache.misses if cached.cache else 0,
+    })
+
+
+# ---------------------------------------------------------------------------
+# Oracle 4: LQG synthesis vs the textbook Riccati recursion
+# ---------------------------------------------------------------------------
+def _riccati_recursion(A, B, Q, R, iterations=20000, tol=1e-13):
+    """Textbook DARE fixed point: P = Q + A'PA - A'PB (R+B'PB)^-1 B'PA."""
+    P = Q.copy()
+    for _ in range(iterations):
+        BtP = B.T @ P
+        gain = np.linalg.solve(R + BtP @ B, BtP @ A)
+        P_next = Q + A.T @ P @ (A - B @ gain)
+        P_next = 0.5 * (P_next + P_next.T)
+        if np.max(np.abs(P_next - P)) <= tol * max(np.max(np.abs(P)), 1.0):
+            return P_next
+        P = P_next
+    return P
+
+
+def _reference_lqg_gains(model, n_u, output_weights, input_weights,
+                         integral_weight=0.05, process_noise=1e-2,
+                         measurement_noise=1e-2):
+    """Independent re-derivation of the LQG gains by value iteration.
+
+    Replicates the documented augmentation of
+    :func:`repro.lqg.synthesis.lqg_synthesize` (leaky output-error
+    integrators, weight construction) but solves both Riccati equations by
+    the textbook recursion instead of scipy's direct solver.
+    """
+    A = np.asarray(model.A)
+    B = np.asarray(model.B)[:, :n_u]
+    C = np.asarray(model.C)
+    n, n_y = A.shape[0], C.shape[0]
+    output_weights = np.asarray(output_weights, dtype=float)
+    input_weights = np.asarray(input_weights, dtype=float)
+    rho = 0.985
+    A_aug = np.block([[A, np.zeros((n, n_y))], [C, rho * np.eye(n_y)]])
+    B_aug = np.vstack([B, np.asarray(model.D)[:, :n_u]])
+    Q = np.block([
+        [C.T @ np.diag(output_weights) @ C, np.zeros((n, n_y))],
+        [np.zeros((n_y, n)), integral_weight * np.eye(n_y)],
+    ]) + 1e-9 * np.eye(n + n_y)
+    R = np.diag(input_weights**2) + 1e-9 * np.eye(n_u)
+    P = _riccati_recursion(A_aug, B_aug, Q, R)
+    K_full = np.linalg.solve(R + B_aug.T @ P @ B_aug, B_aug.T @ P @ A_aug)
+    W = process_noise * np.eye(n)
+    V = measurement_noise * np.eye(n_y)
+    S = _riccati_recursion(A.T, C.T, W, V)
+    L = S @ C.T @ np.linalg.inv(C @ S @ C.T + V)
+    return K_full[:, :n], K_full[:, n:], L
+
+
+def _default_lqg_model(seed=5, n=4, n_u=2, n_y=2, dt=0.5):
+    from ..lti import StateSpace
+
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(n, n))
+    A *= 0.7 / max(np.max(np.abs(np.linalg.eigvals(A))), 1e-9)
+    return StateSpace(A, rng.normal(size=(n, n_u)),
+                      rng.normal(size=(n_y, n)),
+                      np.zeros((n_y, n_u)), dt=dt)
+
+
+def oracle_lqg_reference(model=None, n_u=None, output_weights=None,
+                         input_weights=None, rtol=1e-6):
+    """Compare :func:`lqg_synthesize` gains against the textbook recursion.
+
+    The production path uses scipy's direct DARE solver; the reference is
+    a fixed-point value iteration, so agreement is within ``rtol``
+    relative (documented tolerance), not bit-exact.
+    """
+    from ..lqg import lqg_synthesize
+
+    if model is None:
+        model = _default_lqg_model()
+    n_u = n_u if n_u is not None else model.n_inputs
+    output_weights = (
+        output_weights if output_weights is not None
+        else [1.0] * model.n_outputs
+    )
+    input_weights = (
+        input_weights if input_weights is not None else [1.0] * n_u
+    )
+    result = lqg_synthesize(model, n_u=n_u, output_weights=output_weights,
+                            input_weights=input_weights)
+    K_x_ref, K_i_ref, L_ref = _reference_lqg_gains(
+        model, n_u, output_weights, input_weights
+    )
+    # Express the tolerance in ULP relative to each matrix's scale so the
+    # shared comparator machinery applies: |a-b| <= rtol*max(|a|,|b|,1).
+    cmp = _Comparator(tolerance_ulp=0.0)
+    worst_rel = 0.0
+    first = None
+    compared = 0
+    for name, got, ref in (
+        ("lqr_gain", result.lqr_gain, K_x_ref),
+        ("integral_gain", result.integral_gain, K_i_ref),
+        ("kalman_gain", result.kalman_gain, L_ref),
+    ):
+        got = np.asarray(got, dtype=float)
+        ref = np.asarray(ref, dtype=float)
+        for idx in np.ndindex(got.shape):
+            compared += 1
+            a, b = got[idx], ref[idx]
+            rel = abs(a - b) / max(abs(a), abs(b), 1.0)
+            cmp.check((name, idx), name, a, b)
+            if rel > worst_rel:
+                worst_rel = rel
+            if rel > rtol and first is None:
+                first = Divergence((name, idx), name, float(a), float(b),
+                                   ulp_distance(a, b))
+    return OracleResult(
+        name="lqg-vs-textbook",
+        agree=first is None and bool(result.closed_loop_stable),
+        compared=compared,
+        max_ulp=cmp.max_ulp,
+        tolerance_ulp=float("nan"),  # tolerance is relative, not ULP
+        divergence=first,
+        details={"rtol": rtol, "worst_rel_error": worst_rel,
+                 "closed_loop_stable": result.closed_loop_stable},
+    )

@@ -91,6 +91,85 @@ class TestDesignCache:
         assert DesignCache().root == tmp_path / "envcache"
 
 
+class TestCacheFailurePaths:
+    def test_clear_on_nonexistent_dir(self, tmp_path):
+        cache = DesignCache(tmp_path / "never-created")
+        assert cache.clear() == 0
+        assert not (tmp_path / "never-created").exists()
+
+    def test_info_on_nonexistent_dir(self, tmp_path):
+        cache = DesignCache(tmp_path / "never-created")
+        info = cache.info()
+        assert "entries: 0" in info
+        assert str(tmp_path / "never-created") in info
+
+    def test_entries_on_nonexistent_dir(self, tmp_path):
+        assert DesignCache(tmp_path / "never-created").entries() == []
+
+    def test_version_mismatch_is_miss_and_deletes(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        payload = {"version": "0.0.0-old", "key": "key9", "value": 42}
+        path = cache._path("key9")
+        path.write_bytes(pickle.dumps(payload))
+        assert cache.get("key9") is MISS
+        assert not path.exists()  # stale entry evicted, rewrite starts clean
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_truncated_pickle_is_miss_and_deletes(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        cache.put("keyA", list(range(1000)))
+        path = cache._path("keyA")
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.get("keyA") is MISS
+        assert not path.exists()
+
+    def test_unpicklable_value_swallowed(self, tmp_path):
+        cache = DesignCache(tmp_path)
+        assert cache.put("keyB", lambda: None) is False  # not picklable
+        assert cache.get("keyB") is MISS
+        assert list(tmp_path.glob("*.tmp")) == []  # temp file cleaned up
+
+    def test_concurrent_writers_atomic(self, tmp_path):
+        """Threads hammering put/get on one key never corrupt the entry:
+        readers see MISS or a complete value, never a torn pickle, and no
+        .tmp litter survives."""
+        import threading
+
+        cache = DesignCache(tmp_path)
+        errors = []
+        seen = []
+
+        def writer(worker):
+            try:
+                for i in range(25):
+                    cache.put("shared", {"worker": worker, "i": i,
+                                         "pad": list(range(200))})
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(50):
+                    value = cache.get("shared")
+                    if value is not MISS:
+                        assert value["pad"] == list(range(200))
+                        seen.append(value)
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        final = cache.get("shared")
+        assert final is not MISS and final["pad"] == list(range(200))
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
 class TestContextCaching:
     @pytest.fixture(scope="class")
     def cache_dir(self, tmp_path_factory):

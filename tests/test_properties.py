@@ -1,9 +1,13 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.board import BIG, LITTLE, Board
+from repro.board.specs import default_xu3_spec
 from repro.lti import StateSpace, feedback, hinf_norm, linf_norm_grid, static_gain
 from repro.robust import BlockStructure, UncertaintyBlock, mu_lower_bound, mu_upper_bound
 from repro.signals import QuantizedRange
@@ -49,6 +53,136 @@ class TestQuantizedRangeProperties:
         assert np.all(np.diff(qr.levels) >= 0)
         for level in levels:
             assert qr.snap(level) == pytest.approx(level)
+
+    @given(
+        low=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        span=st.floats(min_value=0.1, max_value=20, allow_nan=False),
+        step=st.floats(min_value=0.01, max_value=5, allow_nan=False),
+        value=finite_floats,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_quantize_dequantize_round_trip(self, low, span, step, value):
+        """snap -> snap_index -> levels[idx] is a lossless round trip."""
+        qr = QuantizedRange(low, low + span, step=step)
+        snapped = qr.snap(value)
+        idx = qr.snap_index(value)
+        assert qr.levels[idx] == snapped  # exact: same float both ways
+        # Dequantizing the index and re-quantizing lands on the same level.
+        assert qr.snap_index(qr.levels[idx]) == idx
+
+    @given(
+        low=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        span=st.floats(min_value=0.1, max_value=20, allow_nan=False),
+        step=st.floats(min_value=0.01, max_value=5, allow_nan=False),
+        value=finite_floats,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_snap_result_is_grid_member(self, low, span, step, value):
+        qr = QuantizedRange(low, low + span, step=step)
+        snapped = qr.snap(value)
+        assert snapped in qr  # __contains__ tolerance membership
+        assert any(snapped == lvl for lvl in qr.levels)
+
+    @given(
+        low=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        span=st.floats(min_value=0.1, max_value=20, allow_nan=False),
+        step=st.floats(min_value=0.01, max_value=5, allow_nan=False),
+        overshoot=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_saturation_snaps_to_boundary_levels(self, low, span, step,
+                                                 overshoot):
+        """Out-of-range commands saturate onto the extreme grid levels."""
+        qr = QuantizedRange(low, low + span, step=step)
+        assert qr.snap(qr.high + overshoot) == qr.levels[-1]
+        assert qr.snap(qr.low - overshoot) == qr.levels[0]
+        assert qr.clamp(qr.high + overshoot) == qr.high
+        assert qr.clamp(qr.low - overshoot) == qr.low
+
+
+# ----------------------------------------------------------------------
+# Randomized board specs driven through the invariant monitor
+# ----------------------------------------------------------------------
+@st.composite
+def board_specs(draw):
+    """Randomized (but physically valid) variations of the XU3 spec."""
+    base = default_xu3_spec()
+    big = dataclasses.replace(
+        base.big,
+        n_cores=draw(st.integers(min_value=2, max_value=4)),
+        freq_range=QuantizedRange(
+            0.2, draw(st.sampled_from([1.2, 1.6, 2.0])), step=0.1
+        ),
+    )
+    little = dataclasses.replace(
+        base.little,
+        n_cores=draw(st.integers(min_value=2, max_value=4)),
+        freq_range=QuantizedRange(
+            0.2, draw(st.sampled_from([0.8, 1.0, 1.4])), step=0.1
+        ),
+    )
+    sim_dt = draw(st.sampled_from([0.05, 0.1]))
+    return dataclasses.replace(
+        base,
+        big=big,
+        little=little,
+        sim_dt=sim_dt,
+        control_period=sim_dt * draw(st.integers(min_value=4, max_value=10)),
+        ambient_temp=draw(st.floats(min_value=30.0, max_value=50.0)),
+        thermal_resistance=draw(st.floats(min_value=8.0, max_value=16.0)),
+    )
+
+
+class TestMonitorProperties:
+    """Fault-free boards never violate the runtime invariants, whatever the
+    spec and however (legally) they are actuated."""
+
+    @given(spec=board_specs(), seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_spec_random_actuation_no_violations(self, spec, seed):
+        from repro.verify import InvariantMonitor
+        from repro.workloads import make_application
+
+        board = Board([make_application("blackscholes")], spec=spec,
+                      seed=seed)
+        monitor = InvariantMonitor()
+        rng = np.random.default_rng(seed)
+        steps = spec.period_steps()
+        for _ in range(6):
+            for name in (BIG, LITTLE):
+                cluster = spec.cluster(name)
+                board.set_cluster_frequency(
+                    name, float(rng.choice(cluster.freq_range.levels))
+                )
+                board.set_active_cores(
+                    name, int(rng.integers(1, cluster.n_cores + 1))
+                )
+            board.run_period(steps)
+            monitor.check_board(board)
+        assert monitor.ok, monitor.summary()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        freq=st.floats(min_value=-1.0, max_value=5.0, allow_nan=False),
+        cores=st.integers(min_value=-3, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_board_api_keeps_arbitrary_commands_legal(self, seed, freq,
+                                                      cores):
+        """The actuation API snaps/clamps anything, so whatever a (possibly
+        buggy) controller commands, the monitor still sees a legal board."""
+        from repro.verify import InvariantMonitor
+        from repro.workloads import make_application
+
+        spec = default_xu3_spec()
+        board = Board([make_application("blackscholes")], spec=spec,
+                      seed=seed)
+        board.set_cluster_frequency(BIG, freq)
+        board.set_active_cores(LITTLE, cores)
+        board.run_period(spec.period_steps())
+        monitor = InvariantMonitor()
+        monitor.check_board(board)
+        assert monitor.ok, monitor.summary()
 
 
 def _random_stable(seed, n=3, dt=1.0):
