@@ -38,6 +38,10 @@ def _add_context_args(parser):
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the experiment matrix "
                              "(-1 = all cores; default serial)")
+    parser.add_argument("--batch", type=int, default=None, metavar="B",
+                        help="pack up to B same-spec simulations into one "
+                             "lockstep board bank per task (bit-identical "
+                             "results; composes with --jobs)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="design-artifact cache directory "
                              "(default $REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -138,6 +142,19 @@ def main(argv=None):
     p_verify.add_argument("--telemetry", metavar="DIR", default=None,
                           help="record metrics/spans/flight dumps into DIR")
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the performance benchmark (benchmarks/bench_perf.py) "
+             "and enforce its speedup floors",
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI smoke configuration (smaller budgets)")
+    p_bench.add_argument("--jobs", "-j", type=int, default=None,
+                         help="worker processes for the matrix benchmark")
+    p_bench.add_argument("--out", metavar="FILE", default=None,
+                         help="write results JSON here "
+                              "(default BENCH_perf.json at the repo root)")
+
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the design-artifact cache"
     )
@@ -160,6 +177,27 @@ def main(argv=None):
 
         print(summarize_dir(args.dir))
         return 0
+
+    if args.command == "bench":
+        import runpy
+        from pathlib import Path
+
+        bench = (Path(__file__).resolve().parents[2] / "benchmarks"
+                 / "bench_perf.py")
+        if not bench.is_file():
+            print(f"benchmark script not found: {bench} "
+                  "(repro bench needs the repository checkout)",
+                  file=sys.stderr)
+            return 2
+        bench_argv = []
+        if args.quick:
+            bench_argv.append("--quick")
+        if args.jobs is not None:
+            bench_argv += ["--jobs", str(args.jobs)]
+        if args.out is not None:
+            bench_argv += ["--out", args.out]
+        module = runpy.run_path(str(bench))
+        return module["main"](bench_argv)
 
     if args.command == "cache":
         from repro.cache import DesignCache
@@ -232,6 +270,7 @@ def _dispatch(args, figure_commands):
         result = resilience.run(context, quick=args.quick,
                                 fault_time=args.fault_time,
                                 jobs=args.jobs,
+                                batch=bool(args.batch),
                                 progress=lambda line: print(line, file=sys.stderr))
         print(result.render())
         return 0
@@ -241,8 +280,11 @@ def _dispatch(args, figure_commands):
     import inspect
 
     module = importlib.import_module(f"repro.experiments.{module_name}")
-    if "jobs" in inspect.signature(module.run).parameters:
+    parameters = inspect.signature(module.run).parameters
+    if "jobs" in parameters:
         kwargs = dict(kwargs, jobs=args.jobs)
+    if "batch" in parameters and args.batch:
+        kwargs = dict(kwargs, batch=args.batch)
     result = module.run(context, **kwargs)
     print(result.render())
     return 0

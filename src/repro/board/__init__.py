@@ -1,5 +1,6 @@
 """Simulated ODROID XU3 substrate: the board the controllers run against."""
 
+from .bank import BoardBank
 from .board import Board, BoardTrace, ClusterRuntime
 from .placement import PlacementState, plan_placement, spare_capacity
 from .power import PowerBreakdown, cluster_power
@@ -10,6 +11,7 @@ from .tmu import EmergencyManager, EmergencyState
 
 __all__ = [
     "Board",
+    "BoardBank",
     "BoardTrace",
     "ClusterRuntime",
     "PlacementState",

@@ -23,7 +23,7 @@ import numpy as np
 from .cores import core_execution, memory_traffic_gbs, thread_rate_gips
 from .fastpath import plan_window, run_window
 from .placement import PlacementState, plan_placement, spare_capacity
-from .power import cluster_power
+from .power import cluster_power_total
 from .sensors import PerformanceCounter, TemperatureSensor, WindowedPowerSensor
 from .specs import BIG, LITTLE, BoardSpec, default_xu3_spec
 from .thermal import ThermalModel
@@ -129,6 +129,23 @@ class Board:
             self.emergency.on_trip = self._tmu_trip
         self._instant_power = {BIG: 0.0, LITTLE: 0.0}
         self._instant_bips = {BIG: 0.0, LITTLE: 0.0}
+        # Reused per-tick scratch (step() runs millions of times; fresh
+        # dicts/lists per tick dominated its allocation profile).  The
+        # power/bips buffers are published via _instant_power/_instant_bips,
+        # which consumers read between ticks and never retain.
+        self._phase_of_buf = {}
+        self._instr_buf = {BIG: 0.0, LITTLE: 0.0}
+        self._power_buf = {BIG: 0.0, LITTLE: 0.0}
+        self._bips_buf = {BIG: 0.0, LITTLE: 0.0}
+        self._busy_buf = {BIG: [], LITTLE: []}
+        # Monotonic change counters consumed by BoardBank's plan-reuse
+        # logic: _actuation_epoch ticks on every actuation-API call,
+        # _placement_epoch only on calls that can move threads or cores
+        # (DVFS leaves thread placement — and hence the plan's placement
+        # layout — untouched).  Bumping conservatively (even for clamped
+        # or no-op commands) costs only a cache miss, never correctness.
+        self._actuation_epoch = 0
+        self._placement_epoch = 0
         self._default_placement()
 
     # ------------------------------------------------------------------
@@ -167,6 +184,7 @@ class Board:
         Invalid commands are clamped-and-counted (see ``_validate_command``);
         a non-finite command leaves the current frequency untouched.
         """
+        self._actuation_epoch += 1
         spec = self.spec.cluster(cluster_name)
         freq_ghz = self._validate_command(
             "frequency", freq_ghz, spec.freq_range.low, spec.freq_range.high
@@ -179,6 +197,8 @@ class Board:
 
     def set_active_cores(self, cluster_name, count):
         """Hotplug cores on/off; clamped to [1, 4]; charges a stall."""
+        self._actuation_epoch += 1
+        self._placement_epoch += 1
         spec = self.spec.cluster(cluster_name)
         runtime = self.clusters[cluster_name]
         count = self._validate_command("cores", count, 1, spec.n_cores)
@@ -196,6 +216,8 @@ class Board:
 
     def set_placement_knobs(self, n_threads_big, tpc_big, tpc_little):
         """Software-layer actuation: the three aggregate placement knobs."""
+        self._actuation_epoch += 1
+        self._placement_epoch += 1
         total_cores = self.spec.big.n_cores + self.spec.little.n_cores
         n_threads_big = self._validate_command(
             "placement", n_threads_big, 0, 4 * total_cores
@@ -219,6 +241,8 @@ class Board:
 
     def set_raw_placement(self, assignment):
         """Direct per-core assignment (used by heuristic OS controllers)."""
+        self._actuation_epoch += 1
+        self._placement_epoch += 1
         self.placement.apply(assignment, self.spec.migration_cost_s)
 
     # ------------------------------------------------------------------
@@ -285,7 +309,8 @@ class Board:
         """Advance the board by one simulator step."""
         dt = self.spec.sim_dt
         self._refresh_placement_membership()
-        phase_of = {}
+        phase_of = self._phase_of_buf
+        phase_of.clear()
         for app in self.applications:
             if app.done:
                 continue
@@ -293,14 +318,17 @@ class Board:
                 phase_of[thread] = (app, app.current_phase)
         # --- bandwidth contention (one global saturating DRAM model) ----
         bw_scale = self._bandwidth_scale(phase_of)
-        instructions = {BIG: 0.0, LITTLE: 0.0}
-        power = {}
+        instructions = self._instr_buf
+        instructions[BIG] = 0.0
+        instructions[LITTLE] = 0.0
+        power = self._power_buf
         for name in (BIG, LITTLE):
             spec = self.spec.cluster(name)
             runtime = self.clusters[name]
             freq = self._effective_frequency(name)
             cores_active = self._effective_cores(name)
-            busy_activity = []
+            busy_activity = self._busy_buf[name]
+            del busy_activity[:]
             stall = min(runtime.pending_hotplug_stall, dt)
             runtime.pending_hotplug_stall -= stall
             effective_dt = dt - stall
@@ -322,9 +350,9 @@ class Board:
                     app.execute(thread, done, self.time + dt)
                     instructions[name] += done
                 busy_activity.append(busy * activity)
-            power[name] = cluster_power(
+            power[name] = cluster_power_total(
                 spec, freq, cores_active, busy_activity, self.thermal.temperature
-            ).total
+            )
         # --- thermal, sensors, firmware ---------------------------------
         self.thermal.step(power[BIG], power[LITTLE], dt)
         total_power = power[BIG] + power[LITTLE] + self.spec.board_static_power
@@ -335,9 +363,10 @@ class Board:
         self.temp_sensor.update(self.thermal.temperature)
         self.emergency.update(self.thermal.temperature, power, dt)
         self._instant_power = power
-        self._instant_bips = {
-            name: instructions[name] / dt for name in (BIG, LITTLE)
-        }
+        bips = self._bips_buf
+        bips[BIG] = instructions[BIG] / dt
+        bips[LITTLE] = instructions[LITTLE] / dt
+        self._instant_bips = bips
         self.time += dt
         if self.trace is not None:
             self._record(power)
@@ -427,6 +456,7 @@ class Board:
         placed = set(self.placement.all_threads())
         if placed == live:
             return
+        self._placement_epoch += 1
         # Keep surviving threads where they are; deal new ones round-robin
         # over the busiest-available cores (cheap, deterministic).
         for name in (BIG, LITTLE):

@@ -26,6 +26,24 @@ __all__ = ["thread_rate_gips", "core_execution", "memory_traffic_gbs"]
 _CACHE_LINE_BYTES = 64.0
 
 
+def _sum_small(values):
+    """Bit-exact sum of a small sequence, without NumPy dispatch overhead.
+
+    ``np.sum`` accumulates sequentially (left to right) below its 8-element
+    pairwise/unrolled threshold, so a plain Python loop reproduces it
+    bit-for-bit there — and a 1-element-at-a-time loop costs ~20x less than
+    a ufunc dispatch.  At >= 8 elements NumPy's 8-way unrolled reduction
+    reassociates, so we must fall back to ``np.sum`` itself to preserve the
+    historical bit pattern.  Pinned by tests/test_board_bank.py.
+    """
+    if len(values) < 8:
+        total = 0.0
+        for value in values:
+            total += value
+        return total
+    return float(np.sum(values))
+
+
 def thread_rate_gips(cluster: ClusterSpec, freq_ghz, phase, mem_latency_ns,
                      time_share=1.0, bandwidth_scale=1.0):
     """Instruction rate (giga-instructions/s) of one thread on a core.
@@ -84,12 +102,21 @@ def core_execution(cluster: ClusterSpec, freq_ghz, threads_phases, dt,
         work.append(done)
         total_active_ns += available * 1e9
         total_exec_ns += done * exec_ns * 1e9
-    busy = min(sum(dt / n for _ in threads_phases), dt) / dt
+    share_dt = dt / n
+    busy_sum = 0.0
+    for _ in range(n):
+        busy_sum += share_dt
+    busy = min(busy_sum, dt) / dt
     # Activity: fraction of busy time actually switching (executing), scaled
-    # by the phase's intrinsic activity factor.
-    mean_activity = np.mean([p.activity for _, p in threads_phases])
+    # by the phase's intrinsic activity factor.  _sum_small / min / max
+    # reproduce np.mean / np.clip bit-for-bit (see _sum_small).
+    mean_activity = _sum_small([p.activity for _, p in threads_phases]) / n
     exec_fraction = total_exec_ns / max(total_active_ns, 1e-30)
-    activity = float(mean_activity * np.clip(exec_fraction, 0.05, 1.0))
+    if exec_fraction < 0.05:
+        exec_fraction = 0.05
+    elif exec_fraction > 1.0:
+        exec_fraction = 1.0
+    activity = float(mean_activity * exec_fraction)
     return work, busy, activity
 
 

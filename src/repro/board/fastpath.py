@@ -34,9 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from .cores import core_execution
+from .cores import _sum_small, core_execution
 from .power import _REFERENCE_TEMP
 from .specs import BIG, LITTLE
 
@@ -65,6 +63,11 @@ class WindowPlan:
     bips: dict  # the constant _instant_bips payload
     apps: list  # [(app, runnable-thread snapshot), ...] membership guard
     emergency_snapshot: tuple  # (thermal, power big, power little) throttles
+    # Plan-reuse metadata (consumed by BoardBank._plan_for):
+    # works: the memo-cached per-cluster credit amounts this plan's credits
+    # were built from; layout: {cluster: (per-core [(thread, app)], sig)}.
+    works: dict = None
+    layout: dict = None
 
 
 def _emergency_snapshot(board):
@@ -76,12 +79,25 @@ def _emergency_snapshot(board):
     )
 
 
-def plan_window(board):
+def plan_window(board, memo=None):
     """Plan a fast window from the board's current state (or ``None``).
 
     Mirrors the top half of :meth:`Board.step` exactly — including the
     one side effect scalar stepping performs there, the placement-membership
     refresh — and captures every step-invariant quantity.
+
+    ``memo`` (an ordinary dict owned by the caller, e.g. a
+    :class:`~repro.board.bank.BoardBank`) caches the plan *arithmetic* —
+    the per-cluster power constants, retired-instruction rates, and
+    per-thread credit amounts — keyed by the values it depends on: the
+    spec object, each cluster's effective frequency and core count, and
+    the (cpi_scale, mpki, activity) characteristics of every placed
+    thread's current phase, in placement order.  Boards at the same
+    operating point (across lanes of a bank *and* across control periods)
+    then skip ``core_execution`` / bandwidth modelling entirely; only the
+    board-specific credit list, membership snapshot, and emergency
+    snapshot are rebuilt.  Cache hits are exact by construction: the
+    cached numbers are pure functions of the key.
     """
     # Any installed fault hook means per-tick fault semantics may apply;
     # stay on the scalar path for the whole faulted region.
@@ -110,50 +126,90 @@ def plan_window(board):
         return None
     spec = board.spec
     dt = spec.sim_dt
-    bw_scale = board._bandwidth_scale(phase_of)
-    plans = {}
-    credits = []
-    bips = {}
+    # Collect the live (thread, phase) placement per computed core — the
+    # basis of both the memo key and (on a miss) the plan arithmetic.
+    # Cores at index >= cores_active contribute exactly 0.0 activity and
+    # no credits, so only the computed prefix matters.
+    layout = {}
     for name in (BIG, LITTLE):
         cspec = spec.cluster(name)
         freq = board._effective_frequency(name)
         cores_active = board._effective_cores(name)
-        busy_activity = []
-        instructions = 0.0
-        for idx in range(cspec.n_cores):
-            if idx >= cores_active:
-                busy_activity.append(0.0)
-                continue
+        assignment = board.placement.assignment[name]
+        per_core = []
+        sig = []
+        for idx in range(min(cores_active, cspec.n_cores)):
             core_threads = [
-                (t, phase_of[t][1])
-                for t in board.placement.assignment[name][idx]
-                if t in phase_of
+                (t, phase_of[t][1]) for t in assignment[idx] if t in phase_of
             ]
-            work, busy, activity = core_execution(
-                cspec, freq, core_threads, dt,
-                spec.mem_latency_ns, bw_scale,
-            )
-            for (thread, _), done in zip(core_threads, work):
-                credits.append((phase_of[thread][0], thread, done))
-                instructions += done
-            busy_activity.append(busy * activity)
-        if cores_active <= 0 or freq <= 0:
-            plans[name] = _ClusterPlan(0.0, 0.0, 0.0, 0.0, instructions, False)
-        else:
-            voltage = cspec.voltage(freq)
-            activity_sum = (
-                float(np.sum(busy_activity[:cores_active]))
-                if len(busy_activity) else 0.0
-            )
-            plans[name] = _ClusterPlan(
-                dyn=float(cspec.ceff_dynamic * voltage**2 * freq * activity_sum),
-                leak_base=cores_active * cspec.leak_coeff * voltage,
-                leak_temp_coeff=cspec.leak_temp_coeff,
-                idle=float(cores_active * cspec.idle_power),
-                instructions=instructions,
-                powered=True,
-            )
-        bips[name] = instructions / dt
+            per_core.append(core_threads)
+            sig.append(tuple(
+                (p.cpi_scale, p.mpki, p.activity) for _, p in core_threads
+            ))
+        layout[name] = (freq, cores_active, per_core, tuple(sig))
+    cached = None
+    key = None
+    if memo is not None:
+        fb, cb, _, sb = layout[BIG]
+        fl, cl, _, sl = layout[LITTLE]
+        key = (id(spec), fb, cb, sb, fl, cl, sl)
+        cached = memo.get(key)
+        if cached is not None and cached[0] is not spec:
+            cached = None  # id() reuse after GC; never serve a stale spec
+    if cached is not None:
+        _, plans, bips, works = cached
+        credits = []
+        for name in (BIG, LITTLE):
+            per_core = layout[name][2]
+            for core_threads, work in zip(per_core, works[name]):
+                for (thread, _), done in zip(core_threads, work):
+                    credits.append((phase_of[thread][0], thread, done))
+    else:
+        bw_scale = board._bandwidth_scale(phase_of)
+        plans = {}
+        credits = []
+        bips = {}
+        works = {}
+        for name in (BIG, LITTLE):
+            cspec = spec.cluster(name)
+            freq, cores_active, per_core, _ = layout[name]
+            busy_activity = []
+            instructions = 0.0
+            cluster_works = []
+            for core_threads in per_core:
+                work, busy, activity = core_execution(
+                    cspec, freq, core_threads, dt,
+                    spec.mem_latency_ns, bw_scale,
+                )
+                cluster_works.append(tuple(work))
+                for (thread, _), done in zip(core_threads, work):
+                    credits.append((phase_of[thread][0], thread, done))
+                    instructions += done
+                busy_activity.append(busy * activity)
+            works[name] = cluster_works
+            if cores_active <= 0 or freq <= 0:
+                plans[name] = _ClusterPlan(
+                    0.0, 0.0, 0.0, 0.0, instructions, False
+                )
+            else:
+                voltage = cspec.voltage(freq)
+                activity_sum = (
+                    _sum_small(busy_activity[:cores_active])
+                    if len(busy_activity) else 0.0
+                )
+                plans[name] = _ClusterPlan(
+                    dyn=float(
+                        cspec.ceff_dynamic * voltage**2 * freq * activity_sum
+                    ),
+                    leak_base=cores_active * cspec.leak_coeff * voltage,
+                    leak_temp_coeff=cspec.leak_temp_coeff,
+                    idle=float(cores_active * cspec.idle_power),
+                    instructions=instructions,
+                    powered=True,
+                )
+            bips[name] = instructions / dt
+        if memo is not None:
+            memo[key] = (spec, plans, bips, works)
     return WindowPlan(
         big=plans[BIG],
         little=plans[LITTLE],
@@ -161,6 +217,15 @@ def plan_window(board):
         bips=bips,
         apps=apps,
         emergency_snapshot=_emergency_snapshot(board),
+        works=works if memo is not None else None,
+        layout={
+            name: (
+                [[(t, phase_of[t][0]) for t, _ in core]
+                 for core in layout[name][2]],
+                layout[name][3],
+            )
+            for name in (BIG, LITTLE)
+        } if memo is not None else None,
     )
 
 

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
-
+from .cores import _sum_small
 from .specs import ClusterSpec
 
-__all__ = ["cluster_power", "PowerBreakdown"]
+__all__ = ["cluster_power", "cluster_power_total", "PowerBreakdown"]
 
 _REFERENCE_TEMP = 55.0  # degC at which leak_coeff is specified
 
@@ -52,7 +51,7 @@ def cluster_power(
     voltage = cluster.voltage(freq_ghz)
     # Dynamic: Ceff (nF) * V^2 * f (GHz) yields Watts directly
     # (1e-9 F * V^2 * 1e9 Hz = W).
-    activity_sum = float(np.sum(busy_activity[:cores_on])) if len(busy_activity) else 0.0
+    activity_sum = _sum_small(busy_activity[:cores_on]) if len(busy_activity) else 0.0
     dynamic = cluster.ceff_dynamic * voltage**2 * freq_ghz * activity_sum
     # Leakage: per powered core, linear in V, exponential-ish in T
     # (linearized: fractional increase per degree).
@@ -60,3 +59,22 @@ def cluster_power(
     leakage = cores_on * cluster.leak_coeff * voltage * max(temp_factor, 0.2)
     idle = cores_on * cluster.idle_power
     return PowerBreakdown(dynamic, leakage, idle)
+
+
+def cluster_power_total(
+    cluster: ClusterSpec, freq_ghz, cores_on, busy_activity, temperature
+):
+    """``cluster_power(...).total`` without the breakdown allocation.
+
+    The tick loop only consumes the total; the identical operation
+    sequence keeps the result bit-for-bit equal to the breakdown path.
+    """
+    if cores_on <= 0 or freq_ghz <= 0:
+        return 0.0
+    voltage = cluster.voltage(freq_ghz)
+    activity_sum = _sum_small(busy_activity[:cores_on]) if len(busy_activity) else 0.0
+    dynamic = cluster.ceff_dynamic * voltage**2 * freq_ghz * activity_sum
+    temp_factor = 1.0 + cluster.leak_temp_coeff * (temperature - _REFERENCE_TEMP)
+    leakage = cores_on * cluster.leak_coeff * voltage * max(temp_factor, 0.2)
+    idle = cores_on * cluster.idle_power
+    return dynamic + leakage + idle

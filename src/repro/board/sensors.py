@@ -14,13 +14,14 @@ sentinel (:data:`repro.faults.DROPOUT_SENTINEL`).
 
 from __future__ import annotations
 
-import numpy as np
-
 __all__ = ["WindowedPowerSensor", "TemperatureSensor", "PerformanceCounter"]
 
 
 class WindowedPowerSensor:
     """Averages instantaneous power over a fixed window, then latches it."""
+
+    __slots__ = ("period", "dt", "fault_hook",
+                 "_accumulated", "_elapsed", "_latched")
 
     def __init__(self, period, dt):
         self.period = float(period)
@@ -54,6 +55,8 @@ class WindowedPowerSensor:
 class TemperatureSensor:
     """Instantaneous on-die temperature readout with Gaussian noise."""
 
+    __slots__ = ("noise_rms", "_rng", "fault_hook", "_last")
+
     def __init__(self, noise_rms, rng):
         self.noise_rms = float(noise_rms)
         self._rng = rng
@@ -73,6 +76,8 @@ class TemperatureSensor:
 
 class PerformanceCounter:
     """Cumulative retired-instruction counter (per cluster)."""
+
+    __slots__ = ("total_giga", "_last_read")
 
     def __init__(self):
         self.total_giga = 0.0

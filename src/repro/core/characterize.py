@@ -70,8 +70,8 @@ def sample_signals(board: Board, period_steps):
     }
 
 
-def _training_run(program, spec, samples, seed, focus):
-    """One training program under excitation; returns per-sample signal rows.
+def _excitation_seqs(spec, samples, seed, focus):
+    """The per-knob excitation sequences of one training campaign.
 
     ``focus`` selects whose knobs get the informative excitation — each
     design team runs its own campaign (Fig. 3):
@@ -82,8 +82,6 @@ def _training_run(program, spec, samples, seed, focus):
     * ``"software"`` — the placement knobs sweep their full ranges while
       the hardware knobs stay in sane mid-to-high configurations.
     """
-    board = Board(make_application(program), spec=spec, seed=seed, record=False)
-    period_steps = spec.period_steps()
     big_levels = spec.big.freq_range.levels
     little_levels = spec.little.freq_range.levels
     if focus == "hardware":
@@ -108,18 +106,74 @@ def _training_run(program, spec, samples, seed, focus):
         }
     else:
         raise ValueError(f"unknown focus {focus!r}")
+    return seqs
+
+
+def _actuate_sample(board, seqs, k):
+    board.set_active_cores(BIG, int(seqs["n_big"][k]))
+    board.set_active_cores(LITTLE, int(seqs["n_little"][k]))
+    board.set_cluster_frequency(BIG, seqs["f_big"][k])
+    board.set_cluster_frequency(LITTLE, seqs["f_little"][k])
+    board.set_placement_knobs(seqs["t_big"][k], seqs["tpc_b"][k],
+                              seqs["tpc_l"][k])
+
+
+def _training_run(program, spec, samples, seed, focus):
+    """One training program under excitation; returns per-sample signal rows.
+
+    Reference (scalar) campaign loop; :func:`_training_runs_banked` runs
+    the same campaigns bit-identically through a lockstep board bank.
+    """
+    board = Board(make_application(program), spec=spec, seed=seed, record=False)
+    period_steps = spec.period_steps()
+    seqs = _excitation_seqs(spec, samples, seed, focus)
     rows = []
-    # Prime the sensors before the first sample.
     for k in range(samples):
-        board.set_active_cores(BIG, int(seqs["n_big"][k]))
-        board.set_active_cores(LITTLE, int(seqs["n_little"][k]))
-        board.set_cluster_frequency(BIG, seqs["f_big"][k])
-        board.set_cluster_frequency(LITTLE, seqs["f_little"][k])
-        board.set_placement_knobs(seqs["t_big"][k], seqs["tpc_b"][k], seqs["tpc_l"][k])
+        _actuate_sample(board, seqs, k)
         board.run_period(period_steps)
         rows.append(sample_signals(board, period_steps))
         if board.done:
             break
+    return rows
+
+
+def _training_runs_banked(spec, run_specs):
+    """Run several excitation campaigns as one lockstep board bank.
+
+    ``run_specs`` is a list of ``(program, samples, seed, focus)`` tuples;
+    returns the per-campaign row lists, in order, bit-identical to calling
+    :func:`_training_run` once per campaign: every board sees the exact
+    same actuate → run_period → sample sequence it would see alone, the
+    bank merely advances the periods in lockstep (and stops sampling a
+    board the moment its program completes, like the scalar loop's
+    early break).
+    """
+    from ..board.bank import BoardBank
+
+    boards = [
+        Board(make_application(program), spec=spec, seed=seed, record=False)
+        for program, _, seed, _ in run_specs
+    ]
+    seqs = [
+        _excitation_seqs(spec, samples, seed, focus)
+        for _, samples, seed, focus in run_specs
+    ]
+    bank = BoardBank(boards)
+    period_steps = spec.period_steps()
+    rows = [[] for _ in run_specs]
+    active = list(range(len(run_specs)))
+    k = 0
+    while active:
+        selected = [i for i in active if k < run_specs[i][1]]
+        if not selected:
+            break
+        for i in selected:
+            _actuate_sample(boards[i], seqs[i], k)
+        bank.run_period_bank(period_steps, only=selected)
+        for i in selected:
+            rows[i].append(sample_signals(boards[i], period_steps))
+        active = [i for i in selected if not boards[i].done]
+        k += 1
     return rows
 
 
@@ -128,24 +182,45 @@ def characterize_board(
     programs=("swaptions", "vips", "astar", "perlbench", "milc", "namd"),
     samples_per_program=240,
     seed=1234,
+    banked=True,
 ) -> CharacterizationResult:
-    """Run the full training campaign and package the identification data."""
+    """Run the full training campaign and package the identification data.
+
+    ``banked`` (the default) advances all ``2 x len(programs)`` excitation
+    campaigns as one lockstep :class:`~repro.board.bank.BoardBank`; the
+    rows — and therefore every downstream model fit and deviation bound —
+    are bit-identical to the per-campaign scalar loop (``banked=False``,
+    kept as the differential reference).
+    """
     hw_inputs = ["n_big_cores", "n_little_cores", "freq_big", "freq_little",
                  "n_threads_big", "tpc_big", "tpc_little"]
     sw_inputs = ["n_threads_big", "tpc_big", "tpc_little",
                  "n_big_cores", "n_little_cores", "freq_big", "freq_little"]
+    if banked:
+        run_specs = []
+        for i, program in enumerate(programs):
+            run_specs.append((program, samples_per_program,
+                              seed + 1000 * i, "hardware"))
+            run_specs.append((program, samples_per_program,
+                              seed + 1000 * i + 500, "software"))
+        banked_rows = _training_runs_banked(spec, run_specs)
     hw_runs = []
     sw_runs = []
     joint_runs = []
     all_rows = []
     for i, program in enumerate(programs):
-        hw_rows = _training_run(
-            program, spec, samples_per_program, seed + 1000 * i, focus="hardware"
-        )
-        sw_rows = _training_run(
-            program, spec, samples_per_program, seed + 1000 * i + 500,
-            focus="software",
-        )
+        if banked:
+            hw_rows = banked_rows[2 * i]
+            sw_rows = banked_rows[2 * i + 1]
+        else:
+            hw_rows = _training_run(
+                program, spec, samples_per_program, seed + 1000 * i,
+                focus="hardware",
+            )
+            sw_rows = _training_run(
+                program, spec, samples_per_program, seed + 1000 * i + 500,
+                focus="software",
+            )
         if len(hw_rows) >= 24:
             all_rows.extend(hw_rows)
             hw_u = np.array([[r[k] for k in hw_inputs] for r in hw_rows])

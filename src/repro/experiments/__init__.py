@@ -22,6 +22,7 @@ from . import (
     tables,
     three_layer,
 )
+from .bank_runner import bankable_scheme, run_cells_banked
 from .engine import parallel_map, resolve_jobs, run_matrix
 from .metrics import RunMetrics, normalize_to, oscillation_stats
 from .report import render_bars, render_series, render_table
@@ -69,6 +70,8 @@ __all__ = [
     "render_series",
     "run_workload",
     "run_scheme_matrix",
+    "bankable_scheme",
+    "run_cells_banked",
     "instantiate_workload",
     "workload_name",
     "engine",

@@ -1,0 +1,123 @@
+"""Banked matrix execution: many experiment cells on one :class:`BoardBank`.
+
+The experiment engine's unit of work is one (scheme, workload, seed) cell —
+an independent closed-loop simulation.  Cells that use a *layered* scheme
+all share the same control-loop shape (``run_period`` then
+``coordinator.control_step``, every 500 ms), so ``B`` of them can advance
+through one :class:`~repro.board.bank.BoardBank` in vectorized lockstep:
+one bank window replaces ``B`` separate fast-path windows, amortizing the
+per-tick Python overhead across boards.
+
+Exactness contract
+------------------
+:func:`run_cells_banked` produces, per cell, *the same*
+:class:`~repro.experiments.metrics.RunMetrics` — bit-identical execution
+time, energy, traces, and notes — as :func:`~repro.experiments.runner.
+run_workload` would.  That follows from composing two guarantees: the bank
+steps each board bit-identically to ``Board.run_period`` (the bank's own
+contract), and each board's controller session only ever reads and
+actuates its own board, in the same per-period order the serial runner
+uses.  ``tests/test_board_bank.py`` and the ``bank-matrix-vs-serial``
+oracle assert the composition.
+
+The monolithic-LQG scheme drives a different loop (single fused
+controller, no coordinator) and is not banked; callers route it through
+:func:`run_workload` instead.
+"""
+
+from __future__ import annotations
+
+from ..board import Board, BoardBank
+from ..core import MultilayerCoordinator
+from ..telemetry import active_session
+from .metrics import RunMetrics
+from .runner import instantiate_workload
+from .schemes import MONOLITHIC_LQG, build_session
+
+__all__ = ["bankable_scheme", "run_cells_banked"]
+
+
+def bankable_scheme(scheme_name):
+    """Whether a scheme's control loop can ride the lockstep bank."""
+    return scheme_name != MONOLITHIC_LQG
+
+
+def run_cells_banked(cells, context, max_time=600.0, record=False,
+                     telemetry=None):
+    """Run layered-scheme cells as one bank; ordered ``RunMetrics`` list.
+
+    ``cells`` is an iterable of ``(scheme, workload, seed)`` tuples, each
+    a layered scheme (:func:`bankable_scheme`).  All boards share the
+    context's spec, so they bank together regardless of workload.
+    """
+    cells = list(cells)
+    tel = telemetry if telemetry is not None else active_session()
+    from ..verify.invariants import active_monitor
+
+    mon = active_monitor()
+    boards = []
+    coordinators = []
+    for scheme, workload, seed in cells:
+        if not bankable_scheme(scheme):
+            raise ValueError(
+                f"{scheme!r} drives the monolithic loop and cannot be "
+                "banked; route it through run_workload"
+            )
+        session = build_session(scheme, context)
+        boards.append(Board(instantiate_workload(workload),
+                            spec=context.spec, seed=seed, record=record,
+                            telemetry=tel))
+        coordinators.append(MultilayerCoordinator(
+            session.hw_controller,
+            session.sw_controller,
+            session.hw_optimizer,
+            session.sw_optimizer,
+            telemetry=tel,
+            monitor=mon,
+        ))
+    bank = BoardBank(boards, telemetry=tel)
+    period_steps = context.spec.period_steps()
+    # Mirror run_workload's loop per board: the while-condition check,
+    # run_period, the post-period done check, then control_step — the bank
+    # just advances every live board's period at once.
+    active = [i for i, b in enumerate(boards)
+              if not b.done and b.time < max_time]
+    while active:
+        if tel is not None:
+            tel.begin_period(boards[active[0]].time)
+        bank.run_period_bank(period_steps, only=active)
+        survivors = []
+        for i in active:
+            board = boards[i]
+            if board.done:
+                continue
+            coordinators[i].control_step(board, period_steps)
+            if not board.done and board.time < max_time:
+                survivors.append(i)
+        active = survivors
+    metrics = []
+    for (scheme, workload, seed), board, coordinator in zip(
+        cells, boards, coordinators
+    ):
+        session_hw = coordinator.hw_controller
+        name = workload if isinstance(workload, str) else "+".join(
+            a.name for a in board.applications
+        )
+        trace = board.trace.as_arrays() if record and board.trace else {}
+        notes = {
+            "emergency_trips": board.emergency.state.trip_count,
+            "coordinator_records": len(coordinator.records),
+            "bank": bank.counters(),
+        }
+        if hasattr(session_hw, "guardband_exhausted"):
+            notes["guardband_exhausted"] = session_hw.guardband_exhausted
+        metrics.append(RunMetrics(
+            scheme=scheme,
+            workload=name,
+            execution_time=board.time,
+            energy=board.energy,
+            completed=board.done,
+            trace=trace,
+            notes=notes,
+        ))
+    return metrics

@@ -150,12 +150,29 @@ def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
     return results
 
 
+def _bank_group(context, cells, max_time, record):
+    """Engine task: run several layered-scheme cells as one board bank."""
+    from .bank_runner import run_cells_banked
+
+    return run_cells_banked(cells, context, max_time=max_time, record=record)
+
+
 def run_matrix(schemes, workloads, context, seed=7, max_time=600.0,
-               record=False, progress=None, jobs=None, telemetry_dir=None):
+               record=False, progress=None, jobs=None, telemetry_dir=None,
+               batch=None):
     """Parallel counterpart of :func:`runner.run_scheme_matrix`.
 
     Same nested ``{workload: {scheme: RunMetrics}}`` dict, same cell seeds,
     assembled in the serial loop's (workload, scheme) order.
+
+    ``batch`` > 1 additionally packs up to that many layered-scheme cells
+    into one :class:`~repro.board.bank.BoardBank` per engine task, so the
+    simulators advance in vectorized lockstep (monolithic-LQG cells keep
+    their own loop and run as plain cells).  Banking composes with
+    ``jobs``: each bank is one task, fanned across the pool like any
+    other.  Results stay bit-identical to the serial path — the bank's
+    per-board exactness contract composes with per-cell independence
+    (asserted by the ``bank-matrix-vs-serial`` oracle).
     """
     schemes = list(schemes)
     workloads = list(workloads)
@@ -164,15 +181,51 @@ def run_matrix(schemes, workloads, context, seed=7, max_time=600.0,
         session = active_session()
         if session is not None and session.out_dir is not None:
             tel_dir = str(session.out_dir)
-    tasks = [
-        ("cell", (scheme, workload, seed, max_time, record))
+    order = [
+        (scheme, workload)
         for workload in workloads
         for scheme in schemes
     ]
-    flat = parallel_map(tasks, context, jobs=jobs, telemetry_dir=tel_dir,
-                        progress=progress, prime=schemes)
+    batch = int(batch) if batch else 0
+    if batch > 1:
+        from .bank_runner import bankable_scheme
+
+        bankable = [k for k, (s, _) in enumerate(order) if bankable_scheme(s)]
+        tasks = []
+        slots = []  # per task: list of original cell indices it produces
+        for start in range(0, len(bankable), batch):
+            group = bankable[start:start + batch]
+            tasks.append(("call", (_bank_group, (
+                [(order[k][0], order[k][1], seed) for k in group],
+                max_time, record,
+            ), {})))
+            slots.append(group)
+        for k, (scheme, workload) in enumerate(order):
+            if not bankable_scheme(scheme):
+                tasks.append(
+                    ("cell", (scheme, workload, seed, max_time, record))
+                )
+                slots.append([k])
+        flat = parallel_map(tasks, context, jobs=jobs, telemetry_dir=tel_dir,
+                            prime=schemes)
+        by_cell = [None] * len(order)
+        for group, result in zip(slots, flat):
+            group_results = result if isinstance(result, list) else [result]
+            for k, metrics in zip(group, group_results):
+                by_cell[k] = metrics
+        if progress is not None:
+            for metrics in by_cell:
+                progress(metrics)
+        it = iter(by_cell)
+    else:
+        tasks = [
+            ("cell", (scheme, workload, seed, max_time, record))
+            for scheme, workload in order
+        ]
+        flat = parallel_map(tasks, context, jobs=jobs, telemetry_dir=tel_dir,
+                            progress=progress, prime=schemes)
+        it = iter(flat)
     results = {}
-    it = iter(flat)
     for workload in workloads:
         results[workload_name(workload)] = {
             scheme: next(it) for scheme in schemes

@@ -79,12 +79,16 @@ class Fig9Result:
 
 
 def run(context: DesignContext = None, quick=True, seed=7,
-        jobs=None) -> Fig9Result:
-    """Regenerate Figure 9.  ``quick`` restricts the workload list."""
+        jobs=None, batch=None) -> Fig9Result:
+    """Regenerate Figure 9.  ``quick`` restricts the workload list.
+
+    ``batch`` packs layered-scheme cells into lockstep board banks
+    (bit-identical results; see :func:`run_scheme_matrix`).
+    """
     context = context or DesignContext.create()
     workloads = QUICK_WORKLOADS if quick else program_names("evaluation")
     results = run_scheme_matrix(TABLE_IV_SCHEMES, workloads, context, seed=seed,
-                                jobs=jobs)
+                                jobs=jobs, batch=batch)
     out = Fig9Result(TABLE_IV_SCHEMES, list(results))
     for app, per_scheme in results.items():
         out.exd[app] = normalize_to(per_scheme, COORDINATED_HEURISTIC, "exd")

@@ -35,7 +35,8 @@ from .schemes import (
     build_session,
 )
 
-__all__ = ["ResilienceRow", "ResilienceResult", "run", "supervised_run"]
+__all__ = ["ResilienceRow", "ResilienceResult", "run", "supervised_run",
+           "supervised_runs_banked"]
 
 DEFAULT_SCHEMES = (YUKTA_HW_SSV_OS_SSV, COORDINATED_HEURISTIC)
 
@@ -188,6 +189,87 @@ def supervised_run(context, scheme, campaign=None, workload="gamess",
     )
 
 
+def supervised_runs_banked(context, scheme, campaigns, workload="gamess",
+                           max_time=200.0, seed=11,
+                           config: SupervisorConfig = None, telemetry=None):
+    """Run one scheme's campaign replicas as a lockstep board bank.
+
+    ``campaigns`` is a list whose entries are fault campaigns or ``None``
+    (the fault-free baseline); every entry becomes one board of a
+    :class:`~repro.board.bank.BoardBank`.  Faulted replicas register
+    their injector as a per-tick hook, which pins them to the bank's
+    scalar path (the same per-tick loop :func:`supervised_run` drives);
+    fault-free replicas ride the vectorized lockstep kernel with the
+    bank's violation clocks.  Either way each replica sees the exact
+    per-tick and per-period sequence of its solo run, so the returned
+    :class:`SupervisedRun` list is bit-identical to calling
+    :func:`supervised_run` once per campaign.
+    """
+    from ..board.bank import BoardBank
+    from ..telemetry import active_session
+
+    tel = telemetry if telemetry is not None else active_session()
+    boards = []
+    supervisors = []
+    onsets = []
+    period_steps = context.spec.period_steps()
+    bank_entries = []
+    for campaign in campaigns:
+        spec = replace(context.spec)
+        session = build_session(scheme, context)
+        if session.monolithic is not None:
+            raise ValueError(
+                "the supervisor requires a layered scheme; "
+                "monolithic-lqg has no layer pair to degrade to"
+            )
+        primary = MultilayerCoordinator(
+            session.hw_controller,
+            session.sw_controller,
+            session.hw_optimizer,
+            session.sw_optimizer,
+            telemetry=tel,
+        )
+        supervisor = Supervisor(primary, spec, config=config, telemetry=tel)
+        board = Board(instantiate_workload(workload), spec=spec, seed=seed,
+                      record=False, telemetry=tel)
+        injector = (FaultInjector(board, campaign, seed=seed, telemetry=tel)
+                    if campaign else None)
+        boards.append(board)
+        supervisors.append(supervisor)
+        onsets.append(campaign.first_onset() if campaign is not None else None)
+        bank_entries.append(injector)
+    bank = BoardBank(boards, telemetry=tel, track_violations=True)
+    for i, injector in enumerate(bank_entries):
+        if injector is not None:
+            bank.set_tick_hook(i, lambda board, inj=injector: inj.advance())
+    active = [i for i, b in enumerate(boards)
+              if not b.done and b.time < max_time]
+    while active:
+        if tel is not None:
+            tel.begin_period(boards[active[0]].time)
+        bank.run_period_bank(period_steps, only=active)
+        survivors = []
+        for i in active:
+            board = boards[i]
+            if board.done:
+                continue
+            supervisors[i].control_step(board, period_steps)
+            if not board.done and board.time < max_time:
+                survivors.append(i)
+        active = survivors
+    return [
+        SupervisedRun(
+            supervisor=supervisors[i],
+            exd=boards[i].energy * boards[i].time,
+            completed=boards[i].done,
+            temp_violation_time=float(bank.temp_violation_time[i]),
+            power_violation_time=float(bank.power_violation_time[i]),
+            fault_onset=onsets[i] if onsets[i] is not None else -1.0,
+        )
+        for i in range(len(campaigns))
+    ]
+
+
 def _latency_periods(detection_time, fault_onset, spec):
     if detection_time is None or fault_onset < 0:
         return -1
@@ -225,23 +307,64 @@ def _fault_cell(context, scheme, fault_index, fault_time, quick, workload,
     }
 
 
+def _scheme_bank_cell(context, scheme, fault_time, quick, workload, max_time,
+                      seed, config):
+    """Engine task: one scheme's baseline + full fault matrix as one bank."""
+    matrix = default_fault_matrix(fault_time=fault_time, quick=quick)
+    campaigns = [None] + [campaign for _, campaign in matrix]
+    results = supervised_runs_banked(context, scheme, campaigns,
+                                     workload=workload, max_time=max_time,
+                                     seed=seed, config=config)
+    return [
+        {
+            "exd": result.exd,
+            "completed": result.completed,
+            "tripped": result.supervisor.tripped,
+            "detection_time": result.supervisor.detection_time,
+            "time_degraded": result.supervisor.time_degraded,
+            "recovered": result.supervisor.recovered,
+            "temp_violation_time": result.temp_violation_time,
+            "power_violation_time": result.power_violation_time,
+            "fault_onset": result.fault_onset,
+        }
+        for result in results
+    ]
+
+
 def run(context: DesignContext = None, schemes=DEFAULT_SCHEMES,
         workload="gamess", fault_time=60.0, max_time=200.0, seed=11,
         quick=False, config: SupervisorConfig = None, progress=None,
-        jobs=None):
-    """The full fault-matrix × scheme sweep (``jobs`` fans the cells out)."""
+        jobs=None, batch=False):
+    """The full fault-matrix × scheme sweep (``jobs`` fans the cells out).
+
+    ``batch`` packs each scheme's replicas — the fault-free baseline plus
+    every fault campaign — into one lockstep
+    :class:`~repro.board.bank.BoardBank` per engine task instead of one
+    task per (fault, scheme) cell; rows are bit-identical either way
+    (:func:`supervised_runs_banked`).
+    """
     from .engine import parallel_map
 
     context = context or DesignContext.create()
     matrix = default_fault_matrix(fault_time=fault_time, quick=quick)
     fault_names = [name for name, _ in matrix]
-    tasks = [
-        ("call", (_fault_cell, (scheme, index, fault_time, quick, workload,
-                                max_time, seed, config), {}))
-        for scheme in schemes
-        for index in range(-1, len(matrix))
-    ]
-    flat = parallel_map(tasks, context, jobs=jobs)
+    if batch:
+        tasks = [
+            ("call", (_scheme_bank_cell, (scheme, fault_time, quick,
+                                          workload, max_time, seed, config),
+                      {}))
+            for scheme in schemes
+        ]
+        flat = [cell for group in parallel_map(tasks, context, jobs=jobs)
+                for cell in group]
+    else:
+        tasks = [
+            ("call", (_fault_cell, (scheme, index, fault_time, quick,
+                                    workload, max_time, seed, config), {}))
+            for scheme in schemes
+            for index in range(-1, len(matrix))
+        ]
+        flat = parallel_map(tasks, context, jobs=jobs)
     it = iter(flat)
     baselines = {}
     rows = []

@@ -179,20 +179,23 @@ def run_workload(
 
 
 def run_scheme_matrix(schemes, workloads, context, seed=7, max_time=600.0,
-                      record=False, progress=None, jobs=None):
+                      record=False, progress=None, jobs=None, batch=None):
     """Run every (scheme, workload) pair; returns nested dict of metrics.
 
     ``jobs`` > 1 fans the matrix cells across worker processes through the
     parallel experiment engine — results are bit-identical to the serial
-    path (same context, same per-cell seeds).  The result dict is keyed by
-    workload name (resolved up front, so empty scheme lists are safe).
+    path (same context, same per-cell seeds).  ``batch`` > 1 packs
+    layered-scheme cells into lockstep board banks (also bit-identical;
+    see :func:`~repro.experiments.engine.run_matrix`).  The result dict is
+    keyed by workload name (resolved up front, so empty scheme lists are
+    safe).
     """
-    if jobs is not None and jobs != 1:
+    if (jobs is not None and jobs != 1) or (batch is not None and batch > 1):
         from .engine import run_matrix
 
         return run_matrix(schemes, workloads, context, seed=seed,
                           max_time=max_time, record=record,
-                          progress=progress, jobs=jobs)
+                          progress=progress, jobs=jobs, batch=batch)
     results = {}
     for workload in workloads:
         name = workload_name(workload)

@@ -116,6 +116,19 @@ class TelemetrySession:
             "runtime invariant-monitor violations", labels=("check",))
         self.flight_dumps = reg.counter(
             "flight_dumps_total", "flight-recorder dumps", labels=("reason",))
+        self.bank_windows = reg.counter(
+            "bank_windows_total",
+            "vectorized lockstep windows executed by BoardBank")
+        self.bank_board_ticks = reg.counter(
+            "bank_board_ticks_total",
+            "board-ticks advanced by the bank's vectorized kernel")
+        self.bank_scalar_ticks = reg.counter(
+            "bank_scalar_ticks_total",
+            "board-ticks finished via the bank's scalar fallback")
+        self.bank_events = reg.counter(
+            "bank_window_events_total",
+            "events that ended or refused a lockstep window",
+            labels=("reason",))
         self.control_step_hist = reg.histogram(
             "control_step_seconds", "wall-clock time of one control step")
         self.sim_period_hist = reg.histogram(

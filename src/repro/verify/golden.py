@@ -35,6 +35,7 @@ __all__ = [
     "GOLDEN_SIGNALS",
     "TraceMismatch",
     "capture_trace",
+    "capture_traces_batched",
     "compare_traces",
     "golden_path",
     "load_golden",
@@ -86,13 +87,9 @@ def golden_path(scheme, workload, golden_dir=None):
     return root / f"{scheme}__{workload}.json"
 
 
-def capture_trace(scheme, workload, context, seed=7, max_time=20.0,
-                  stride=10):
-    """Run one canonical cell and package its trace as a JSON-able dict."""
-    from ..experiments.runner import run_workload
-
-    metrics = run_workload(scheme, workload, context, seed=seed,
-                           max_time=max_time, record=True, telemetry=None)
+def _package_trace(metrics, scheme, workload, context, seed, max_time,
+                   stride):
+    """Shape one run's metrics into the golden-trace JSON dict."""
     signals = {}
     for name in GOLDEN_SIGNALS:
         arr = np.asarray(metrics.trace.get(name, ()), dtype=float)
@@ -116,6 +113,38 @@ def capture_trace(scheme, workload, context, seed=7, max_time=20.0,
         },
         "signals": signals,
     }
+
+
+def capture_trace(scheme, workload, context, seed=7, max_time=20.0,
+                  stride=10):
+    """Run one canonical cell and package its trace as a JSON-able dict."""
+    from ..experiments.runner import run_workload
+
+    metrics = run_workload(scheme, workload, context, seed=seed,
+                           max_time=max_time, record=True, telemetry=None)
+    return _package_trace(metrics, scheme, workload, context, seed, max_time,
+                          stride)
+
+
+def capture_traces_batched(matrix, context, seed=7, max_time=20.0,
+                           stride=10):
+    """Run canonical cells as one lockstep board bank; ordered trace dicts.
+
+    The banked runner is bit-identical to :func:`capture_trace`'s serial
+    path per cell, so the returned dicts match the serial captures (and
+    the pinned goldens) exactly — :func:`verify_goldens` with
+    ``batched=True`` asserts precisely that.
+    """
+    from ..experiments.bank_runner import run_cells_banked
+
+    cells = [(scheme, workload, seed) for scheme, workload in matrix]
+    results = run_cells_banked(cells, context, max_time=max_time,
+                               record=True, telemetry=None)
+    return [
+        _package_trace(metrics, scheme, workload, context, seed, max_time,
+                       stride)
+        for (scheme, workload), metrics in zip(matrix, results)
+    ]
 
 
 def compare_traces(golden, fresh, rtol=_DEFAULT_RTOL, atol=_DEFAULT_ATOL,
@@ -206,15 +235,20 @@ def regen_goldens(context, golden_dir=None, matrix=None, log=None):
 
 
 def verify_goldens(context, golden_dir=None, matrix=None, rtol=_DEFAULT_RTOL,
-                   atol=_DEFAULT_ATOL):
+                   atol=_DEFAULT_ATOL, batched=False):
     """Replay the canonical matrix against the checked-in goldens.
 
     Returns ``{cell_name: [TraceMismatch, ...]}``; a missing golden file is
     reported as a single synthetic mismatch so CI fails loudly rather than
-    skipping silently.
+    skipping silently.  ``batched=True`` replays the cells through the
+    lockstep board bank (the engine's ``--batch`` path) instead of the
+    serial runner — the goldens pin both paths to the same behavior.
     """
+    matrix = list(matrix or GOLDEN_MATRIX)
     results = {}
-    for scheme, workload in (matrix or GOLDEN_MATRIX):
+    goldens = {}
+    groups = {}  # (seed, max_time, stride) -> [(scheme, workload)]
+    for scheme, workload in matrix:
         cell = f"{scheme}/{workload}"
         golden = load_golden(scheme, workload, golden_dir)
         if golden is None:
@@ -223,12 +257,23 @@ def verify_goldens(context, golden_dir=None, matrix=None, rtol=_DEFAULT_RTOL,
                 float("inf"),
             )]
             continue
+        goldens[(scheme, workload)] = golden
         meta = golden.get("meta", {})
-        fresh = capture_trace(
-            scheme, workload, context,
-            seed=meta.get("seed", 7),
-            max_time=meta.get("max_time", 20.0),
-            stride=meta.get("stride", 10),
-        )
-        results[cell] = compare_traces(golden, fresh, rtol=rtol, atol=atol)
+        params = (meta.get("seed", 7), meta.get("max_time", 20.0),
+                  meta.get("stride", 10))
+        if batched:
+            groups.setdefault(params, []).append((scheme, workload))
+        else:
+            fresh = capture_trace(scheme, workload, context, seed=params[0],
+                                  max_time=params[1], stride=params[2])
+            results[cell] = compare_traces(golden, fresh, rtol=rtol,
+                                           atol=atol)
+    for (seed, max_time, stride), cells in groups.items():
+        fresh_traces = capture_traces_batched(cells, context, seed=seed,
+                                              max_time=max_time,
+                                              stride=stride)
+        for (scheme, workload), fresh in zip(cells, fresh_traces):
+            results[f"{scheme}/{workload}"] = compare_traces(
+                goldens[(scheme, workload)], fresh, rtol=rtol, atol=atol
+            )
     return results

@@ -29,6 +29,8 @@ __all__ = [
     "OracleResult",
     "ulp_distance",
     "oracle_fastpath",
+    "oracle_bank",
+    "oracle_bank_matrix",
     "oracle_parallel_matrix",
     "oracle_cache",
     "oracle_lqg_reference",
@@ -213,6 +215,125 @@ def oracle_fastpath(spec=None, workload="blackscholes", seed=3, periods=40,
     return cmp.result("fastpath-vs-scalar", details={
         "workload": workload, "periods": periods,
         "steps": len(fast_trace["times"]),
+    })
+
+
+# ---------------------------------------------------------------------------
+# Oracle 1b: the lockstep board bank vs per-board stepping
+# ---------------------------------------------------------------------------
+def oracle_bank(spec=None, workloads=("blackscholes", "mcf", "fluidanimate",
+                                      "gamess"), seed0=3, periods=30,
+                schedule_seed=11):
+    """Replay one bank run against per-board ``run_period``; must be 0 ULP.
+
+    Every board gets its own workload, seed, and actuation schedule; the
+    bank advances them in vectorized lockstep while the reference boards
+    advance one at a time through the scalar/fastpath machinery.  The
+    first divergence is located by (board, step, signal) with its ULP
+    distance.
+    """
+    from ..board import BIG, LITTLE, Board, BoardBank, default_xu3_spec
+    from ..workloads import make_application
+
+    spec = spec or default_xu3_spec()
+    period_steps = spec.period_steps()
+    n = len(workloads)
+    schedules = [
+        _actuation_schedule(spec, periods, schedule_seed + 13 * k)
+        for k in range(n)
+    ]
+
+    def _make_boards():
+        return [
+            Board(make_application(w), spec=spec, seed=seed0 + k, record=True,
+                  telemetry=None)
+            for k, w in enumerate(workloads)
+        ]
+
+    def _actuate(board, command):
+        board.set_cluster_frequency(BIG, command["freq_big"])
+        board.set_cluster_frequency(LITTLE, command["freq_little"])
+        board.set_active_cores(BIG, command["cores_big"])
+        board.set_active_cores(LITTLE, command["cores_little"])
+        board.set_placement_knobs(*command["placement"])
+
+    banked = _make_boards()
+    bank = BoardBank(banked, telemetry=None)
+    for p in range(periods):
+        live = [k for k in range(n) if not banked[k].done]
+        if not live:
+            break
+        for k in live:
+            _actuate(banked[k], schedules[k][p])
+        bank.run_period_bank(period_steps, only=live)
+
+    reference = _make_boards()
+    for k, board in enumerate(reference):
+        for p in range(periods):
+            if board.done:
+                break
+            _actuate(board, schedules[k][p])
+            board.run_period(period_steps)
+
+    cmp = _Comparator(tolerance_ulp=0.0)
+    for k, (a, b) in enumerate(zip(banked, reference)):
+        loc = f"board {k}"
+        cmp.check(loc, "time", a.time, b.time)
+        cmp.check(loc, "energy", a.energy, b.energy)
+        cmp.check(loc, "temperature", a.thermal.temperature,
+                  b.thermal.temperature)
+        cmp.check(loc, "temp_sensor", a.temp_sensor.read(),
+                  b.temp_sensor.read())
+        for name in (BIG, LITTLE):
+            cmp.check(loc, f"instructions_{name}",
+                      a.perf_counters[name].read_cumulative(),
+                      b.perf_counters[name].read_cumulative())
+            cmp.check(loc, f"power_sensor_{name}",
+                      a.power_sensors[name].read(),
+                      b.power_sensors[name].read())
+        cmp.check(loc, "emergency_trips", a.emergency.state.trip_count,
+                  b.emergency.state.trip_count)
+        trace_a = a.trace.as_arrays()
+        trace_b = b.trace.as_arrays()
+        for signal in sorted(trace_a):
+            cmp.check_array(f"{loc}/{signal}", trace_a[signal],
+                            trace_b[signal])
+    return cmp.result("bank-vs-scalar", details={
+        "boards": n, "periods": periods,
+        "counters": bank.counters(),
+    })
+
+
+def oracle_bank_matrix(context, schemes=None, workloads=None, seed=7,
+                       max_time=10.0, batch=8):
+    """Run the same matrix serially and banked (``--batch``); must be 0 ULP."""
+    from ..experiments.runner import run_scheme_matrix
+
+    schemes = list(schemes or ["coordinated-heuristic", "decoupled-heuristic"])
+    workloads = list(workloads or ["blackscholes"])
+    serial = run_scheme_matrix(schemes, workloads, context, seed=seed,
+                               max_time=max_time, record=True, jobs=None)
+    banked = run_scheme_matrix(schemes, workloads, context, seed=seed,
+                               max_time=max_time, record=True, jobs=None,
+                               batch=batch)
+    cmp = _Comparator(tolerance_ulp=0.0)
+    for wname, per_scheme in serial.items():
+        for scheme, a in per_scheme.items():
+            b = banked[wname][scheme]
+            loc = (wname, scheme)
+            cmp.check(loc, "execution_time", a.execution_time,
+                      b.execution_time)
+            cmp.check(loc, "energy", a.energy, b.energy)
+            cmp.check(loc, "completed", float(a.completed),
+                      float(b.completed))
+            cmp.check(loc, "emergency_trips",
+                      float(a.notes["emergency_trips"]),
+                      float(b.notes["emergency_trips"]))
+            for signal in sorted(a.trace):
+                cmp.check_array(f"{wname}/{scheme}/{signal}",
+                                a.trace[signal], b.trace[signal])
+    return cmp.result("bank-matrix-vs-serial", details={
+        "schemes": schemes, "workloads": workloads, "batch": batch,
     })
 
 

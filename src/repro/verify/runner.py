@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from .golden import GOLDEN_DIR, regen_goldens, verify_goldens
 from .invariants import InvariantMonitor, activate_monitor, deactivate_monitor
 from .oracles import (
+    oracle_bank,
+    oracle_bank_matrix,
     oracle_cache,
     oracle_fastpath,
     oracle_lqg_reference,
@@ -133,6 +135,14 @@ def run_verify(quick=True, regen_golden=False, golden_dir=None, samples=None,
     report.oracles.append(
         oracle_fastpath(spec=context.spec, periods=20 if quick else 60)
     )
+    _log("verify: oracle bank-vs-scalar...")
+    report.oracles.append(
+        oracle_bank(spec=context.spec, periods=15 if quick else 40)
+    )
+    _log("verify: oracle bank-matrix-vs-serial...")
+    report.oracles.append(
+        oracle_bank_matrix(context, max_time=8.0 if quick else 20.0)
+    )
     _log("verify: oracle parallel-vs-serial...")
     report.oracles.append(
         oracle_parallel_matrix(context, max_time=8.0 if quick else 20.0,
@@ -155,6 +165,12 @@ def run_verify(quick=True, regen_golden=False, golden_dir=None, samples=None,
     else:
         _log("verify: comparing golden traces...")
         report.golden = verify_goldens(context, golden_dir)
+        _log("verify: comparing golden traces (banked --batch path)...")
+        batched = verify_goldens(context, golden_dir, batched=True)
+        report.golden.update({
+            f"{cell} [batch]": mismatches
+            for cell, mismatches in batched.items()
+        })
 
     report.elapsed = time.perf_counter() - t0
     return report

@@ -50,9 +50,15 @@ class Thread:
     remaining: float = 0.0  # giga-instructions left (barrier phases)
     active: bool = True
     migration_stall: float = 0.0  # seconds of pending migration penalty
+    # Threads are placement-dict keys on every simulator tick; hashing the
+    # (app_name, thread_id) tuple each lookup showed up in profiles.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self):
+        self._hash = hash((self.app_name, self.thread_id))
 
     def __hash__(self):
-        return hash((self.app_name, self.thread_id))
+        return self._hash
 
 
 class Application:

@@ -1,0 +1,441 @@
+"""The lockstep board bank: bit-exactness, fallback, and integration.
+
+Every test here enforces the same contract: a :class:`BoardBank` advances
+each of its boards *bit-identically* to stepping that board alone —
+including traces, sensor windows, emergency-firmware timers, application
+progress, and the temperature-sensor RNG stream — whatever mix of
+vectorized lockstep, mid-window fallback, and scalar (hooked) boards the
+run goes through.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.board import BIG, LITTLE, Board, BoardBank
+from repro.board.cores import _sum_small
+from repro.board.specs import default_xu3_spec
+from repro.verify.oracles import _actuation_schedule
+from repro.workloads import make_application, make_mix
+
+from .test_properties import board_specs
+
+
+# ---------------------------------------------------------------------------
+# The n<8 reduction rule (pinned here as promised by _sum_small's docstring)
+# ---------------------------------------------------------------------------
+class TestSumSmall:
+    def test_matches_np_sum_bit_exactly(self):
+        """_sum_small must reproduce np.sum bit-for-bit at every length.
+
+        Below numpy's 8-element pairwise/unrolled threshold np.sum
+        accumulates left to right, so the helper may (cheaply) use a plain
+        Python loop there; at >= 8 it must defer to np.sum itself to keep
+        the historical bit pattern.
+        """
+        rng = np.random.default_rng(42)
+        for n in range(0, 16):
+            for _ in range(20):
+                values = list(
+                    rng.uniform(0.01, 3.0, size=n)
+                    * 10.0 ** rng.integers(-8, 8)
+                )
+                assert _sum_small(values) == float(np.sum(values))
+
+    def test_sequential_below_eight(self):
+        """For n < 8 the helper is exactly scalar left-to-right addition —
+        the association the bank's fast paths rely on."""
+        rng = np.random.default_rng(7)
+        for n in range(0, 8):
+            for _ in range(50):
+                values = list(
+                    rng.uniform(0.01, 3.0, size=n)
+                    * 10.0 ** rng.integers(-12, 12)
+                )
+                acc = 0.0
+                for v in values:
+                    acc += v
+                assert _sum_small(values) == acc
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity helpers
+# ---------------------------------------------------------------------------
+def _assert_boards_identical(a, b, label=""):
+    assert a.time == b.time, f"{label} time"
+    assert a.energy == b.energy, f"{label} energy"
+    assert a.thermal.temperature == b.thermal.temperature, f"{label} temp"
+    assert a.temp_sensor._last == b.temp_sensor._last, f"{label} temp sensor"
+    assert (
+        a.temp_sensor._rng.bit_generator.state
+        == b.temp_sensor._rng.bit_generator.state
+    ), f"{label} rng stream"
+    for name in (BIG, LITTLE):
+        sa, sb = a.power_sensors[name], b.power_sensors[name]
+        assert sa._accumulated == sb._accumulated, f"{label} {name} acc"
+        assert sa._elapsed == sb._elapsed, f"{label} {name} elapsed"
+        assert sa._latched == sb._latched, f"{label} {name} latched"
+        assert (
+            a.perf_counters[name].total_giga == b.perf_counters[name].total_giga
+        ), f"{label} {name} instructions"
+        assert (
+            a.emergency._under_power_time[name]
+            == b.emergency._under_power_time[name]
+        ), f"{label} {name} under clock"
+        assert (
+            a.emergency._over_power_time[name]
+            == b.emergency._over_power_time[name]
+        ), f"{label} {name} over clock"
+    ea, eb = a.emergency.state, b.emergency.state
+    assert ea.trip_count == eb.trip_count, f"{label} trips"
+    assert ea.thermal_throttled == eb.thermal_throttled, f"{label} th"
+    assert ea.power_throttled == eb.power_throttled, f"{label} pth"
+    assert ea.throttle_time == eb.throttle_time, f"{label} throttle time"
+    for app_a, app_b in zip(a.applications, b.applications):
+        assert app_a.done == app_b.done, f"{label} app done"
+        assert (
+            app_a.completed_instructions == app_b.completed_instructions
+        ), f"{label} app progress"
+        assert app_a.phase_index == app_b.phase_index, f"{label} app phase"
+        assert app_a.finish_time == app_b.finish_time, f"{label} finish"
+    if a.trace is not None:
+        ta, tb = a.trace.as_arrays(), b.trace.as_arrays()
+        assert sorted(ta) == sorted(tb), f"{label} trace signals"
+        for signal in ta:
+            assert np.array_equal(
+                np.asarray(ta[signal]), np.asarray(tb[signal])
+            ), f"{label} trace {signal}"
+
+
+def _actuate(board, command):
+    board.set_cluster_frequency(BIG, command["freq_big"])
+    board.set_cluster_frequency(LITTLE, command["freq_little"])
+    board.set_active_cores(BIG, command["cores_big"])
+    board.set_active_cores(LITTLE, command["cores_little"])
+    board.set_placement_knobs(*command["placement"])
+
+
+def _run_pair(spec, workloads, schedules, periods, record=True,
+              reference_fast_path=True, seed0=11):
+    """Drive a bank and per-board references through identical schedules."""
+    def make(k):
+        w = workloads[k]
+        apps = make_mix(w[4:]) if w.startswith("mix:") else make_application(w)
+        return Board(apps, spec=spec, seed=seed0 + k, record=record,
+                     telemetry=None)
+
+    banked = [make(k) for k in range(len(workloads))]
+    bank = BoardBank(banked, telemetry=None)
+    for p in range(periods):
+        live = [k for k in range(len(banked)) if not banked[k].done]
+        if not live:
+            break
+        for k in live:
+            _actuate(banked[k], schedules[k][p])
+        bank.run_period_bank(spec.period_steps(), only=live)
+
+    reference = [make(k) for k in range(len(workloads))]
+    for k, board in enumerate(reference):
+        board.enable_fast_path = reference_fast_path
+        for p in range(periods):
+            if board.done:
+                break
+            _actuate(board, schedules[k][p])
+            if reference_fast_path:
+                board.run_period(spec.period_steps())
+            else:
+                for _ in range(spec.period_steps()):
+                    if board.done:
+                        break
+                    board.step()
+    return bank, banked, reference
+
+
+# ---------------------------------------------------------------------------
+# Lockstep bit-identity scenarios
+# ---------------------------------------------------------------------------
+class TestBankBitIdentity:
+    def test_cool_dvfs_only_rides_vector_kernel(self):
+        """Frequency-only actuation (no hotplug, no migration) must engage
+        the vectorized lockstep kernel and still match per-board stepping."""
+        spec = default_xu3_spec()
+        workloads = ["blackscholes", "mcf", "mix:blmc", "gamess"]
+        schedules = []
+        for k in range(len(workloads)):
+            base = _actuation_schedule(spec, 25, 100 + k)
+            schedules.append([
+                dict(cmd, cores_big=4, cores_little=4,
+                     placement=(4.0, 2.0, 2.0))
+                for cmd in base
+            ])
+        bank, banked, reference = _run_pair(spec, workloads, schedules, 25)
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"board {k}")
+        counters = bank.counters()
+        assert counters["vector_ticks"] > 0, "vector path never engaged"
+
+    def test_hotplug_churn_falls_back_bit_identically(self):
+        """Per-period core/placement churn keeps the planner refusing
+        (hotplug + migration stalls) — everything rides the scalar
+        fallback, and must still be bit-identical."""
+        spec = default_xu3_spec()
+        workloads = ["blackscholes", "mcf", "mix:blmc", "gamess"]
+        schedules = [_actuation_schedule(spec, 25, 100 + k)
+                     for k in range(len(workloads))]
+        bank, banked, reference = _run_pair(spec, workloads, schedules, 25)
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"board {k}")
+        assert bank.counters()["events"]["plan_refused"] > 0
+
+    def test_hot_emergency_windows(self):
+        """Pin max-frequency boards so the emergency firmware trips."""
+        spec = default_xu3_spec()
+        workloads = ["mix:blmc", "mix:stga", "mix:blst", "mix:mcga"]
+        schedules = []
+        for k in range(len(workloads)):
+            schedules.append([
+                {"freq_big": 2.0, "freq_little": 1.4,
+                 "cores_big": 4, "cores_little": 4,
+                 "placement": (4.0 + k, 2.0, 2.0)}
+            ] * 120)
+        bank, banked, reference = _run_pair(spec, workloads, schedules, 120)
+        assert any(
+            b.emergency.state.trip_count > 0 for b in banked
+        ), "scenario no longer trips the emergency firmware"
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"board {k}")
+
+    def test_run_to_completion_membership_churn(self):
+        spec = default_xu3_spec()
+        workloads = ["vips", "swaptions", "vips"]
+        schedules = []
+        for k in range(len(workloads)):
+            base = _actuation_schedule(spec, 800, 7 * k + 1)
+            # Keep frequencies high enough that every board finishes well
+            # inside the horizon; core/placement churn stays random.
+            schedules.append([
+                dict(cmd,
+                     freq_big=max(cmd["freq_big"], 1.2),
+                     freq_little=max(cmd["freq_little"], 0.8))
+                for cmd in base
+            ])
+        bank, banked, reference = _run_pair(spec, workloads, schedules, 800,
+                                            record=False)
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            assert a.done and b.done, f"board {k} did not complete"
+            _assert_boards_identical(a, b, label=f"board {k}")
+
+    def test_executed_tick_counts_match_run_period(self):
+        spec = default_xu3_spec()
+        boards = [Board(make_application("blackscholes"), spec=spec, seed=3,
+                        record=False)]
+        bank = BoardBank(boards, telemetry=None)
+        solo = Board(make_application("blackscholes"), spec=spec, seed=3,
+                     record=False)
+        for _ in range(10):
+            executed = bank.run_period_bank(spec.period_steps())
+            assert executed[0] == solo.run_period(spec.period_steps())
+
+    def test_only_restricts_stepping(self):
+        spec = default_xu3_spec()
+        boards = [Board(make_application("mcf"), spec=spec, seed=k,
+                        record=False) for k in range(3)]
+        bank = BoardBank(boards, telemetry=None)
+        executed = bank.run_period_bank(spec.period_steps(), only=[1])
+        assert executed[0] == 0 and executed[2] == 0
+        assert executed[1] == spec.period_steps()
+        assert boards[0].time == 0.0 and boards[2].time == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Scalar fallback: tick hooks and disabled vector path
+# ---------------------------------------------------------------------------
+class TestBankFallback:
+    def test_tick_hook_forces_scalar_and_stays_identical(self):
+        spec = default_xu3_spec()
+        workloads = ["blackscholes", "mcf"]
+        schedules = [_actuation_schedule(spec, 12, 5 + k)
+                     for k in range(len(workloads))]
+
+        seen = []
+        banked = [
+            Board(make_application(w), spec=spec, seed=30 + k, record=True,
+                  telemetry=None)
+            for k, w in enumerate(workloads)
+        ]
+        bank = BoardBank(banked, telemetry=None)
+        bank.set_tick_hook(0, lambda board: seen.append(board.time))
+        for p in range(12):
+            for k in range(2):
+                _actuate(banked[k], schedules[k][p])
+            bank.run_period_bank(spec.period_steps())
+
+        reference = [
+            Board(make_application(w), spec=spec, seed=30 + k, record=True,
+                  telemetry=None)
+            for k, w in enumerate(workloads)
+        ]
+        for k, board in enumerate(reference):
+            for p in range(12):
+                _actuate(board, schedules[k][p])
+                board.run_period(spec.period_steps())
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"board {k}")
+        assert len(seen) == 12 * spec.period_steps(), "hook missed ticks"
+        assert bank.counters()["scalar_ticks"] >= len(seen)
+
+    def test_hook_removal_restores_vector_path(self):
+        spec = default_xu3_spec()
+        board = Board(make_application("mcf"), spec=spec, seed=1, record=False)
+        bank = BoardBank([board], telemetry=None)
+        bank.set_tick_hook(0, lambda b: None)
+        bank.run_period_bank(spec.period_steps())
+        before = bank.counters()["vector_ticks"]
+        bank.set_tick_hook(0, None)
+        bank.run_period_bank(spec.period_steps())
+        assert bank.counters()["vector_ticks"] > before
+
+    def test_enable_vector_path_false_is_pure_fastpath(self):
+        spec = default_xu3_spec()
+        board = Board(make_application("mcf"), spec=spec, seed=1, record=False)
+        bank = BoardBank([board], telemetry=None)
+        bank.enable_vector_path = False
+        bank.run_period_bank(spec.period_steps())
+        assert bank.counters()["vector_ticks"] == 0
+        assert bank.counters()["scalar_ticks"] == spec.period_steps()
+
+
+# ---------------------------------------------------------------------------
+# Property: random specs, random schedules, scalar reference
+# ---------------------------------------------------------------------------
+class TestBankProperties:
+    @given(spec=board_specs(), seed=st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=10, deadline=None)
+    def test_bank_matches_pure_scalar_boards(self, spec, seed):
+        """Random specs + schedules: the bank must replay B pure-scalar
+        boards bit-exactly, RNG streams and mid-window fallbacks included.
+        """
+        workloads = ["blackscholes", "mcf", "gamess"]
+        schedules = [_actuation_schedule(spec, 6, seed + 17 * k)
+                     for k in range(len(workloads))]
+        bank, banked, reference = _run_pair(
+            spec, workloads, schedules, 6, record=True,
+            reference_fast_path=False, seed0=seed,
+        )
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"board {k}")
+
+
+# ---------------------------------------------------------------------------
+# Integration: characterization, matrix, resilience, verify
+# ---------------------------------------------------------------------------
+class TestBankIntegration:
+    def test_banked_characterization_matches_scalar(self):
+        from repro.core.characterize import characterize_board
+
+        spec = default_xu3_spec()
+        a = characterize_board(spec, samples_per_program=24, seed=7,
+                               banked=False)
+        b = characterize_board(spec, samples_per_program=24, seed=7,
+                               banked=True)
+        assert np.array_equal(a.hw_data.inputs, b.hw_data.inputs)
+        assert np.array_equal(a.hw_data.outputs, b.hw_data.outputs)
+        assert np.array_equal(a.sw_data.inputs, b.sw_data.inputs)
+        assert np.array_equal(a.sw_data.outputs, b.sw_data.outputs)
+        assert np.array_equal(a.joint_data.inputs, b.joint_data.inputs)
+        assert np.array_equal(a.joint_data.outputs, b.joint_data.outputs)
+        assert a.output_ranges == b.output_ranges
+        assert a.output_mids == b.output_mids
+
+    def test_batched_matrix_matches_serial(self, design_context):
+        from repro.experiments import run_scheme_matrix
+
+        schemes = ["coordinated-heuristic", "decoupled-heuristic"]
+        workloads = ["blackscholes", "mcf"]
+        serial = run_scheme_matrix(schemes, workloads, design_context,
+                                   seed=7, max_time=10.0, record=True)
+        batched = run_scheme_matrix(schemes, workloads, design_context,
+                                    seed=7, max_time=10.0, record=True,
+                                    batch=3)
+        for w in serial:
+            for s in serial[w]:
+                a, b = serial[w][s], batched[w][s]
+                assert a.execution_time == b.execution_time, (w, s)
+                assert a.energy == b.energy, (w, s)
+                assert a.completed == b.completed, (w, s)
+                assert (a.notes["emergency_trips"]
+                        == b.notes["emergency_trips"]), (w, s)
+                assert (a.notes["coordinator_records"]
+                        == b.notes["coordinator_records"]), (w, s)
+                for signal in a.trace:
+                    assert np.array_equal(a.trace[signal],
+                                          b.trace[signal]), (w, s, signal)
+
+    def test_monolithic_cells_are_rejected_by_bank_runner(self):
+        from repro.experiments import bankable_scheme, run_cells_banked
+        from repro.experiments.schemes import MONOLITHIC_LQG
+
+        assert bankable_scheme("coordinated-heuristic")
+        assert not bankable_scheme(MONOLITHIC_LQG)
+        with pytest.raises(ValueError, match="monolithic"):
+            run_cells_banked([(MONOLITHIC_LQG, "mcf", 7)], context=None)
+
+    def test_banked_resilience_matches_solo_runs(self, design_context):
+        from repro.experiments.resilience import (
+            supervised_run,
+            supervised_runs_banked,
+        )
+        from repro.faults import default_fault_matrix
+
+        matrix = default_fault_matrix(fault_time=8.0, quick=True)
+        campaigns = [None, matrix[0][1]]
+        banked = supervised_runs_banked(
+            design_context, "coordinated-heuristic", campaigns,
+            max_time=30.0, seed=11,
+        )
+        solo = [
+            supervised_run(
+                design_context, "coordinated-heuristic",
+                campaign=default_fault_matrix(fault_time=8.0,
+                                              quick=True)[0][1]
+                if i else None,
+                max_time=30.0, seed=11,
+            )
+            for i in range(2)
+        ]
+        for i, (a, b) in enumerate(zip(banked, solo)):
+            assert a.exd == b.exd, i
+            assert a.completed == b.completed, i
+            assert a.temp_violation_time == b.temp_violation_time, i
+            assert a.power_violation_time == b.power_violation_time, i
+            assert a.supervisor.tripped == b.supervisor.tripped, i
+            assert (a.supervisor.detection_time
+                    == b.supervisor.detection_time), i
+            assert (a.supervisor.time_degraded
+                    == b.supervisor.time_degraded), i
+
+    def test_oracle_bank_agrees(self):
+        from repro.verify.oracles import oracle_bank
+
+        result = oracle_bank(periods=10)
+        assert result.agree, result.render()
+        assert result.max_ulp == 0.0
+        assert result.tolerance_ulp == 0.0
+
+    def test_oracle_bank_matrix_agrees(self, design_context):
+        from repro.verify.oracles import oracle_bank_matrix
+
+        result = oracle_bank_matrix(design_context, max_time=6.0)
+        assert result.agree, result.render()
+
+    def test_shared_sim_dt_required(self):
+        spec_a = default_xu3_spec()
+        spec_b = dataclasses.replace(spec_a, sim_dt=spec_a.sim_dt * 2)
+        boards = [
+            Board(make_application("mcf"), spec=spec_a, seed=1, record=False),
+            Board(make_application("mcf"), spec=spec_b, seed=2, record=False),
+        ]
+        with pytest.raises(ValueError, match="sim_dt"):
+            BoardBank(boards, telemetry=None)
