@@ -313,7 +313,11 @@ def main(argv=None):
     out = Path(args.out) if args.out else (
         Path(__file__).resolve().parent.parent / "BENCH_perf.json"
     )
-    out.write_text(json.dumps(results, indent=1))
+    # Atomic write: an interrupted benchmark must never leave a truncated
+    # BENCH_perf.json for CI artifact collection to trip over.
+    from repro.cache import atomic_write_text
+
+    atomic_write_text(out, json.dumps(results, indent=1))
     print(f"wrote {out}")
 
     failures = []
@@ -352,7 +356,7 @@ def main(argv=None):
                 f"matrix speedup {results['matrix']['speedup']:.2f}x < "
                 f"{matrix_floor}x"
             )
-    out.write_text(json.dumps(results, indent=1))
+    atomic_write_text(out, json.dumps(results, indent=1))
     if failures:
         print("FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
         return 1

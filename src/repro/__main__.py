@@ -20,6 +20,16 @@ control-loop spans (``spans.jsonl`` + Perfetto-loadable ``trace.json``), a
 metrics snapshot (``metrics.prom`` / ``metrics.json``), and flight-recorder
 dumps (``flight-*.json``) triggered by supervisor transitions and fault
 injections.  Inspect a finished directory with ``python -m repro trace DIR``.
+
+Fault tolerance
+---------------
+Experiment commands also accept ``--checkpoint-dir DIR`` (journal each
+completed campaign cell), ``--resume`` (replay journaled cells and run
+only the missing ones — bit-identical to an uninterrupted run),
+``--cell-timeout S`` and ``--max-retries N`` (supervised workers: hung or
+crashed cells are killed, retried with exponential backoff, and finally
+salvaged as structured failures instead of aborting the campaign).  See
+``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -47,6 +57,21 @@ def _add_context_args(parser):
                              "(default $REPRO_CACHE_DIR or ~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent design-artifact cache")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="journal completed campaign cells into DIR "
+                             "(append-only, atomically written)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay cells already in --checkpoint-dir and "
+                             "run only the missing ones (bit-identical to "
+                             "an uninterrupted run)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="S",
+                        help="kill and retry any cell exceeding S seconds "
+                             "of wall-clock (needs --jobs > 1)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="retry a crashed/timed-out/raising cell up to "
+                             "N times with exponential backoff (default 2 "
+                             "when supervision is active)")
 
 
 def _resolve_cache(args):
@@ -218,9 +243,35 @@ def main(argv=None):
         session = activate(TelemetrySession(args.telemetry))
         print(f"Telemetry enabled: recording to {args.telemetry}",
               file=sys.stderr)
+    policy = None
+    wants_runtime = (
+        getattr(args, "checkpoint_dir", None)
+        or getattr(args, "resume", False)
+        or getattr(args, "cell_timeout", None) is not None
+        or getattr(args, "max_retries", None) is not None
+    )
+    if wants_runtime:
+        from repro.runtime import ExecutionPolicy, activate_policy
+
+        if getattr(args, "resume", False) and not args.checkpoint_dir:
+            parser.error("--resume requires --checkpoint-dir")
+        policy = activate_policy(ExecutionPolicy(
+            checkpoint_dir=args.checkpoint_dir,
+            resume=bool(getattr(args, "resume", False)),
+            cell_timeout=args.cell_timeout,
+            max_retries=args.max_retries,
+        ))
+        if args.checkpoint_dir:
+            print(f"Checkpointing campaign cells to {args.checkpoint_dir}"
+                  + (" (resuming)" if policy.resume else ""),
+                  file=sys.stderr)
     try:
         return _dispatch(args, figure_commands)
     finally:
+        if policy is not None:
+            from repro.runtime import deactivate_policy
+
+            deactivate_policy()
         if session is not None:
             session.close()
             print(

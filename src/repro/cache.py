@@ -34,10 +34,50 @@ import numpy as np
 
 from . import __version__
 
-__all__ = ["DesignCache", "fingerprint", "default_cache_dir", "MISS"]
+__all__ = [
+    "DesignCache",
+    "fingerprint",
+    "default_cache_dir",
+    "MISS",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]
 
 # Sentinel distinguishing "no cached value" from a cached None.
 MISS = object()
+
+
+def atomic_write_bytes(path, data, fsync=True):
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader — or a run interrupted by a crash or SIGKILL — never observes
+    a partial file: the bytes land in a sibling temp file first, are
+    (optionally) fsynced, and only then renamed over the destination.  The
+    temp file is unlinked on any failure.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path, text, fsync=True):
+    """Atomic UTF-8 text counterpart of :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
 
 
 def default_cache_dir():
@@ -157,18 +197,11 @@ class DesignCache:
         """
         payload = {"version": __version__, "key": key, "value": value}
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, self._path(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            atomic_write_bytes(
+                self._path(key),
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+                fsync=False,
+            )
         except Exception:
             return False
         return True

@@ -43,12 +43,17 @@ def bankable_scheme(scheme_name):
 
 
 def run_cells_banked(cells, context, max_time=600.0, record=False,
-                     telemetry=None):
+                     telemetry=None, on_error="raise"):
     """Run layered-scheme cells as one bank; ordered ``RunMetrics`` list.
 
     ``cells`` is an iterable of ``(scheme, workload, seed)`` tuples, each
     a layered scheme (:func:`bankable_scheme`).  All boards share the
     context's spec, so they bank together regardless of workload.
+
+    With ``on_error="collect"`` a board whose controller raises is dropped
+    from the bank and its result slot becomes a
+    :class:`~repro.runtime.CellFailure` — the sibling boards keep running
+    (one bad cell must not sink the whole bank).
     """
     cells = list(cells)
     tel = telemetry if telemetry is not None else active_session()
@@ -82,6 +87,7 @@ def run_cells_banked(cells, context, max_time=600.0, record=False,
     # just advances every live board's period at once.
     active = [i for i, b in enumerate(boards)
               if not b.done and b.time < max_time]
+    failed = {}
     while active:
         if tel is not None:
             tel.begin_period(boards[active[0]].time)
@@ -91,14 +97,33 @@ def run_cells_banked(cells, context, max_time=600.0, record=False,
             board = boards[i]
             if board.done:
                 continue
-            coordinators[i].control_step(board, period_steps)
+            try:
+                coordinators[i].control_step(board, period_steps)
+            except Exception as exc:
+                if on_error != "collect":
+                    raise
+                from ..runtime import CellFailure
+
+                scheme, workload, seed = cells[i]
+                name = workload if isinstance(workload, str) else "+".join(
+                    a.name for a in board.applications
+                )
+                failed[i] = CellFailure(
+                    index=i, label=f"{scheme}:{name}:s{seed}",
+                    reason="exception", attempts=1,
+                    error=f"{type(exc).__name__}: {exc}",
+                    elapsed=board.time)
+                continue
             if not board.done and board.time < max_time:
                 survivors.append(i)
         active = survivors
     metrics = []
-    for (scheme, workload, seed), board, coordinator in zip(
+    for i, ((scheme, workload, seed), board, coordinator) in enumerate(zip(
         cells, boards, coordinators
-    ):
+    )):
+        if i in failed:
+            metrics.append(failed[i])
+            continue
         session_hw = coordinator.hw_controller
         name = workload if isinstance(workload, str) else "+".join(
             a.name for a in board.applications

@@ -21,6 +21,17 @@ keeping the three properties the serial harness guarantees:
 
 ``jobs=None`` or ``jobs=1`` short-circuits to a plain in-process loop, so
 every caller can expose a ``--jobs`` knob without special-casing.
+
+Fault tolerance (``repro.runtime``) layers on top without disturbing the
+fast path: ``checkpoint``/``resume`` journal completed cells and replay
+them on restart; ``cell_timeout``/``max_retries``/``chaos`` route the run
+through the supervised worker pool
+(:func:`repro.runtime.executor.supervised_map`); ``on_error="collect"``
+turns a cell that ultimately fails into a structured
+:class:`~repro.runtime.executor.CellFailure` in its result slot instead of
+an exception that discards every completed sibling.  Unset knobs fall back
+to the process-wide :class:`~repro.runtime.policy.ExecutionPolicy`
+installed by the CLI (``--resume``, ``--cell-timeout``, ...).
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from ..telemetry import TelemetrySession, activate, active_session
 from .runner import run_workload, workload_name
@@ -98,8 +110,20 @@ def _run_cell(task):
             _WORKER_SESSION.flush()
 
 
+def _task_label(task):
+    """Human-readable cell identity for failure records and journal meta."""
+    kind, payload = task
+    if kind == "cell":
+        scheme, workload, seed = payload[0], payload[1], payload[2]
+        return f"{scheme}:{workload_name(workload)}:s{seed}"
+    fn = payload[0]
+    return f"call:{getattr(fn, '__qualname__', fn)}"
+
+
 def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
-                 progress=None, prime=None):
+                 progress=None, prime=None, on_error=None, checkpoint=None,
+                 resume=None, cell_timeout=None, max_retries=None,
+                 backoff=None, chaos=None):
     """Run engine tasks across ``jobs`` processes; ordered result list.
 
     ``tasks`` is a list of ``("cell", payload)`` / ``("call", payload)``
@@ -109,23 +133,168 @@ def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
     each result *in task order*.  ``prime`` restricts pre-pool design
     priming to the named schemes (``None`` primes everything — safe for
     arbitrary ``("call", ...)`` tasks).
+
+    Fault-tolerance knobs (``None`` defers to the active
+    :class:`~repro.runtime.policy.ExecutionPolicy`, if any):
+
+    * ``checkpoint`` — a :class:`~repro.runtime.CheckpointJournal` or
+      directory; completed cells are journaled as they finish.
+    * ``resume`` — serve cells already in the journal from disk and run
+      only the missing ones (bit-identical to an uninterrupted run).
+    * ``on_error`` — ``"raise"`` (default: first failure propagates) or
+      ``"collect"`` (a failed cell becomes a
+      :class:`~repro.runtime.CellFailure` in its result slot and every
+      sibling survives).
+    * ``cell_timeout`` / ``max_retries`` / ``backoff`` / ``chaos`` — any
+      of these routes execution through the supervised worker pool
+      (:func:`repro.runtime.supervised_map`); the plain pool is kept for
+      the fast path.
     """
+    from ..cache import MISS
+    from ..runtime import CellFailure, CheckpointJournal, task_key
+    from ..runtime.executor import RetryPolicy, supervised_map
+    from ..runtime.policy import active_policy
+
+    tasks = list(tasks)
+    for task in tasks:
+        if task[0] not in ("cell", "call"):
+            raise ValueError(f"unknown task kind {task[0]!r}")
+
+    policy = active_policy()
+    if policy is not None:
+        if on_error is None:
+            on_error = policy.on_error
+        if checkpoint is None:
+            checkpoint = policy.checkpoint_dir
+        if resume is None:
+            resume = policy.resume
+        if cell_timeout is None:
+            cell_timeout = policy.cell_timeout
+        if max_retries is None:
+            max_retries = policy.max_retries
+        if backoff is None:
+            backoff = policy.backoff
+        if chaos is None:
+            chaos = policy.chaos
+    if on_error is None:
+        on_error = "raise"
+
     jobs = resolve_jobs(jobs)
-    results = []
-    if jobs <= 1 or len(tasks) <= 1:
+    n = len(tasks)
+    session = active_session()
+
+    # --- checkpoint/resume pre-pass --------------------------------------
+    journal = CheckpointJournal.resolve(checkpoint)
+    keys = None
+    resumed = {}
+    if journal is not None:
+        keys = [task_key(context, task) for task in tasks]
+        if resume:
+            entries = journal.index()
+            for i, key in enumerate(keys):
+                entry = entries.get(key)
+                if entry is None:
+                    continue
+                value = journal.get(key, entry.get("sha256"))
+                if value is not MISS:
+                    resumed[i] = value
+            if session is not None:
+                if resumed:
+                    session.checkpoint_cells.labels(event="resumed").inc(
+                        len(resumed))
+                if journal.corrupt:
+                    session.checkpoint_cells.labels(event="corrupt").inc(
+                        journal.corrupt)
+
+    results = [None] * n
+    done = [False] * n
+    for i, value in resumed.items():
+        results[i] = value
+        done[i] = True
+    todo = [i for i in range(n) if i not in resumed]
+
+    delivered = [0]
+
+    def _deliver():
+        # Stream results to ``progress`` in task order, interleaving
+        # journal-resumed cells with fresh completions.
+        while delivered[0] < n and done[delivered[0]]:
+            if progress is not None:
+                progress(results[delivered[0]])
+            delivered[0] += 1
+
+    def _record(i, value):
+        # Journal a fresh success (best-effort: checkpointing accelerates
+        # recovery, it must never break a run).
+        if journal is None:
+            return
+        try:
+            journal.record(keys[i], value,
+                           meta={"label": _task_label(tasks[i])})
+        except Exception:
+            return
+        if session is not None:
+            session.checkpoint_cells.labels(event="recorded").inc()
+
+    # --- supervised path --------------------------------------------------
+    retry = backoff
+    if retry is None and max_retries is not None:
+        retry = RetryPolicy(max_retries=int(max_retries))
+    supervised = bool(
+        cell_timeout
+        or chaos is not None
+        or (retry is not None and retry.max_retries > 0)
+    )
+    if supervised and todo:
+        order = iter(todo)
+
+        def _sub_progress(value):
+            i = next(order)
+            results[i] = value
+            done[i] = True
+            _deliver()
+
+        supervised_map(
+            [tasks[i] for i in todo], context, jobs=jobs,
+            telemetry_dir=telemetry_dir, progress=_sub_progress,
+            prime=prime, cell_timeout=cell_timeout,
+            retry=retry if retry is not None else RetryPolicy(max_retries=0),
+            chaos=chaos, on_error=on_error,
+            labels=[_task_label(tasks[i]) for i in todo],
+            keys=[keys[i] for i in todo] if keys else None,
+            on_result=lambda j, value: _record(todo[j], value),
+        )
+        _deliver()
+        return results
+
+    # --- plain serial path ------------------------------------------------
+    if jobs <= 1 or len(todo) <= 1:
         global _WORKER_CONTEXT
         saved = _WORKER_CONTEXT
         _WORKER_CONTEXT = context
         try:
-            for task in tasks:
-                result = _run_cell(task)
-                if progress is not None:
-                    progress(result)
-                results.append(result)
+            for i in todo:
+                try:
+                    result = _run_cell(tasks[i])
+                except Exception as exc:
+                    if on_error != "collect":
+                        raise
+                    result = CellFailure(
+                        index=i, label=_task_label(tasks[i]),
+                        reason="exception", attempts=1,
+                        error=f"{type(exc).__name__}: {exc}",
+                        key=keys[i] if keys else "")
+                else:
+                    _record(i, result)
+                results[i] = result
+                done[i] = True
+                _deliver()
         finally:
             _WORKER_CONTEXT = saved
+        _deliver()
         return results
 
+    # --- plain pool path --------------------------------------------------
     # Prime every lazy design before pickling so workers never synthesize:
     # that keeps workers bit-identical to the parent AND avoids paying the
     # synthesis cost once per process.
@@ -133,33 +302,55 @@ def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
     blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
     tel_dir = str(telemetry_dir) if telemetry_dir is not None else None
     with ProcessPoolExecutor(
-        max_workers=min(jobs, len(tasks)),
+        max_workers=min(jobs, len(todo)),
         initializer=_init_worker,
         initargs=(blob, tel_dir),
     ) as pool:
-        futures = [pool.submit(_run_cell, task) for task in tasks]
-        for future in futures:  # submission order == collection order
-            result = future.result()
-            if progress is not None:
-                progress(result)
-            results.append(result)
+        futures = {i: pool.submit(_run_cell, tasks[i]) for i in todo}
+        for i in todo:  # submission order == collection order
+            try:
+                result = futures[i].result()
+            except Exception as exc:
+                if on_error != "collect":
+                    raise
+                # A dead pool poisons every remaining future; each becomes
+                # its own structured failure rather than one fatal raise
+                # that discards the completed siblings.
+                reason = ("worker-died"
+                          if isinstance(exc, BrokenProcessPool)
+                          else "exception")
+                if session is not None:
+                    session.cell_failures.labels(reason=reason).inc()
+                result = CellFailure(
+                    index=i, label=_task_label(tasks[i]), reason=reason,
+                    attempts=1, error=f"{type(exc).__name__}: {exc}",
+                    key=keys[i] if keys else "")
+            else:
+                _record(i, result)
+            results[i] = result
+            done[i] = True
+            _deliver()
     if tel_dir is not None:
         from ..telemetry.merge import merge_worker_dirs
 
         merge_worker_dirs(tel_dir)
+    _deliver()
     return results
 
 
-def _bank_group(context, cells, max_time, record):
+def _bank_group(context, cells, max_time, record, on_error="raise"):
     """Engine task: run several layered-scheme cells as one board bank."""
     from .bank_runner import run_cells_banked
 
-    return run_cells_banked(cells, context, max_time=max_time, record=record)
+    return run_cells_banked(cells, context, max_time=max_time, record=record,
+                            on_error=on_error)
 
 
 def run_matrix(schemes, workloads, context, seed=7, max_time=600.0,
                record=False, progress=None, jobs=None, telemetry_dir=None,
-               batch=None):
+               batch=None, on_error="collect", checkpoint=None, resume=None,
+               cell_timeout=None, max_retries=None, backoff=None,
+               chaos=None):
     """Parallel counterpart of :func:`runner.run_scheme_matrix`.
 
     Same nested ``{workload: {scheme: RunMetrics}}`` dict, same cell seeds,
@@ -173,6 +364,11 @@ def run_matrix(schemes, workloads, context, seed=7, max_time=600.0,
     other.  Results stay bit-identical to the serial path — the bank's
     per-board exactness contract composes with per-cell independence
     (asserted by the ``bank-matrix-vs-serial`` oracle).
+
+    Campaign cells default to ``on_error="collect"``: one raising cell no
+    longer discards its completed siblings — it lands in the result dict as
+    a :class:`~repro.runtime.CellFailure`.  The checkpoint/supervision
+    knobs pass straight through to :func:`parallel_map`.
     """
     schemes = list(schemes)
     workloads = list(workloads)
@@ -198,7 +394,7 @@ def run_matrix(schemes, workloads, context, seed=7, max_time=600.0,
             tasks.append(("call", (_bank_group, (
                 [(order[k][0], order[k][1], seed) for k in group],
                 max_time, record,
-            ), {})))
+            ), {"on_error": on_error})))
             slots.append(group)
         for k, (scheme, workload) in enumerate(order):
             if not bankable_scheme(scheme):
@@ -207,10 +403,23 @@ def run_matrix(schemes, workloads, context, seed=7, max_time=600.0,
                 )
                 slots.append([k])
         flat = parallel_map(tasks, context, jobs=jobs, telemetry_dir=tel_dir,
-                            prime=schemes)
+                            prime=schemes, on_error=on_error,
+                            checkpoint=checkpoint, resume=resume,
+                            cell_timeout=cell_timeout,
+                            max_retries=max_retries, backoff=backoff,
+                            chaos=chaos)
+        from ..runtime import CellFailure
+
         by_cell = [None] * len(order)
         for group, result in zip(slots, flat):
-            group_results = result if isinstance(result, list) else [result]
+            if isinstance(result, CellFailure):
+                # The whole bank task failed: every cell it carried gets
+                # the structured failure, so no slot is silently lost.
+                group_results = [result] * len(group)
+            elif isinstance(result, list):
+                group_results = result
+            else:
+                group_results = [result]
             for k, metrics in zip(group, group_results):
                 by_cell[k] = metrics
         if progress is not None:
@@ -223,7 +432,11 @@ def run_matrix(schemes, workloads, context, seed=7, max_time=600.0,
             for scheme, workload in order
         ]
         flat = parallel_map(tasks, context, jobs=jobs, telemetry_dir=tel_dir,
-                            progress=progress, prime=schemes)
+                            progress=progress, prime=schemes,
+                            on_error=on_error, checkpoint=checkpoint,
+                            resume=resume, cell_timeout=cell_timeout,
+                            max_retries=max_retries, backoff=backoff,
+                            chaos=chaos)
         it = iter(flat)
     results = {}
     for workload in workloads:

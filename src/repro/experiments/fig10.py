@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 from .metrics import oscillation_stats
 from .report import render_series, render_table
-from .runner import run_workload
+from .runner import run_scheme_matrix
 from .schemes import DesignContext
 from .fig9 import TABLE_IV_SCHEMES
 

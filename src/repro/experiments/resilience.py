@@ -20,7 +20,7 @@ pairs and has nothing to degrade a single fused controller *to*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..board import BIG, Board
 from ..core import MultilayerCoordinator, Supervisor, SupervisorConfig
@@ -73,6 +73,7 @@ class ResilienceRow:
 class ResilienceResult:
     rows: list
     baselines: dict  # scheme -> {"exd": float, "false_trip": bool}
+    failures: list = field(default_factory=list)  # CellFailure salvage
 
     HEADERS = [
         "fault",
@@ -99,6 +100,8 @@ class ResilienceResult:
             lines.append(
                 f"fault-free {scheme}: ExD={base['exd']:.0f} J*s, supervisor {guard}"
             )
+        for failure in self.failures:
+            lines.append(f"FAILED {failure.describe()}")
         return "\n".join(lines)
 
     def row(self, fault, scheme):
@@ -355,8 +358,16 @@ def run(context: DesignContext = None, schemes=DEFAULT_SCHEMES,
                       {}))
             for scheme in schemes
         ]
-        flat = [cell for group in parallel_map(tasks, context, jobs=jobs)
-                for cell in group]
+        from ..runtime import CellFailure
+
+        flat = []
+        for group in parallel_map(tasks, context, jobs=jobs):
+            if isinstance(group, CellFailure):
+                # The whole bank task failed; every replica it carried
+                # (baseline + one per fault) surfaces as that failure.
+                flat.extend([group] * (len(matrix) + 1))
+            else:
+                flat.extend(group)
     else:
         tasks = [
             ("call", (_fault_cell, (scheme, index, fault_time, quick,
@@ -365,11 +376,26 @@ def run(context: DesignContext = None, schemes=DEFAULT_SCHEMES,
             for index in range(-1, len(matrix))
         ]
         flat = parallel_map(tasks, context, jobs=jobs)
+    from ..runtime import CellFailure
+
     it = iter(flat)
     baselines = {}
     rows = []
+    failures = []
     for scheme in schemes:
         base = next(it)
+        if isinstance(base, CellFailure):
+            # No baseline means no penalty reference: salvage what the
+            # sweep produced and record every cell of this scheme that
+            # also failed.
+            failures.append(base)
+            for _ in fault_names:
+                cell = next(it)
+                if isinstance(cell, CellFailure):
+                    failures.append(cell)
+            if progress is not None:
+                progress(f"{scheme} fault-free: FAILED ({base.reason})")
+            continue
         baselines[scheme] = {
             "exd": base["exd"],
             "false_trip": base["tripped"],
@@ -378,6 +404,12 @@ def run(context: DesignContext = None, schemes=DEFAULT_SCHEMES,
             progress(f"{scheme} fault-free: ExD={base['exd']:.0f}")
         for fault_name in fault_names:
             cell = next(it)
+            if isinstance(cell, CellFailure):
+                failures.append(cell)
+                if progress is not None:
+                    progress(f"{scheme} / {fault_name}: FAILED "
+                             f"({cell.reason})")
+                continue
             penalty = 100.0 * (cell["exd"] - base["exd"]) / base["exd"]
             row = ResilienceRow(
                 fault=fault_name,
@@ -395,4 +427,5 @@ def run(context: DesignContext = None, schemes=DEFAULT_SCHEMES,
             rows.append(row)
             if progress is not None:
                 progress(f"{scheme} / {fault_name}: " + " ".join(map(str, row.cells()[2:])))
-    return ResilienceResult(rows=rows, baselines=baselines)
+    return ResilienceResult(rows=rows, baselines=baselines,
+                            failures=failures)

@@ -189,8 +189,20 @@ def run_scheme_matrix(schemes, workloads, context, seed=7, max_time=600.0,
     see :func:`~repro.experiments.engine.run_matrix`).  The result dict is
     keyed by workload name (resolved up front, so empty scheme lists are
     safe).
+
+    A process-wide :class:`~repro.runtime.ExecutionPolicy` (installed by
+    the CLI's ``--resume``/``--checkpoint-dir``/``--cell-timeout`` flags)
+    also routes through the engine, so checkpointing and worker
+    supervision cover serial campaigns too.
     """
-    if (jobs is not None and jobs != 1) or (batch is not None and batch > 1):
+    from ..runtime.policy import active_policy
+
+    policy = active_policy()
+    if (
+        (jobs is not None and jobs != 1)
+        or (batch is not None and batch > 1)
+        or policy is not None
+    ):
         from .engine import run_matrix
 
         return run_matrix(schemes, workloads, context, seed=seed,

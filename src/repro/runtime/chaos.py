@@ -1,0 +1,120 @@
+"""Chaos harness: deterministic fault injection for the campaign executor.
+
+The Yukta supervisor (PR 1) was validated by injecting faults *inside* the
+simulation; this module does the same for the execution layer.  A
+:class:`ChaosPolicy` attached to a supervised run kills workers with
+SIGKILL, wedges cells past their deadline, raises synthetic errors, and
+corrupts checkpoint entries — the exact failure modes the executor claims
+to survive.  Tests and the CI chaos-smoke job assert that a matrix run
+under chaos still completes with every cell either a real result or a
+structured :class:`~repro.runtime.executor.CellFailure`.
+
+Determinism: every injection decision is drawn from a
+``random.Random(f"{seed}:{kind}:{index}:{attempt}")`` stream, so a chaos
+run is exactly reproducible from its seed — no global RNG state, no
+cross-talk between cells.  With ``first_attempt_only=True`` (the default)
+probabilistic kills/hangs/errors fire only on attempt 0, so any retry
+budget guarantees eventual completion.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ChaosError", "ChaosPolicy", "corrupt_checkpoint_entry"]
+
+
+class ChaosError(RuntimeError):
+    """A synthetic cell failure raised by the chaos harness."""
+
+
+@dataclass
+class ChaosPolicy:
+    """What to break, how often, and with what seed.
+
+    Probabilities are per (cell, attempt) draws; the explicit
+    ``kill_cells``/``hang_cells``/``error_cells`` index tuples force an
+    injection on those cells' first attempts regardless of probability,
+    which is what the acceptance tests use to script "≥3 kills" exactly.
+    """
+
+    seed: int = 0
+    kill_prob: float = 0.0  # SIGKILL own worker process
+    hang_prob: float = 0.0  # sleep past any sane deadline
+    delay_prob: float = 0.0  # small latency wobble (not a failure)
+    error_prob: float = 0.0  # raise ChaosError
+    delay_s: float = 0.02
+    hang_s: float = 30.0
+    kill_cells: tuple = ()
+    hang_cells: tuple = ()
+    error_cells: tuple = ()
+    first_attempt_only: bool = True
+    injected: dict = field(default_factory=dict)
+
+    def _draw(self, kind, index, attempt):
+        import random
+
+        return random.Random(f"{self.seed}:{kind}:{index}:{attempt}").random()
+
+    def _fires(self, kind, prob, cells, index, attempt):
+        if self.first_attempt_only and attempt > 0:
+            return False
+        if index in cells:
+            # Scripted cells honor first_attempt_only too: with it off
+            # they fail *every* attempt (the retry-exhaustion scenario).
+            return True
+        return prob > 0.0 and self._draw(kind, index, attempt) < prob
+
+    def _note(self, kind):
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def apply(self, index, attempt, in_process=False):
+        """Run the injection gauntlet for one cell attempt.
+
+        Called inside the worker just before the task executes.  With
+        ``in_process=True`` (the serial executor path) a kill becomes a
+        :class:`ChaosError` — SIGKILLing the only process would take the
+        test runner down with it.
+        """
+        if self._fires("kill", self.kill_prob, self.kill_cells, index, attempt):
+            self._note("kill")
+            if in_process:
+                raise ChaosError(f"chaos: simulated kill of cell {index}")
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self._fires("hang", self.hang_prob, self.hang_cells, index, attempt):
+            self._note("hang")
+            time.sleep(self.hang_s)
+        if self._fires("error", self.error_prob, self.error_cells, index,
+                       attempt):
+            self._note("error")
+            raise ChaosError(f"chaos: injected error in cell {index}")
+        # Delays are benign perturbations, exempt from first_attempt_only.
+        if self.delay_prob > 0.0 and \
+                self._draw("delay", index, attempt) < self.delay_prob:
+            self._note("delay")
+            time.sleep(self.delay_s)
+
+
+def corrupt_checkpoint_entry(journal, key, mode="truncate"):
+    """Damage one journaled cell payload in place (test-facing).
+
+    ``truncate`` chops the pickle mid-stream; ``garbage`` replaces it with
+    non-pickle bytes; ``unlink`` removes the payload while its journal line
+    survives.  All three must be detected by
+    :meth:`~repro.runtime.checkpoint.CheckpointJournal.get` and turned into
+    a re-run, never a crash or a silently wrong result.
+    """
+    path = journal._cell_path(key)
+    if mode == "unlink":
+        path.unlink()
+        return
+    data = path.read_bytes()
+    if mode == "truncate":
+        path.write_bytes(data[: max(1, len(data) // 2)])
+    elif mode == "garbage":
+        path.write_bytes(b"\x00chaos" + data[:8][::-1])
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")

@@ -1,0 +1,454 @@
+"""Supervised worker pool: timeouts, retry with backoff, crash survival.
+
+The plain engine pool (:mod:`repro.experiments.engine`) is fast but
+brittle: one worker SIGKILL tears down the whole
+``ProcessPoolExecutor`` (``BrokenProcessPool``) and a hung cell stalls the
+campaign forever.  This module runs the same engine tasks under a parent
+supervisor that treats worker failure as a first-class input, mirroring the
+simulation-level NOMINAL→DEGRADED supervisor one layer up:
+
+* each worker is a dedicated process on its own duplex
+  :func:`multiprocessing.Pipe` — no shared queue, so a worker killed
+  mid-message can never poison a lock other workers need;
+* the parent waits on pipes *and* process sentinels, so crashes and kills
+  are detected immediately, the victim's cell is retried elsewhere, and a
+  replacement worker is spawned;
+* per-cell wall-clock deadlines (``cell_timeout``) catch hangs: the wedged
+  worker is killed outright and the cell counts as a timed-out attempt;
+* failed attempts are re-queued with exponential backoff + deterministic
+  jitter (:class:`RetryPolicy`); a cell that exhausts its budget becomes a
+  structured :class:`CellFailure` in the results — partial-result salvage —
+  instead of an exception that discards every completed sibling.
+
+Results are delivered to ``progress`` in task order, same as the plain
+engine, and per-worker telemetry directories are merged on shutdown.
+
+The serial path (``jobs`` ≤ 1) applies the same retry accounting in
+process; wall-clock deadlines need a killable worker process, so
+``cell_timeout`` is only enforced when ``jobs`` > 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import random
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _conn_wait
+
+__all__ = [
+    "CellFailure",
+    "CellExecutionError",
+    "RetryPolicy",
+    "supervised_map",
+]
+
+# Placeholder for a cell that has not finalized yet (internal).
+_PENDING = object()
+
+
+@dataclass
+class CellFailure:
+    """A cell that exhausted its retry budget, kept in the result set.
+
+    Duck-types the failure-relevant corner of ``RunMetrics``
+    (``completed`` is always ``False``) so matrix consumers can filter
+    failures with one ``isinstance`` check while every sibling result
+    survives.
+    """
+
+    index: int
+    label: str
+    reason: str  # "exception" | "timeout" | "worker-died"
+    attempts: int
+    error: str
+    key: str = ""  # checkpoint task key, when checkpointing is active
+    elapsed: float = 0.0
+
+    completed = False  # class attribute: never a successful run
+
+    def describe(self):
+        return (f"cell {self.index} [{self.label}] failed after "
+                f"{self.attempts} attempt(s): {self.reason}: {self.error}")
+
+
+class CellExecutionError(RuntimeError):
+    """Raised (``on_error="raise"``) when a cell exhausts its retries."""
+
+    def __init__(self, failure):
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Attempt ``k`` (0-based) that fails is re-queued after
+    ``min(backoff_base * 2**k, backoff_max)`` seconds, scaled by a jitter
+    factor drawn from ``random.Random(f"{seed}:{index}:{attempt}")`` — so
+    two campaigns with the same seed back off identically, and concurrent
+    retries of different cells de-synchronize.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.25
+    backoff_max: float = 8.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delay(self, index, attempt):
+        base = min(self.backoff_base * (2.0 ** attempt), self.backoff_max)
+        rng = random.Random(f"{self.seed}:{index}:{attempt}")
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+def _worker_main(worker_id, conn, context_blob, telemetry_dir, chaos_blob):
+    """Supervised worker loop: recv (index, attempt, task), send verdicts.
+
+    Reuses the engine's worker globals (``_WORKER_CONTEXT`` /
+    ``_WORKER_SESSION``) so :func:`repro.experiments.engine._run_cell` —
+    including its per-task telemetry flush — runs unchanged under
+    supervision.
+    """
+    from ..experiments import engine as _engine
+    from ..telemetry import TelemetrySession, activate
+
+    _engine._WORKER_CONTEXT = pickle.loads(context_blob)
+    if telemetry_dir is not None:
+        out = os.path.join(telemetry_dir, f"worker-{os.getpid()}")
+        _engine._WORKER_SESSION = activate(TelemetrySession(out))
+    chaos = pickle.loads(chaos_blob) if chaos_blob is not None else None
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg is None:
+                break
+            index, attempt, task = msg
+            try:
+                if chaos is not None:
+                    chaos.apply(index, attempt)
+                result = _engine._run_cell(task)
+            except BaseException as exc:
+                try:
+                    conn.send(("err", index, attempt,
+                               f"{type(exc).__name__}: {exc}",
+                               traceback.format_exc()))
+                except Exception:
+                    break
+            else:
+                try:
+                    conn.send(("ok", index, attempt, result, None))
+                except Exception as exc:
+                    # A result the pipe cannot carry is still a cell failure,
+                    # not a dead worker.
+                    try:
+                        conn.send(("err", index, attempt,
+                                   f"unsendable result: "
+                                   f"{type(exc).__name__}: {exc}", None))
+                    except Exception:
+                        break
+    finally:
+        if _engine._WORKER_SESSION is not None:
+            _engine._WORKER_SESSION.close()
+            _engine._WORKER_SESSION = None
+
+
+def _serial_supervised(tasks, context, progress, retry, chaos, on_error,
+                       labels, keys, on_result):
+    """In-process path: same retry/salvage semantics, no process to kill."""
+    from ..experiments import engine as _engine
+    from ..telemetry import active_session
+
+    results = []
+    saved = _engine._WORKER_CONTEXT
+    _engine._WORKER_CONTEXT = context
+    try:
+        for index, task in enumerate(tasks):
+            attempt = 0
+            started = time.monotonic()
+            while True:
+                try:
+                    if chaos is not None:
+                        chaos.apply(index, attempt, in_process=True)
+                    result = _engine._run_cell(task)
+                except Exception as exc:
+                    session = active_session()
+                    if attempt < retry.max_retries:
+                        if session is not None:
+                            session.cell_retries.labels(
+                                reason="exception").inc()
+                        time.sleep(retry.delay(index, attempt))
+                        attempt += 1
+                        continue
+                    if on_error == "raise":
+                        raise
+                    if session is not None:
+                        session.cell_failures.labels(reason="exception").inc()
+                    result = CellFailure(
+                        index=index,
+                        label=labels[index] if labels else f"task-{index}",
+                        reason="exception",
+                        attempts=attempt + 1,
+                        error=f"{type(exc).__name__}: {exc}",
+                        key=keys[index] if keys else "",
+                        elapsed=time.monotonic() - started,
+                    )
+                else:
+                    if on_result is not None:
+                        on_result(index, result)
+                break
+            if progress is not None:
+                progress(result)
+            results.append(result)
+    finally:
+        _engine._WORKER_CONTEXT = saved
+    return results
+
+
+def supervised_map(tasks, context, jobs=None, telemetry_dir=None,
+                   progress=None, prime=None, cell_timeout=None,
+                   retry=None, chaos=None, on_error="collect",
+                   labels=None, keys=None, on_result=None):
+    """Run engine tasks under worker supervision; ordered result list.
+
+    Drop-in sibling of :func:`repro.experiments.engine.parallel_map` with
+    fault tolerance: per-cell ``cell_timeout`` (seconds of wall-clock,
+    enforced with ``jobs`` > 1), bounded ``retry`` (a :class:`RetryPolicy`,
+    default 2 retries), optional ``chaos`` injection
+    (:class:`~repro.runtime.chaos.ChaosPolicy`), and ``on_error`` handling:
+    ``"collect"`` (default) places a :class:`CellFailure` in the result
+    slot of a cell that exhausts retries, ``"raise"`` raises
+    :class:`CellExecutionError` (or the original exception, serially).
+
+    ``labels``/``keys`` annotate failures; ``on_result(index, value)``
+    fires on each *successful* fresh result (the checkpoint hook).
+    """
+    import multiprocessing as mp
+
+    from ..experiments.engine import resolve_jobs
+    from ..experiments.schemes import prime_designs
+    from ..telemetry import active_session
+
+    if retry is None:
+        retry = RetryPolicy()
+    jobs = resolve_jobs(jobs)
+    n = len(tasks)
+    if jobs <= 1 or n <= 1:
+        return _serial_supervised(tasks, context, progress, retry, chaos,
+                                  on_error, labels, keys, on_result)
+
+    prime_designs(context, prime)
+    blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+    chaos_blob = (pickle.dumps(chaos, protocol=pickle.HIGHEST_PROTOCOL)
+                  if chaos is not None else None)
+    tel_dir = str(telemetry_dir) if telemetry_dir is not None else None
+    ctx = mp.get_context()
+
+    results = [_PENDING] * n
+    ready = [(0.0, i, 0) for i in range(n)]  # (ready_time, index, attempt)
+    heapq.heapify(ready)
+    outstanding = n
+    delivered = 0
+    started_at = {}
+    workers = {}  # wid -> (process, parent_conn)
+    busy = {}  # wid -> (index, attempt, deadline)
+    idle = []
+    next_wid = 0
+    session = active_session()
+    raised = None
+
+    def _label(index):
+        return labels[index] if labels else f"task-{index}"
+
+    def _spawn():
+        nonlocal next_wid
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(next_wid, child_conn, blob, tel_dir, chaos_blob),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        workers[next_wid] = (proc, parent_conn)
+        idle.append(next_wid)
+        next_wid += 1
+
+    def _retire(wid, reason, respawn=True):
+        """Kill/reap one worker and (optionally) replace it."""
+        proc, conn = workers.pop(wid)
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if wid in idle:
+            idle.remove(wid)
+        if session is not None:
+            session.worker_restarts.labels(reason=reason).inc()
+        if respawn and outstanding > len(busy) and \
+                len(workers) < min(jobs, outstanding):
+            _spawn()
+
+    def _deliver():
+        nonlocal delivered
+        while delivered < n and results[delivered] is not _PENDING:
+            if progress is not None:
+                progress(results[delivered])
+            delivered += 1
+
+    def _finalize_ok(index, value):
+        nonlocal outstanding
+        if results[index] is not _PENDING:
+            return  # late duplicate (e.g. timed-out attempt that finished)
+        results[index] = value
+        outstanding -= 1
+        if on_result is not None:
+            on_result(index, value)
+        _deliver()
+
+    def _attempt_failed(index, attempt, reason, error):
+        nonlocal outstanding, raised
+        if results[index] is not _PENDING:
+            return
+        if attempt < retry.max_retries:
+            if session is not None:
+                session.cell_retries.labels(reason=reason).inc()
+            delay = retry.delay(index, attempt)
+            heapq.heappush(ready,
+                           (time.monotonic() + delay, index, attempt + 1))
+            return
+        if session is not None:
+            session.cell_failures.labels(reason=reason).inc()
+            if reason == "worker-died":
+                session.dump_flight(
+                    "worker-died",
+                    extra={"cell": index, "label": _label(index),
+                           "error": error})
+        failure = CellFailure(
+            index=index, label=_label(index), reason=reason,
+            attempts=attempt + 1, error=error,
+            key=keys[index] if keys else "",
+            elapsed=time.monotonic() - started_at.get(index,
+                                                      time.monotonic()),
+        )
+        if on_error == "raise":
+            raised = CellExecutionError(failure)
+            return
+        results[index] = failure
+        outstanding -= 1
+        _deliver()
+
+    def _worker_died(wid, index, attempt):
+        _retire(wid, "worker-died")
+        _attempt_failed(index, attempt, "worker-died",
+                        "worker process died (crashed or killed)")
+
+    for _ in range(min(jobs, n)):
+        _spawn()
+
+    try:
+        while outstanding > 0 and raised is None:
+            now = time.monotonic()
+            # Dispatch due cells to idle workers.
+            while idle and ready and ready[0][0] <= now:
+                _, index, attempt = heapq.heappop(ready)
+                if results[index] is not _PENDING:
+                    continue
+                wid = idle.pop()
+                proc, conn = workers[wid]
+                try:
+                    conn.send((index, attempt, tasks[index]))
+                except (BrokenPipeError, OSError):
+                    # Worker died while idle: replace it, requeue the cell
+                    # without burning an attempt.
+                    heapq.heappush(ready, (now, index, attempt))
+                    _retire(wid, "worker-died")
+                    continue
+                busy[wid] = (index, attempt,
+                             now + cell_timeout if cell_timeout else None)
+                started_at.setdefault(index, now)
+
+            # How long may we block?  Until the nearest deadline, or until
+            # the next backed-off retry becomes due for an idle worker.
+            deadlines = [d for (_, _, d) in busy.values() if d is not None]
+            if ready and (idle or not busy):
+                deadlines.append(ready[0][0])
+            timeout = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines) - time.monotonic())
+            if busy:
+                wait_on = []
+                for wid in busy:
+                    proc, conn = workers[wid]
+                    wait_on.extend((conn, proc.sentinel))
+                if timeout is None or timeout > 0:
+                    _conn_wait(wait_on, timeout)
+            elif timeout:
+                time.sleep(timeout)
+
+            # Collect verdicts, detect deaths, enforce deadlines.
+            now = time.monotonic()
+            for wid in list(busy):
+                proc, conn = workers[wid]
+                index, attempt, deadline = busy[wid]
+                msg = None
+                try:
+                    if conn.poll():
+                        msg = conn.recv()
+                except (EOFError, OSError):
+                    busy.pop(wid)
+                    _worker_died(wid, index, attempt)
+                    continue
+                if msg is not None:
+                    kind, m_index, m_attempt, payload, _tb = msg
+                    busy.pop(wid)
+                    idle.append(wid)
+                    if kind == "ok":
+                        _finalize_ok(m_index, payload)
+                    else:
+                        _attempt_failed(m_index, m_attempt, "exception",
+                                        payload)
+                elif not proc.is_alive():
+                    busy.pop(wid)
+                    _worker_died(wid, index, attempt)
+                elif deadline is not None and now >= deadline:
+                    busy.pop(wid)
+                    if session is not None:
+                        session.cell_timeouts.inc()
+                    _retire(wid, "timeout")
+                    _attempt_failed(
+                        index, attempt, "timeout",
+                        f"cell exceeded cell_timeout={cell_timeout}s")
+    finally:
+        for wid, (proc, conn) in list(workers.items()):
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for wid, (proc, conn) in list(workers.items()):
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+            try:
+                conn.close()
+            except OSError:
+                pass
+        workers.clear()
+        if tel_dir is not None:
+            from ..telemetry.merge import merge_worker_dirs
+
+            merge_worker_dirs(tel_dir)
+    if raised is not None:
+        raise raised
+    return results

@@ -64,8 +64,10 @@ class FlightRecorder:
             self.out_dir.mkdir(parents=True, exist_ok=True)
             slug = re.sub(r"[^A-Za-z0-9_.]+", "-", reason).strip("-") or "dump"
             path = self.out_dir / f"flight-{payload['sequence']:04d}-{slug}.json"
-            with open(path, "w") as handle:
-                json.dump(payload, handle, indent=1)
+            from ..cache import atomic_write_text
+
+            atomic_write_text(path, json.dumps(payload, indent=1),
+                              fsync=False)
             self.dump_paths.append(path)
         return payload
 

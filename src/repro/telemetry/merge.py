@@ -137,9 +137,13 @@ def merge_worker_dirs(parent_dir, worker_dirs=None):
                 pass
 
     merged = merge_metrics_dicts(snapshots)
-    parent.mkdir(parents=True, exist_ok=True)
-    (parent / "metrics.json").write_text(json.dumps(merged, indent=1))
-    (parent / "metrics.prom").write_text(_render_prometheus(merged))
+    from ..cache import atomic_write_text
+
+    atomic_write_text(parent / "metrics.json", json.dumps(merged, indent=1),
+                      fsync=False)
+    atomic_write_text(parent / "metrics.prom", _render_prometheus(merged),
+                      fsync=False)
     if span_lines:
-        (parent / "spans.jsonl").write_text("\n".join(span_lines) + "\n")
+        atomic_write_text(parent / "spans.jsonl",
+                          "\n".join(span_lines) + "\n", fsync=False)
     return merged

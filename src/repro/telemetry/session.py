@@ -129,6 +129,23 @@ class TelemetrySession:
             "bank_window_events_total",
             "events that ended or refused a lockstep window",
             labels=("reason",))
+        self.cell_retries = reg.counter(
+            "cell_retries_total",
+            "campaign cell attempts re-queued by the supervised executor",
+            labels=("reason",))
+        self.cell_failures = reg.counter(
+            "cell_failures_total",
+            "campaign cells that exhausted their retry budget",
+            labels=("reason",))
+        self.cell_timeouts = reg.counter(
+            "cell_timeouts_total",
+            "campaign cells killed for exceeding their wall-clock deadline")
+        self.worker_restarts = reg.counter(
+            "worker_restarts_total",
+            "supervised workers reaped and respawned", labels=("reason",))
+        self.checkpoint_cells = reg.counter(
+            "checkpoint_cells_total",
+            "checkpoint-journal activity by event", labels=("event",))
         self.control_step_hist = reg.histogram(
             "control_step_seconds", "wall-clock time of one control step")
         self.sim_period_hist = reg.histogram(
@@ -178,12 +195,17 @@ class TelemetrySession:
     def flush(self):
         """Write the current metrics snapshot (and flush trace sinks)."""
         if self.out_dir is not None:
-            (self.out_dir / "metrics.prom").write_text(
-                self.registry.render_prometheus())
+            # Atomic writes: a run killed mid-flush (worker SIGKILL, chaos
+            # harness) must never leave a truncated snapshot behind.
+            from ..cache import atomic_write_text
+
+            atomic_write_text(self.out_dir / "metrics.prom",
+                              self.registry.render_prometheus(), fsync=False)
             import json
 
-            (self.out_dir / "metrics.json").write_text(
-                json.dumps(self.registry.to_dict(), indent=1))
+            atomic_write_text(self.out_dir / "metrics.json",
+                              json.dumps(self.registry.to_dict(), indent=1),
+                              fsync=False)
         self.tracer.flush()
 
     def close(self):

@@ -9,6 +9,9 @@ name, both values, and the ULP distance between them:
   randomized-but-legal actuation schedule.  Must be **bit-exact**.
 * :func:`oracle_parallel_matrix` — the process-pool experiment engine vs
   the serial matrix loop.  Must be **bit-exact**.
+* :func:`oracle_resume` — a matrix campaign interrupted mid-run (chaos
+  harness) and then resumed from its checkpoint journal vs an
+  uninterrupted serial run.  Must be **bit-exact**.
 * :func:`oracle_cache` — a design context rebuilt from the persistent
   cache vs the same artifacts computed fresh.  Must be **bit-exact**
   (pickle round-trips preserve float bits).
@@ -32,6 +35,7 @@ __all__ = [
     "oracle_bank",
     "oracle_bank_matrix",
     "oracle_parallel_matrix",
+    "oracle_resume",
     "oracle_cache",
     "oracle_lqg_reference",
 ]
@@ -367,6 +371,89 @@ def oracle_parallel_matrix(context, schemes=None, workloads=None, seed=7,
     return cmp.result("parallel-vs-serial", details={
         "schemes": schemes, "workloads": workloads, "jobs": jobs,
     })
+
+
+# ---------------------------------------------------------------------------
+# Oracle 2b: interrupted + resumed campaign vs uninterrupted serial
+# ---------------------------------------------------------------------------
+def oracle_resume(context, schemes=None, workloads=None, seed=7,
+                  max_time=10.0, jobs=2, checkpoint_dir=None):
+    """Interrupt a matrix mid-campaign, resume it, compare; must be 0 ULP.
+
+    Pass 1 runs the matrix under a chaos policy that fails every other
+    cell with no retry budget (``on_error="collect"``), leaving the
+    checkpoint journal genuinely partial — the "interrupted" campaign.
+    Pass 2 resumes against the same journal: completed cells come back
+    from disk, missing cells run fresh.  The stitched result must match
+    an uninterrupted serial run bit-exactly, and the oracle refuses to
+    pass vacuously — it fails unless the interruption dropped at least
+    one cell *and* the resume actually replayed journaled cells.
+    """
+    import tempfile
+
+    from ..experiments.engine import run_matrix
+    from ..experiments.runner import run_scheme_matrix
+    from ..runtime import (
+        CellFailure,
+        ChaosPolicy,
+        CheckpointJournal,
+        RetryPolicy,
+    )
+
+    schemes = list(schemes or ["coordinated-heuristic", "decoupled-heuristic"])
+    workloads = list(workloads or ["blackscholes"])
+    tmp = None
+    if checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-resume-oracle-")
+        checkpoint_dir = tmp.name
+    try:
+        serial = run_scheme_matrix(schemes, workloads, context, seed=seed,
+                                   max_time=max_time, record=True, jobs=None)
+        n_cells = len(schemes) * len(workloads)
+        journal = CheckpointJournal(checkpoint_dir)
+        chaos = ChaosPolicy(error_cells=tuple(range(1, n_cells, 2)))
+        interrupted = run_matrix(
+            schemes, workloads, context, seed=seed, max_time=max_time,
+            record=True, jobs=jobs, checkpoint=journal, chaos=chaos,
+            backoff=RetryPolicy(max_retries=0), on_error="collect")
+        dropped = sum(
+            1 for per_scheme in interrupted.values()
+            for cell in per_scheme.values() if isinstance(cell, CellFailure)
+        )
+        resumption = CheckpointJournal(checkpoint_dir)
+        resumed = run_matrix(
+            schemes, workloads, context, seed=seed, max_time=max_time,
+            record=True, jobs=jobs, checkpoint=resumption, resume=True)
+        cmp = _Comparator(tolerance_ulp=0.0)
+        for wname, per_scheme in serial.items():
+            for scheme, a in per_scheme.items():
+                b = resumed[wname][scheme]
+                loc = (wname, scheme)
+                if isinstance(b, CellFailure):
+                    cmp.compared += 1
+                    if cmp.first is None:
+                        cmp.first = Divergence(loc, "cell", 1.0, 0.0,
+                                               float("inf"))
+                    continue
+                cmp.check(loc, "execution_time", a.execution_time,
+                          b.execution_time)
+                cmp.check(loc, "energy", a.energy, b.energy)
+                cmp.check(loc, "completed", float(a.completed),
+                          float(b.completed))
+                for signal in sorted(a.trace):
+                    cmp.check_array(f"{wname}/{scheme}/{signal}",
+                                    a.trace[signal], b.trace[signal])
+        result = cmp.result("resume-vs-fresh", details={
+            "schemes": schemes, "workloads": workloads, "jobs": jobs,
+            "interrupted_cells": dropped,
+            "resumed_cells": resumption.resumed,
+        })
+        if dropped == 0 or resumption.resumed == 0:
+            result.agree = False  # the interruption/resume never happened
+        return result
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
 
 
 # ---------------------------------------------------------------------------

@@ -8,8 +8,9 @@ pillars and folds the outcomes into a :class:`VerifyReport`:
    active :class:`~repro.verify.invariants.InvariantMonitor`; any
    violation fails the report.
 2. **Differential oracles** — fastpath vs scalar, parallel vs serial,
-   cached vs fresh synthesis (all bit-exact), and LQG vs the textbook
-   Riccati recursion (documented relative tolerance).
+   interrupted+resumed vs uninterrupted, cached vs fresh synthesis (all
+   bit-exact), and LQG vs the textbook Riccati recursion (documented
+   relative tolerance).
 3. **Golden traces** — the canonical matrix replayed against
    ``tests/golden/`` (or re-minted with ``regen_golden=True``).
 """
@@ -29,6 +30,7 @@ from .oracles import (
     oracle_fastpath,
     oracle_lqg_reference,
     oracle_parallel_matrix,
+    oracle_resume,
 )
 
 __all__ = ["VerifyReport", "run_verify"]
@@ -148,6 +150,12 @@ def run_verify(quick=True, regen_golden=False, golden_dir=None, samples=None,
         oracle_parallel_matrix(context, max_time=8.0 if quick else 20.0,
                                jobs=jobs)
     )
+    _log("verify: oracle resume-vs-fresh...")
+    with tempfile.TemporaryDirectory(prefix="repro-verify-ckpt-") as tmp:
+        report.oracles.append(
+            oracle_resume(context, max_time=8.0 if quick else 20.0,
+                          jobs=jobs, checkpoint_dir=tmp)
+        )
     _log("verify: oracle cache-vs-fresh...")
     with tempfile.TemporaryDirectory(prefix="repro-verify-cache-") as tmp:
         report.oracles.append(

@@ -169,6 +169,108 @@ class TestCacheFailurePaths:
         assert final is not MISS and final["pad"] == list(range(200))
         assert list(tmp_path.glob("*.tmp")) == []
 
+    def test_corruption_recovery_under_concurrent_writers(self, tmp_path):
+        """A corrupter truncating the entry while writers rewrite it:
+        readers see MISS or a complete value (the torn pickle is evicted,
+        never returned), and the entry is fully restored afterwards."""
+        import threading
+
+        cache = DesignCache(tmp_path)
+        path = cache._path("shared")
+        cache.put("shared", {"i": -1, "pad": list(range(200))})
+        errors = []
+
+        def writer(worker):
+            try:
+                for i in range(25):
+                    cache.put("shared", {"worker": worker, "i": i,
+                                         "pad": list(range(200))})
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        def corrupter():
+            try:
+                for _ in range(25):
+                    try:
+                        data = path.read_bytes()
+                        path.write_bytes(data[: max(1, len(data) // 3)])
+                    except OSError:
+                        pass  # entry mid-replace or already evicted
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(60):
+                    value = cache.get("shared")
+                    if value is not MISS:
+                        assert value["pad"] == list(range(200))
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(3)]
+        threads += [threading.Thread(target=corrupter)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        cache.put("shared", {"i": "final", "pad": list(range(200))})
+        final = cache.get("shared")
+        assert final is not MISS and final["i"] == "final"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_stale_version_overwritten_under_concurrent_readers(self,
+                                                                tmp_path):
+        """A stale-version payload appearing mid-stream (an older process
+        writing the same key) is evicted by whichever reader sees it first;
+        concurrent readers never propagate the stale value."""
+        import threading
+
+        cache = DesignCache(tmp_path)
+        path = cache._path("shared")
+        stale = pickle.dumps({"version": "0.0.0-old", "key": "shared",
+                              "value": "stale"})
+        errors = []
+
+        def old_process():
+            try:
+                for _ in range(25):
+                    try:
+                        path.write_bytes(stale)
+                    except OSError:
+                        pass
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(60):
+                    value = cache.get("shared")
+                    assert value is MISS or value == "fresh"
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        def writer():
+            try:
+                for _ in range(25):
+                    cache.put("shared", "fresh")
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=old_process),
+                   threading.Thread(target=writer)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        cache.put("shared", "fresh")
+        assert cache.get("shared") == "fresh"
+
 
 class TestContextCaching:
     @pytest.fixture(scope="class")

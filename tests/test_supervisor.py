@@ -269,3 +269,82 @@ class TestDegradedMode:
         ]
         assert not demotions or supervisor.counters["sensor-dropout"] >= 1
         assert supervisor.tripped and not supervisor.recovered
+
+
+class TestRepromotionBackoff:
+    """Edge cases of the exponential re-promotion backoff (white-box:
+    the state machine is driven through ``_advance_state`` directly so
+    each demotion count can be staged exactly)."""
+
+    @staticmethod
+    def _degraded_supervisor(demotions, stable_periods=2):
+        board = _board()
+        config = SupervisorConfig(min_degraded_periods=1,
+                                  stable_periods=stable_periods,
+                                  probation_periods=3)
+        supervisor = _supervised(board, EchoHW(board), config=config)
+        supervisor.state = DEGRADED
+        supervisor._demotions = demotions
+        return board, supervisor
+
+    def _periods_until_repromotion(self, demotions):
+        board, supervisor = self._degraded_supervisor(demotions)
+        for period in range(1, 200):
+            supervisor._advance_state(board, None, True)
+            if supervisor.state == RECOVERING:
+                return period
+        raise AssertionError("never re-promoted")  # pragma: no cover
+
+    def test_required_window_doubles_per_demotion(self):
+        assert self._periods_until_repromotion(0) == 2
+        assert self._periods_until_repromotion(1) == 4
+        assert self._periods_until_repromotion(2) == 8
+        assert self._periods_until_repromotion(3) == 16
+
+    def test_backoff_saturates_at_eight_x(self):
+        # Beyond 3 demotions the window must stop growing: a flaky fault
+        # that demotes ten times still gets a bounded (8x) retry window,
+        # not a multi-hour exile in DEGRADED.
+        saturated = self._periods_until_repromotion(3)
+        assert self._periods_until_repromotion(5) == saturated
+        assert self._periods_until_repromotion(50) == saturated
+
+    def test_unclean_period_resets_the_streak_not_the_backoff(self):
+        board, supervisor = self._degraded_supervisor(demotions=1)
+        for _ in range(3):  # one clean period short of the 4 required
+            supervisor._advance_state(board, None, True)
+        supervisor._advance_state(board, None, False)  # dirty period
+        assert supervisor.state == DEGRADED
+        for _ in range(3):
+            supervisor._advance_state(board, None, True)
+        assert supervisor.state == DEGRADED  # streak restarted from zero
+        supervisor._advance_state(board, None, True)
+        assert supervisor.state == RECOVERING
+
+    def test_probation_reentry_pays_the_doubled_window(self):
+        # DEGRADED -> RECOVERING -> (dirty probation) -> DEGRADED must both
+        # count the demotion and restart the clean streak, so the second
+        # attempt needs twice the window of the first.
+        board, supervisor = self._degraded_supervisor(demotions=0)
+        supervisor._advance_state(board, None, True)
+        supervisor._advance_state(board, None, True)
+        assert supervisor.state == RECOVERING
+        supervisor._advance_state(board, None, False)  # probation violated
+        assert supervisor.state == DEGRADED
+        assert supervisor._demotions == 1
+        assert supervisor._clean_streak == 0
+        periods = 0
+        while supervisor.state == DEGRADED:
+            supervisor._advance_state(board, None, True)
+            periods += 1
+        assert periods == 4  # 2 * stable_periods after one demotion
+
+    def test_successful_probation_clears_the_demotion_count(self):
+        board, supervisor = self._degraded_supervisor(demotions=3)
+        while supervisor.state == DEGRADED:
+            supervisor._advance_state(board, None, True)
+        assert supervisor.state == RECOVERING
+        for _ in range(3):  # probation_periods
+            supervisor._advance_state(board, None, True)
+        assert supervisor.state == NOMINAL
+        assert supervisor._demotions == 0  # next trip starts at 1x again
