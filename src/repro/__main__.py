@@ -11,6 +11,8 @@ Commands
 ``resilience``        the fault-matrix sweep under the safe-mode supervisor
 ``three-layer``       the Sec. III-D three-layer demonstration
 ``trace``             summarize a recorded telemetry directory
+``status``            live progress/ETA/health of a (running) campaign
+``report``            combined markdown/HTML campaign report
 ``verify``            invariant monitor + oracle pairs + golden traces
 
 Telemetry
@@ -20,6 +22,12 @@ control-loop spans (``spans.jsonl`` + Perfetto-loadable ``trace.json``), a
 metrics snapshot (``metrics.prom`` / ``metrics.json``), and flight-recorder
 dumps (``flight-*.json``) triggered by supervisor transitions and fault
 injections.  Inspect a finished directory with ``python -m repro trace DIR``.
+``--profile`` additionally prices each control period's phases (sensing /
+controller / optimizer / actuation / plant step / telemetry) into
+p50/p90/p99 histograms; campaign runs with ``--checkpoint-dir`` or
+``--telemetry`` also append a live ``events.jsonl`` stream that ``repro
+status DIR`` and ``repro report DIR`` read back (see
+``docs/OBSERVABILITY.md``).
 
 Fault tolerance
 ---------------
@@ -45,6 +53,14 @@ def _add_context_args(parser):
                         help="characterization seed")
     parser.add_argument("--telemetry", metavar="DIR", default=None,
                         help="record metrics/spans/flight dumps into DIR")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile control-loop phases (sensing/"
+                             "controller/optimizer/actuation/plant step) "
+                             "into p50/p90/p99 histograms (needs "
+                             "--telemetry)")
+    parser.add_argument("--profile-sample", type=int, default=1, metavar="N",
+                        help="profile every Nth control period (default 1 "
+                             "= all)")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the experiment matrix "
                              "(-1 = all cores; default serial)")
@@ -110,6 +126,29 @@ def main(argv=None):
         "trace", help="summarize a recorded --telemetry directory"
     )
     p_trace.add_argument("dir", help="telemetry output directory")
+
+    p_status = sub.add_parser(
+        "status",
+        help="progress/ETA/retry health of a campaign directory "
+             "(works on finished, crashed, and still-running campaigns)",
+    )
+    p_status.add_argument("dir", help="campaign (checkpoint or telemetry) "
+                                      "directory holding events.jsonl")
+
+    p_report = sub.add_parser(
+        "report",
+        help="combined campaign report: health + control-quality KPIs + "
+             "phase profile + telemetry headlines",
+    )
+    p_report.add_argument("dir", help="campaign directory (checkpoint "
+                                      "journal and/or telemetry artifacts)")
+    p_report.add_argument("--out", metavar="FILE", default=None,
+                          help="write the markdown report to FILE instead "
+                               "of stdout")
+    p_report.add_argument("--html", metavar="FILE", default=None,
+                          help="also write a standalone HTML rendering")
+    p_report.add_argument("--title", default=None,
+                          help="report title (default: directory name)")
 
     p_design = sub.add_parser("design", help="two-layer design flow summary")
     _add_context_args(p_design)
@@ -200,7 +239,44 @@ def main(argv=None):
     if args.command == "trace":
         from repro.telemetry import summarize_dir
 
-        print(summarize_dir(args.dir))
+        try:
+            print(summarize_dir(args.dir))
+        except FileNotFoundError as exc:
+            print(f"repro trace: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.command == "status":
+        from repro.obs import render_status
+
+        try:
+            print(render_status(args.dir))
+        except FileNotFoundError as exc:
+            print(f"repro status: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.command == "report":
+        from repro.obs import build_report, to_html
+
+        try:
+            markdown = build_report(args.dir, title=args.title)
+        except FileNotFoundError as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(markdown)
+            print(f"report written to {args.out}", file=sys.stderr)
+        if args.html:
+            from pathlib import Path
+
+            Path(args.html).write_text(to_html(
+                markdown, title=args.title or f"repro campaign: {args.dir}"))
+            print(f"HTML report written to {args.html}", file=sys.stderr)
+        if not args.out and not args.html:
+            print(markdown, end="")
         return 0
 
     if args.command == "bench":
@@ -237,11 +313,21 @@ def main(argv=None):
         return 0
 
     session = None
+    if getattr(args, "profile", False) and not getattr(args, "telemetry",
+                                                       None):
+        parser.error("--profile requires --telemetry")
     if getattr(args, "telemetry", None):
         from repro.telemetry import TelemetrySession, activate
 
-        session = activate(TelemetrySession(args.telemetry))
-        print(f"Telemetry enabled: recording to {args.telemetry}",
+        session = activate(TelemetrySession(
+            args.telemetry,
+            profile=bool(getattr(args, "profile", False)),
+            profile_sample=max(int(getattr(args, "profile_sample", 1) or 1),
+                               1),
+        ))
+        print(f"Telemetry enabled: recording to {args.telemetry}"
+              + (" (phase profiling on)"
+                 if getattr(args, "profile", False) else ""),
               file=sys.stderr)
     policy = None
     wants_runtime = (
@@ -273,6 +359,8 @@ def main(argv=None):
 
             deactivate_policy()
         if session is not None:
+            if session.profiler is not None:
+                print(session.profiler.render(), file=sys.stderr)
             session.close()
             print(
                 f"Telemetry written to {args.telemetry} "

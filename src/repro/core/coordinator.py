@@ -212,9 +212,21 @@ class MultilayerCoordinator:
             )
         )
         if tel is not None:
-            self._publish_telemetry(
-                tel, board, signals, hw_u, sw_u, exd, override_active, t_start
-            )
+            # Spanned only when profiling, so the phase profiler prices
+            # the telemetry publish itself (the one loop phase the other
+            # spans cannot see) while plain sessions keep the extra span
+            # off their per-period cost.
+            if tel.tracer.profiler is not None:
+                with tel.span("telemetry"):
+                    self._publish_telemetry(
+                        tel, board, signals, hw_u, sw_u, exd,
+                        override_active, t_start,
+                    )
+            else:
+                self._publish_telemetry(
+                    tel, board, signals, hw_u, sw_u, exd, override_active,
+                    t_start,
+                )
         if self.monitor is not None:
             self.monitor.check_period(board, coordinator=self,
                                       signals=signals)

@@ -206,6 +206,25 @@ def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
                     session.checkpoint_cells.labels(event="corrupt").inc(
                         journal.corrupt)
 
+    # --- campaign event stream (repro.obs) -------------------------------
+    # Written next to the checkpoint journal (or into the telemetry dir
+    # when no journal is active); ``repro status`` / ``repro report`` read
+    # it back.  No journal and no telemetry → no stream, no overhead.
+    events = None
+    events_root = None
+    if journal is not None:
+        events_root = journal.root
+    elif session is not None and session.out_dir is not None:
+        events_root = session.out_dir
+    if events_root is not None:
+        from ..obs.events import CampaignEvents, events_path
+
+        events = CampaignEvents(events_path(events_root))
+        events.emit("campaign.begin", cells=n, resumed=len(resumed),
+                    jobs=jobs)
+        for i in sorted(resumed):
+            events.emit("cell.resumed", index=i, label=_task_label(tasks[i]))
+
     results = [None] * n
     done = [False] * n
     for i, value in resumed.items():
@@ -218,10 +237,30 @@ def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
     def _deliver():
         # Stream results to ``progress`` in task order, interleaving
         # journal-resumed cells with fresh completions.
+        nonlocal events
         while delivered[0] < n and done[delivered[0]]:
+            i = delivered[0]
+            value = results[i]
             if progress is not None:
-                progress(results[delivered[0]])
+                progress(value)
+            if events is not None and i not in resumed:
+                if isinstance(value, CellFailure):
+                    events.emit("cell.failed", index=i, label=value.label,
+                                reason=value.reason, attempts=value.attempts,
+                                error=value.error[:500])
+                else:
+                    events.emit("cell.completed", index=i,
+                                label=_task_label(tasks[i]))
             delivered[0] += 1
+        if delivered[0] == n and events is not None:
+            # Every cell delivered: the run finished (a crashed/killed run
+            # never reaches this, so the stream reads as in-flight).
+            events.emit("campaign.end", cells=n, failed=sum(
+                1 for r in results if isinstance(r, CellFailure)))
+            events.close()
+            # emit() after close() would reopen and duplicate the record;
+            # drop the handle so trailing _deliver() calls are no-ops.
+            events = None
 
     def _record(i, value):
         # Journal a fresh success (best-effort: checkpointing accelerates
@@ -235,6 +274,9 @@ def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
             return
         if session is not None:
             session.checkpoint_cells.labels(event="recorded").inc()
+        if events is not None:
+            events.emit("cell.checkpointed", index=i,
+                        label=_task_label(tasks[i]))
 
     # --- supervised path --------------------------------------------------
     retry = backoff
@@ -263,6 +305,7 @@ def parallel_map(tasks, context, jobs=None, telemetry_dir=None,
             labels=[_task_label(tasks[i]) for i in todo],
             keys=[keys[i] for i in todo] if keys else None,
             on_result=lambda j, value: _record(todo[j], value),
+            events=events,
         )
         _deliver()
         return results

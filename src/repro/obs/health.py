@@ -1,0 +1,184 @@
+"""Live campaign health: progress, ETA, and retry/failure accounting.
+
+Folds a campaign's ``events.jsonl`` (:mod:`repro.obs.events`) — and, when
+present, its checkpoint ``journal.jsonl`` — into one
+:class:`CampaignHealth` verdict.  The stream is append-only across
+restarts, so a resumed campaign shows up as multiple *runs*: progress is
+judged against the most recent ``campaign.begin`` (whose ``resumed``
+count says how many cells were served from the journal), while retries,
+timeouts, and failures aggregate over the whole history — a cell that
+needed three attempts across two runs is still a flaky cell.
+
+``repro status <dir>`` renders this; ``repro report <dir>`` embeds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .events import read_events
+
+__all__ = ["CampaignHealth", "analyze_events", "load_health",
+           "render_status"]
+
+
+@dataclass
+class CampaignHealth:
+    """One campaign directory's operational verdict."""
+
+    total: int  # cells in the current run (0 = unknown)
+    completed: int  # fresh completions in the current run
+    resumed: int  # cells served from the checkpoint journal
+    failed: int  # cells that exhausted their retry budget
+    checkpointed: int  # cells journaled by the current run
+    retries: int  # attempts re-queued (all runs)
+    timeouts: int  # attempts killed on deadline (all runs)
+    runs: int  # campaign.begin count (resumes append)
+    finished: bool  # the current run logged campaign.end
+    started_at: float = 0.0  # wall-clock of the current run's begin
+    last_event_at: float = 0.0
+    elapsed: float = 0.0  # s from begin to the last event
+    rate: float = 0.0  # fresh completions per second
+    eta: float = None  # s to finish remaining cells (None = unknown)
+    skipped_lines: int = 0  # torn/corrupt event lines tolerated
+    retry_reasons: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)  # {label, reason, ...}
+
+    @property
+    def done(self):
+        return self.completed + self.resumed + self.failed
+
+    @property
+    def remaining(self):
+        return max(self.total - self.done, 0)
+
+    @property
+    def in_flight(self):
+        return not self.finished
+
+    def to_dict(self):
+        from dataclasses import asdict
+
+        out = asdict(self)
+        out["done"] = self.done
+        out["remaining"] = self.remaining
+        return out
+
+
+def analyze_events(records, skipped=0):
+    """Fold parsed event records into a :class:`CampaignHealth`."""
+    # The current run spans from the last campaign.begin onward.
+    begin_idx = 0
+    runs = 0
+    for i, record in enumerate(records):
+        if record["event"] == "campaign.begin":
+            runs += 1
+            begin_idx = i
+    current = records[begin_idx:]
+
+    health = CampaignHealth(
+        total=0, completed=0, resumed=0, failed=0, checkpointed=0,
+        retries=0, timeouts=0, runs=runs, finished=False,
+        skipped_lines=skipped,
+    )
+    for record in records:
+        event = record["event"]
+        if event == "cell.retried":
+            health.retries += 1
+            reason = record.get("reason", "?")
+            health.retry_reasons[reason] = \
+                health.retry_reasons.get(reason, 0) + 1
+        elif event == "cell.timeout":
+            health.timeouts += 1
+    for record in current:
+        event = record["event"]
+        t = record.get("t", 0.0)
+        health.last_event_at = max(health.last_event_at, t)
+        if event == "campaign.begin":
+            health.total = record.get("cells", 0)
+            health.resumed = record.get("resumed", 0)
+            health.started_at = t
+        elif event == "cell.completed":
+            health.completed += 1
+        elif event == "cell.failed":
+            health.failed += 1
+            health.failures.append({
+                "label": record.get("label", "?"),
+                "reason": record.get("reason", "?"),
+                "attempts": record.get("attempts"),
+                "error": record.get("error", ""),
+            })
+        elif event == "cell.checkpointed":
+            health.checkpointed += 1
+        elif event == "campaign.end":
+            health.finished = True
+    health.elapsed = max(health.last_event_at - health.started_at, 0.0)
+    if health.completed and health.elapsed > 0:
+        health.rate = health.completed / health.elapsed
+        if health.total:
+            health.eta = health.remaining / health.rate
+    return health
+
+
+def load_health(directory):
+    """Read + analyze a campaign directory's event stream."""
+    records, skipped = read_events(directory)
+    return analyze_events(records, skipped=skipped)
+
+
+def _fmt_duration(seconds):
+    if seconds is None:
+        return "?"
+    seconds = float(seconds)
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    if seconds < 5400:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def render_status(directory):
+    """The ``repro status`` report for one campaign directory."""
+    directory = Path(directory)
+    health = load_health(directory)
+    state = "finished" if health.finished else "in-flight"
+    lines = [f"campaign status: {directory}  [{state}]"]
+    if health.runs > 1:
+        lines.append(f"  runs: {health.runs} "
+                     f"(resumed {health.runs - 1} time(s))")
+    total = health.total or "?"
+    pct = (f" ({100.0 * health.done / health.total:.0f}%)"
+           if health.total else "")
+    lines.append(
+        f"  progress: {health.done}/{total}{pct} — "
+        f"{health.completed} fresh, {health.resumed} resumed, "
+        f"{health.failed} failed"
+    )
+    if health.checkpointed:
+        lines.append(f"  checkpointed: {health.checkpointed} cell(s)")
+    lines.append(
+        f"  elapsed: {_fmt_duration(health.elapsed)}   "
+        f"rate: {health.rate * 60:.1f} cells/min"
+        + (f"   ETA: {_fmt_duration(health.eta)}"
+           if health.in_flight and health.eta is not None else "")
+    )
+    if health.retries:
+        reasons = ", ".join(f"{reason}={count}" for reason, count
+                            in sorted(health.retry_reasons.items()))
+        lines.append(f"  retries: {health.retries} ({reasons})")
+    for failure in health.failures:
+        attempts = (f" after {failure['attempts']} attempt(s)"
+                    if failure.get("attempts") else "")
+        lines.append(f"  FAILED {failure['label']}: "
+                     f"{failure['reason']}{attempts}")
+    if health.skipped_lines:
+        lines.append(f"  (skipped {health.skipped_lines} torn event "
+                     "line(s))")
+    journal = directory / "journal.jsonl"
+    if journal.is_file():
+        from ..runtime import CheckpointJournal
+
+        entries = CheckpointJournal(directory).index()
+        lines.append(f"  journal: {len(entries)} cell(s) on disk")
+    return "\n".join(lines)

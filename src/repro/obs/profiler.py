@@ -1,0 +1,148 @@
+"""Per-phase control-loop profiler: where does a control period go?
+
+ControlPULP budgets its firmware loop per phase — sensing, control law,
+actuation — because a loop that misses its period is a correctness bug,
+not just a slow one.  The :class:`PhaseProfiler` gives this repro the
+same visibility: each control period's spans (``sample``, ``optimize``,
+``hw.step``, ``actuate.hw``, …) are folded into canonical phases
+(*sensing / controller / optimizer / actuation / plant_step /
+telemetry*) and observed into a labeled histogram in the metrics
+registry, whose export carries p50/p90/p99 summaries
+(:meth:`~repro.telemetry.registry.Histogram.quantile`).  The span stream
+itself is already Perfetto-loadable (``trace.json``), so the profiler
+adds aggregation, not a second trace.
+
+Overhead discipline mirrors the telemetry substrate: the tracer holds a
+``profiler`` attribute that is ``None`` unless profiling was requested
+(one attribute check on the disabled path), and an enabled profiler can
+*sample* — profile every ``sample_every``-th period in full, skip the
+rest — to stay inside the <5 % gate ``benchmarks/bench_obs.py``
+enforces.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PhaseProfiler", "PHASE_OF", "PHASE_BUCKETS", "phase_summary"]
+
+# Span name -> canonical control-loop phase.
+PHASE_OF = {
+    "sample": "sensing",
+    "optimize": "optimizer",
+    "hw.step": "controller",
+    "sw.step": "controller",
+    "actuate.hw": "actuation",
+    "actuate.sw": "actuation",
+    "sim": "plant_step",
+    "telemetry": "telemetry",
+}
+
+# Phase latencies sit in the 1 us .. 100 ms range — far below the
+# synthesis-sized DEFAULT_TIME_BUCKETS — so the profiler brings its own.
+PHASE_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,
+)
+
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+class PhaseProfiler:
+    """Aggregates span durations into per-phase latency histograms."""
+
+    __slots__ = ("hist", "sample_every", "sampled", "skipped", "_by_name")
+
+    def __init__(self, registry, sample_every=1):
+        self.hist = registry.histogram(
+            "control_phase_seconds",
+            "control-period phase latency (sensing/controller/optimizer/"
+            "actuation/plant_step/telemetry)",
+            labels=("phase",),
+            buckets=PHASE_BUCKETS,
+        )
+        self.sample_every = max(int(sample_every), 1)
+        self.sampled = 0  # spans observed
+        self.skipped = 0  # spans skipped by sampling
+        # Span name -> histogram child, resolved once per name: the
+        # labels() protocol (kwargs dict + label validation) is too
+        # expensive for a per-span hot path.
+        self._by_name = {}
+
+    def observe(self, name, dur_us, trace_id):
+        """Fold one finished span into its phase histogram (hot path)."""
+        if trace_id % self.sample_every:
+            self.skipped += 1
+            return
+        child = self._by_name.get(name)
+        if child is None:
+            child = self._by_name[name] = self.hist.labels(
+                phase=PHASE_OF.get(name, "other"))
+        child.observe(dur_us * 1e-6)
+        self.sampled += 1
+
+    # ------------------------------------------------------------------
+    def summary(self):
+        """``{phase: {count, mean_us, p50_us, p90_us, p99_us}}``."""
+        out = {}
+        for labels, child in self.hist.samples():
+            if not child.count:
+                continue
+            entry = {
+                "count": child.count,
+                "mean_us": child.sum / child.count * 1e6,
+            }
+            for q in QUANTILES:
+                entry[f"p{int(q * 100)}_us"] = child.quantile(q) * 1e6
+            out[labels["phase"]] = entry
+        return out
+
+    def render(self):
+        summary = self.summary()
+        if not summary:
+            return "  (no phases profiled)"
+        lines = [
+            f"  {'phase':12s} {'count':>8s} {'mean us':>9s} "
+            f"{'p50 us':>9s} {'p90 us':>9s} {'p99 us':>9s}"
+        ]
+        for phase in sorted(summary,
+                            key=lambda p: -summary[p]["mean_us"] * summary[p]["count"]):
+            entry = summary[phase]
+            lines.append(
+                f"  {phase:12s} {entry['count']:8d} {entry['mean_us']:9.1f} "
+                f"{entry['p50_us']:9.1f} {entry['p90_us']:9.1f} "
+                f"{entry['p99_us']:9.1f}"
+            )
+        if self.skipped:
+            rate = self.sampled / max(self.sampled + self.skipped, 1)
+            lines.append(f"  (sampling 1/{self.sample_every}: "
+                         f"{self.sampled} spans kept, {rate * 100:.0f}%)")
+        return "\n".join(lines)
+
+
+def phase_summary(metrics_dict):
+    """Extract the per-phase summary from a ``metrics.json`` snapshot.
+
+    Works offline — the ``repro report`` path — using the exported
+    quantiles (or recomputing them from the bucket counts when an older
+    snapshot lacks them).
+    """
+    family = metrics_dict.get("control_phase_seconds")
+    if not family:
+        return {}
+    from ..telemetry.registry import quantiles_from_buckets
+
+    out = {}
+    for value in family.get("values", ()):
+        count = value.get("count", 0)
+        if not count:
+            continue
+        phase = value.get("labels", {}).get("phase", "?")
+        quantiles = value.get("quantiles") or quantiles_from_buckets(
+            value.get("buckets", ()), count)
+        entry = {
+            "count": count,
+            "mean_us": value.get("sum", 0.0) / count * 1e6,
+        }
+        for key, seconds in quantiles.items():
+            entry[f"{key}_us"] = seconds * 1e6
+        out[phase] = entry
+    return out

@@ -1,0 +1,371 @@
+"""Control-quality analytics: turn recorded traces into structured KPIs.
+
+Yukta's claim is not just "lower ExD" but "well-behaved under
+disturbances": the controllers must settle quickly after setpoint and cap
+steps, respect the power cap and thermal envelope, and do it without
+thrashing the actuators.  This module consumes the per-step board history
+(:class:`~repro.board.board.BoardTrace` arrays — identical whether the
+run used the scalar loop, the vectorized fast path, or a
+:class:`~repro.board.bank.BoardBank` lane, which is exactly the property
+the differential oracles enforce) and emits a :class:`QualityReport` of
+control-theoretic verdicts per cell:
+
+* **step response** — settling time and overshoot of the initial
+  transient (and of any caller-declared step events), the metrics Cerf et
+  al. use to evaluate controllers;
+* **cap compliance** — power-cap violation count / total duration / peak
+  magnitude / W·s integral, and thermal-envelope exposure in °C·s;
+* **actuation churn** — DVFS and hotplug transitions per second (actuator
+  wear and the oscillation pathology of Fig. 10);
+* **supervisor residency** — seconds per NOMINAL/DEGRADED/RECOVERING
+  state when a supervised run's history is supplied;
+* **E×D timeline** — the running Energy×Delay product, sampled so a
+  report can show *when* efficiency was won or lost.
+
+Everything is plain ``float``/``int``/``dict`` so a report serializes to
+JSON verbatim (:meth:`QualityReport.to_json`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "StepResponse",
+    "Exposure",
+    "QualityReport",
+    "step_response",
+    "exposure",
+    "transition_count",
+    "analyze_trace",
+    "analyze_run",
+    "analyze_matrix",
+]
+
+
+@dataclass
+class StepResponse:
+    """Settling/overshoot verdict for one signal after one step."""
+
+    signal: str
+    step_time: float  # s, when the step (or run start) happened
+    initial: float  # value at the step
+    final: float  # steady-state value (mean of the final window)
+    settling_time: float  # s from step until the signal stays in band
+    overshoot_pct: float  # peak excursion beyond final, % of step size
+    settled: bool  # the signal entered the band and stayed there
+    band_pct: float = 5.0
+
+
+@dataclass
+class Exposure:
+    """Time spent above a limit, and how far above."""
+
+    limit: float
+    violations: int  # rising edges above the limit
+    time_above: float  # s
+    peak: float  # worst value observed (whether or not above the limit)
+    integral: float  # area above the limit (unit·s)
+
+
+def step_response(times, series, step_time=0.0, band=0.05,
+                  final_window=0.25, signal="signal"):
+    """Settling time and overshoot of ``series`` after a step.
+
+    The steady-state value is the mean of the trailing ``final_window``
+    fraction of the samples; the settling band is ``band`` (default 5 %)
+    of the step size (initial→final), with an absolute floor so flat
+    signals count as instantly settled.  Settling time is measured from
+    ``step_time`` to the *last* sample outside the band.
+    """
+    times = np.asarray(times, dtype=float)
+    series = np.asarray(series, dtype=float)
+    if times.size == 0 or series.size != times.size:
+        return StepResponse(signal=signal, step_time=float(step_time),
+                            initial=0.0, final=0.0, settling_time=0.0,
+                            overshoot_pct=0.0, settled=True,
+                            band_pct=band * 100.0)
+    after = times >= step_time
+    if not after.any():
+        after = np.ones_like(times, dtype=bool)
+    t = times[after]
+    y = series[after]
+    tail = max(int(round(y.size * final_window)), 1)
+    final = float(y[-tail:].mean())
+    initial = float(y[0])
+    step_size = final - initial
+    scale = max(abs(step_size), 0.05 * max(abs(final), 1e-12), 1e-12)
+    tol = band * scale
+    outside = np.abs(y - final) > tol
+    if not outside.any():
+        settling = 0.0
+        settled = True
+    else:
+        last_out = int(np.flatnonzero(outside)[-1])
+        settled = last_out + 1 < y.size
+        settling = float(t[min(last_out + 1, y.size - 1)] - t[0])
+    if step_size >= 0:
+        peak = float(y.max()) - final
+    else:
+        peak = final - float(y.min())
+    overshoot = max(peak, 0.0) / scale * 100.0
+    return StepResponse(
+        signal=signal,
+        step_time=float(t[0]),
+        initial=initial,
+        final=final,
+        settling_time=settling,
+        overshoot_pct=float(overshoot),
+        settled=bool(settled),
+        band_pct=band * 100.0,
+    )
+
+
+def exposure(series, limit, dt):
+    """Violation statistics of ``series`` against an upper ``limit``."""
+    series = np.asarray(series, dtype=float)
+    if series.size == 0:
+        return Exposure(limit=float(limit), violations=0, time_above=0.0,
+                        peak=0.0, integral=0.0)
+    above = series > limit
+    edges = int(np.sum(np.diff(above.astype(np.int8)) == 1))
+    if above.size and above[0]:
+        edges += 1
+    time_above = float(np.sum(above) * dt)
+    over = series[above] - limit
+    return Exposure(
+        limit=float(limit),
+        violations=edges,
+        time_above=time_above,
+        peak=float(series.max()),
+        integral=float(over.sum() * dt) if above.any() else 0.0,
+    )
+
+
+def transition_count(series):
+    """How many times a knob series changed value step-to-step."""
+    series = np.asarray(series, dtype=float)
+    if series.size < 2:
+        return 0
+    return int(np.sum(np.diff(series) != 0))
+
+
+def _residency(state_history, control_period):
+    """Seconds per supervisor state from a ``(time, state)`` history."""
+    residency = {}
+    for _, state in state_history:
+        residency[state] = residency.get(state, 0.0) + control_period
+    return residency
+
+
+def _exd_timeline(times, power_total, dt, points=32):
+    """Sampled running Energy×Delay: ``[(t, E(t)·t), ...]``."""
+    if times.size == 0:
+        return []
+    energy = np.cumsum(power_total) * dt
+    idx = np.unique(np.linspace(0, times.size - 1, min(points, times.size))
+                    .astype(int))
+    return [(float(times[i]), float(energy[i] * times[i])) for i in idx]
+
+
+@dataclass
+class QualityReport:
+    """Structured control-quality KPIs for one run (JSON-serializable)."""
+
+    scheme: str
+    workload: str
+    duration: float  # simulated seconds
+    samples: int  # trace samples analyzed
+    energy: float  # J
+    exd: float  # J·s
+    completed: bool
+    power_cap: Exposure = None  # big-cluster power vs power_limit_big
+    thermal: Exposure = None  # die temperature vs temp_limit
+    dvfs_transitions: int = 0
+    hotplug_transitions: int = 0
+    dvfs_per_sec: float = 0.0
+    hotplug_per_sec: float = 0.0
+    emergency_time: float = 0.0  # s with the TMU firmware throttling
+    responses: list = field(default_factory=list)  # StepResponse entries
+    residency: dict = field(default_factory=dict)  # state -> seconds
+    exd_timeline: list = field(default_factory=list)  # (t, E·D) samples
+    notes: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return asdict(self)
+
+    def to_json(self, **kwargs):
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def response(self, signal):
+        for resp in self.responses:
+            if resp.signal == signal:
+                return resp
+        raise KeyError(signal)
+
+    def render(self):
+        lines = [
+            f"quality: {self.scheme} / {self.workload}  "
+            f"t={self.duration:.1f}s  E={self.energy:.1f}J  "
+            f"ExD={self.exd:.0f}"
+            + ("" if self.completed else "  [TIMEOUT]"),
+        ]
+        if self.power_cap is not None:
+            lines.append(
+                f"  power cap {self.power_cap.limit:.2f}W: "
+                f"{self.power_cap.violations} violation(s), "
+                f"{self.power_cap.time_above:.2f}s above, "
+                f"peak {self.power_cap.peak:.2f}W, "
+                f"{self.power_cap.integral:.2f} W·s"
+            )
+        if self.thermal is not None:
+            lines.append(
+                f"  thermal {self.thermal.limit:.0f}°C: "
+                f"{self.thermal.violations} violation(s), "
+                f"{self.thermal.time_above:.2f}s above, "
+                f"peak {self.thermal.peak:.1f}°C, "
+                f"{self.thermal.integral:.2f} °C·s"
+            )
+        lines.append(
+            f"  churn: {self.dvfs_per_sec:.2f} DVFS/s "
+            f"({self.dvfs_transitions}), "
+            f"{self.hotplug_per_sec:.2f} hotplug/s "
+            f"({self.hotplug_transitions}), "
+            f"emergency {self.emergency_time:.2f}s"
+        )
+        for resp in self.responses:
+            verdict = "settled" if resp.settled else "NOT settled"
+            lines.append(
+                f"  {resp.signal}: {verdict} in {resp.settling_time:.1f}s, "
+                f"overshoot {resp.overshoot_pct:.1f}% "
+                f"(→ {resp.final:.2f})"
+            )
+        if self.residency:
+            parts = ", ".join(f"{state}={seconds:.1f}s"
+                              for state, seconds in sorted(self.residency.items()))
+            lines.append(f"  supervisor residency: {parts}")
+        return "\n".join(lines)
+
+
+# Trace signals analyzed for step response by default.
+RESPONSE_SIGNALS = ("power_big", "temperature", "bips_total")
+
+
+def analyze_trace(trace, spec, scheme="?", workload="?", completed=True,
+                  supervisor=None, steps=None, energy=None):
+    """Build a :class:`QualityReport` from board-trace arrays.
+
+    ``trace`` is the dict :meth:`BoardTrace.as_arrays` returns (lists are
+    accepted too).  ``supervisor`` optionally supplies a
+    :class:`~repro.core.supervisor.Supervisor` (or its ``state_history``)
+    for residency accounting.  ``steps`` optionally declares extra step
+    events to analyze as ``(signal_name, step_time)`` pairs — cap steps,
+    setpoint moves — in addition to the initial transient.
+    """
+    trace = {k: np.asarray(v, dtype=float) for k, v in trace.items()}
+    times = trace.get("times", np.empty(0))
+    n = int(times.size)
+    if n >= 2:
+        dt = float(np.median(np.diff(times)))
+    else:
+        dt = float(getattr(spec, "sim_dt", 0.0) or 0.0)
+    duration = float(times[-1] - times[0] + dt) if n else 0.0
+
+    power_big = trace.get("power_big", np.empty(0))
+    power_little = trace.get("power_little", np.empty(0))
+    temperature = trace.get("temperature", np.empty(0))
+
+    if energy is None and power_big.size and power_little.size:
+        static = getattr(spec, "board_static_power", 0.0)
+        energy = float((power_big + power_little + static).sum() * dt)
+    energy = float(energy or 0.0)
+
+    dvfs = (transition_count(trace.get("freq_big", ()))
+            + transition_count(trace.get("freq_little", ())))
+    hotplug = (transition_count(trace.get("cores_big", ()))
+               + transition_count(trace.get("cores_little", ())))
+    emergency = trace.get("emergency", np.empty(0))
+    emergency_time = float(np.sum(emergency > 0) * dt) if emergency.size else 0.0
+
+    responses = []
+    for name in RESPONSE_SIGNALS:
+        series = trace.get(name)
+        if series is not None and series.size:
+            responses.append(step_response(times, series, signal=name))
+    for name, step_time in (steps or ()):
+        series = trace.get(name)
+        if series is not None and series.size:
+            responses.append(step_response(
+                times, series, step_time=step_time,
+                signal=f"{name}@{step_time:g}s"))
+
+    history = getattr(supervisor, "state_history", supervisor) or ()
+    residency = _residency(history, getattr(spec, "control_period", 0.0))
+
+    power_total = None
+    if power_big.size and power_little.size:
+        power_total = (power_big + power_little
+                       + getattr(spec, "board_static_power", 0.0))
+
+    return QualityReport(
+        scheme=scheme,
+        workload=workload,
+        duration=duration,
+        samples=n,
+        energy=energy,
+        exd=energy * duration,
+        completed=bool(completed),
+        power_cap=exposure(power_big, spec.power_limit_big, dt),
+        thermal=exposure(temperature, spec.temp_limit, dt),
+        dvfs_transitions=dvfs,
+        hotplug_transitions=hotplug,
+        dvfs_per_sec=dvfs / duration if duration else 0.0,
+        hotplug_per_sec=hotplug / duration if duration else 0.0,
+        emergency_time=emergency_time,
+        responses=responses,
+        residency=residency,
+        exd_timeline=(_exd_timeline(times, power_total, dt)
+                      if power_total is not None else []),
+    )
+
+
+def analyze_run(metrics, spec, supervisor=None, steps=None):
+    """A :class:`QualityReport` for one recorded
+    :class:`~repro.experiments.metrics.RunMetrics` (needs ``record=True``).
+    """
+    if not metrics.trace:
+        raise ValueError(
+            f"run {metrics.scheme}/{metrics.workload} carries no trace; "
+            "re-run with record=True"
+        )
+    report = analyze_trace(
+        metrics.trace, spec, scheme=metrics.scheme, workload=metrics.workload,
+        completed=metrics.completed, supervisor=supervisor, steps=steps,
+    )
+    # The runner's energy integral is the ground truth (it includes every
+    # step, not just the recorded ones).
+    report.energy = float(metrics.energy)
+    report.duration = float(metrics.execution_time)
+    report.exd = float(metrics.energy * metrics.execution_time)
+    report.notes = dict(metrics.notes)
+    return report
+
+
+def analyze_matrix(results, spec):
+    """Quality reports for a ``{workload: {scheme: RunMetrics}}`` matrix.
+
+    Cells without a trace (``record=False`` runs) and
+    :class:`~repro.runtime.CellFailure` entries are skipped.
+    """
+    reports = {}
+    for workload, per_scheme in results.items():
+        row = {}
+        for scheme, metrics in per_scheme.items():
+            if getattr(metrics, "trace", None):
+                row[scheme] = analyze_run(metrics, spec)
+        if row:
+            reports[workload] = row
+    return reports

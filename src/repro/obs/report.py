@@ -1,0 +1,309 @@
+"""``repro report``: one markdown/HTML verdict for a campaign directory.
+
+Combines everything the other observability layers recorded about a
+campaign — finished or in-flight — into a single human-readable
+artifact:
+
+* **health** — progress/ETA/retry/failure from ``events.jsonl``
+  (:mod:`repro.obs.health`);
+* **quality** — per-cell control-quality KPIs
+  (:mod:`repro.obs.quality`) recovered from the checkpoint journal's
+  cell payloads: full :class:`QualityReport` tables for cells that
+  carried a board trace, summary rows otherwise;
+* **profile** — the per-phase control-loop latency summary
+  (:mod:`repro.obs.profiler`) from the recorded ``metrics.json``;
+* **telemetry** — headline counters (periods, supervisor trips, cap
+  rejections, flight dumps) from the same snapshot.
+
+Sections degrade independently: a directory holding only telemetry still
+yields a profile+metrics report, a bare checkpoint dir still yields
+health+quality.  The markdown renders standalone; :func:`to_html` wraps
+it in a minimal self-contained page for sharing.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+
+from .events import EVENTS_FILENAME
+from .health import load_health, render_status
+from .profiler import phase_summary
+from .quality import analyze_run
+
+__all__ = ["build_report", "to_html", "quality_rows"]
+
+
+def _md_table(headers, rows):
+    lines = ["| " + " | ".join(headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return lines
+
+
+def quality_rows(directory, spec=None):
+    """Quality-KPI rows recovered from a checkpoint journal.
+
+    Returns ``(headers, rows, reports)`` where ``reports`` maps cell
+    labels to full :class:`~repro.obs.quality.QualityReport` objects for
+    the cells whose payloads carried a board trace.  Dict-shaped cells
+    (the resilience sweep) contribute summary rows from their scalar
+    KPIs.
+    """
+    from ..runtime import CellFailure, CheckpointJournal
+
+    journal = CheckpointJournal(directory)
+    entries = journal.index()
+    if not entries:
+        return None, [], {}
+    if spec is None:
+        from ..board import default_xu3_spec
+
+        spec = default_xu3_spec()
+    headers = ["cell", "ExD (J·s)", "done", "cap viol (s)", ">limit °C (s)",
+               "DVFS/s", "settle (s)"]
+    rows = []
+    reports = {}
+
+    def _add(label, value, lane=None):
+        name = label if lane is None else f"{label}[{lane}]"
+        if isinstance(value, CellFailure):
+            rows.append([name, "-", f"FAILED ({value.reason})",
+                         "-", "-", "-", "-"])
+            return
+        if hasattr(value, "execution_time"):  # RunMetrics-shaped
+            if getattr(value, "trace", None):
+                report = analyze_run(value, spec)
+                reports[name] = report
+                settle = next(
+                    (r.settling_time for r in report.responses
+                     if r.signal == "power_big"), None)
+                rows.append([
+                    name, f"{report.exd:.0f}",
+                    "yes" if report.completed else "no",
+                    f"{report.power_cap.time_above:.2f}",
+                    f"{report.thermal.time_above:.2f}",
+                    f"{report.dvfs_per_sec:.2f}",
+                    f"{settle:.1f}" if settle is not None else "-",
+                ])
+            else:
+                rows.append([
+                    name, f"{value.energy * value.execution_time:.0f}",
+                    "yes" if value.completed else "no", "-", "-", "-", "-",
+                ])
+            return
+        if isinstance(value, dict) and "exd" in value:  # resilience cell
+            rows.append([
+                name, f"{value['exd']:.0f}",
+                "yes" if value.get("completed") else "no",
+                f"{value.get('power_violation_time', 0.0):.2f}",
+                f"{value.get('temp_violation_time', 0.0):.2f}",
+                "-", "-",
+            ])
+            return
+        rows.append([name, "-", "?", "-", "-", "-", "-"])
+
+    for key, entry in sorted(entries.items(),
+                             key=lambda kv: kv[1].get("meta", {})
+                             .get("label", kv[0])):
+        value = journal.get(key, entry.get("sha256"))
+        from ..cache import MISS
+
+        label = entry.get("meta", {}).get("label", key[:12])
+        if value is MISS:
+            rows.append([label, "-", "corrupt payload", "-", "-", "-", "-"])
+            continue
+        if isinstance(value, list):
+            for lane, item in enumerate(value):
+                _add(label, item, lane=lane)
+        else:
+            _add(label, value)
+    return headers, rows, reports
+
+
+def _metrics_snapshot(directory):
+    path = Path(directory) / "metrics.json"
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+HEADLINE_COUNTERS = (
+    "control_periods_total",
+    "supervisor_trips_total",
+    "actuations_rejected_total",
+    "fault_events_total",
+    "flight_dumps_total",
+    "cell_retries_total",
+    "cell_failures_total",
+    "cell_timeouts_total",
+    "worker_restarts_total",
+)
+
+
+def _counter_rows(metrics):
+    rows = []
+    for name in HEADLINE_COUNTERS:
+        family = metrics.get(name)
+        if not family:
+            continue
+        for value in family.get("values", ()):
+            labels = value.get("labels", {})
+            suffix = ("{" + ",".join(f"{k}={v}"
+                                     for k, v in sorted(labels.items())) + "}"
+                      if labels else "")
+            amount = value.get("value", 0)
+            if amount:
+                rows.append([f"{name}{suffix}", f"{amount:g}"])
+    return rows
+
+
+def build_report(directory, spec=None, title=None):
+    """Render the combined campaign report (markdown) for one directory."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"not a campaign directory: {directory}")
+    lines = [f"# Campaign report: {title or directory.name}", ""]
+    found = False
+
+    # --- health -------------------------------------------------------
+    if (directory / EVENTS_FILENAME).is_file():
+        found = True
+        health = load_health(directory)
+        state = "finished" if health.finished else "in-flight"
+        lines += ["## Health", ""]
+        lines += _md_table(
+            ["state", "progress", "fresh", "resumed", "failed", "retries",
+             "timeouts", "runs"],
+            [[state,
+              f"{health.done}/{health.total or '?'}",
+              health.completed, health.resumed, health.failed,
+              health.retries, health.timeouts, health.runs]])
+        if health.failures:
+            lines += ["", "Failures:", ""]
+            for failure in health.failures:
+                lines.append(f"- `{failure['label']}` — {failure['reason']}"
+                             + (f" after {failure['attempts']} attempt(s)"
+                                if failure.get("attempts") else ""))
+        lines.append("")
+
+    # --- quality ------------------------------------------------------
+    headers, rows, reports = (None, [], {})
+    if (directory / "journal.jsonl").is_file():
+        headers, rows, reports = quality_rows(directory, spec=spec)
+    if rows:
+        found = True
+        lines += ["## Control quality", ""]
+        lines += _md_table(headers, rows)
+        lines.append("")
+        for name, report in reports.items():
+            lines += [f"### {name}", "", "```", report.render(), "```", ""]
+
+    # --- profile ------------------------------------------------------
+    metrics = _metrics_snapshot(directory)
+    if metrics:
+        found = True
+        phases = phase_summary(metrics)
+        if phases:
+            lines += ["## Control-loop phase profile", ""]
+            lines += _md_table(
+                ["phase", "count", "mean µs", "p50 µs", "p90 µs", "p99 µs"],
+                [[phase, entry["count"], f"{entry['mean_us']:.1f}",
+                  f"{entry.get('p50_us', 0):.1f}",
+                  f"{entry.get('p90_us', 0):.1f}",
+                  f"{entry.get('p99_us', 0):.1f}"]
+                 for phase, entry in sorted(phases.items())])
+            lines.append("")
+        counter_rows = _counter_rows(metrics)
+        if counter_rows:
+            lines += ["## Telemetry headlines", ""]
+            lines += _md_table(["metric", "value"], counter_rows)
+            lines.append("")
+
+    if not found:
+        raise FileNotFoundError(
+            f"no campaign artifacts (events.jsonl / journal.jsonl / "
+            f"metrics.json) in {directory}")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def to_html(markdown, title="repro campaign report"):
+    """A minimal, dependency-free HTML wrapping of the markdown report.
+
+    Handles exactly the constructs :func:`build_report` emits — ATX
+    headers, pipe tables, fenced code blocks, bullet lists, paragraphs —
+    which keeps this a renderer for our own reports, not a markdown
+    engine.
+    """
+    out = ["<!DOCTYPE html>", "<html><head>",
+           f"<title>{_html.escape(title)}</title>",
+           "<meta charset='utf-8'>",
+           "<style>body{font-family:sans-serif;max-width:72em;margin:2em "
+           "auto;padding:0 1em}table{border-collapse:collapse}td,th{border:"
+           "1px solid #999;padding:.25em .6em;text-align:right}th{background:"
+           "#eee}td:first-child,th:first-child{text-align:left}pre{background:"
+           "#f6f6f6;padding:.8em;overflow-x:auto}</style>",
+           "</head><body>"]
+    in_code = False
+    in_table = False
+    in_list = False
+
+    def _close_blocks():
+        nonlocal in_table, in_list
+        if in_table:
+            out.append("</table>")
+            in_table = False
+        if in_list:
+            out.append("</ul>")
+            in_list = False
+
+    for raw in markdown.splitlines():
+        line = raw.rstrip()
+        if line.startswith("```"):
+            _close_blocks()
+            out.append("</pre>" if in_code else "<pre>")
+            in_code = not in_code
+            continue
+        if in_code:
+            out.append(_html.escape(line))
+            continue
+        if line.startswith("|"):
+            cells = [c.strip() for c in line.strip("|").split("|")]
+            if all(set(c) <= {"-"} and c for c in cells):
+                continue  # separator row
+            if not in_table:
+                _close_blocks()
+                out.append("<table>")
+                in_table = True
+                tag = "th"
+            else:
+                tag = "td"
+            out.append("<tr>" + "".join(
+                f"<{tag}>{_html.escape(c)}</{tag}>" for c in cells) + "</tr>")
+            continue
+        if line.startswith("#"):
+            _close_blocks()
+            level = len(line) - len(line.lstrip("#"))
+            text = _html.escape(line[level:].strip())
+            out.append(f"<h{min(level, 6)}>{text}</h{min(level, 6)}>")
+            continue
+        if line.startswith("- "):
+            if not in_list:
+                _close_blocks()
+                out.append("<ul>")
+                in_list = True
+            out.append(f"<li>{_html.escape(line[2:])}</li>")
+            continue
+        _close_blocks()
+        if line:
+            out.append(f"<p>{_html.escape(line)}</p>")
+    _close_blocks()
+    if in_code:
+        out.append("</pre>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"

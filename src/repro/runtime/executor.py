@@ -161,7 +161,7 @@ def _worker_main(worker_id, conn, context_blob, telemetry_dir, chaos_blob):
 
 
 def _serial_supervised(tasks, context, progress, retry, chaos, on_error,
-                       labels, keys, on_result):
+                       labels, keys, on_result, events=None):
     """In-process path: same retry/salvage semantics, no process to kill."""
     from ..experiments import engine as _engine
     from ..telemetry import active_session
@@ -173,6 +173,9 @@ def _serial_supervised(tasks, context, progress, retry, chaos, on_error,
         for index, task in enumerate(tasks):
             attempt = 0
             started = time.monotonic()
+            if events is not None:
+                events.emit("cell.started", index=index,
+                            label=labels[index] if labels else f"task-{index}")
             while True:
                 try:
                     if chaos is not None:
@@ -184,6 +187,9 @@ def _serial_supervised(tasks, context, progress, retry, chaos, on_error,
                         if session is not None:
                             session.cell_retries.labels(
                                 reason="exception").inc()
+                        if events is not None:
+                            events.emit("cell.retried", index=index,
+                                        reason="exception", attempt=attempt)
                         time.sleep(retry.delay(index, attempt))
                         attempt += 1
                         continue
@@ -215,7 +221,7 @@ def _serial_supervised(tasks, context, progress, retry, chaos, on_error,
 def supervised_map(tasks, context, jobs=None, telemetry_dir=None,
                    progress=None, prime=None, cell_timeout=None,
                    retry=None, chaos=None, on_error="collect",
-                   labels=None, keys=None, on_result=None):
+                   labels=None, keys=None, on_result=None, events=None):
     """Run engine tasks under worker supervision; ordered result list.
 
     Drop-in sibling of :func:`repro.experiments.engine.parallel_map` with
@@ -229,6 +235,9 @@ def supervised_map(tasks, context, jobs=None, telemetry_dir=None,
 
     ``labels``/``keys`` annotate failures; ``on_result(index, value)``
     fires on each *successful* fresh result (the checkpoint hook).
+    ``events`` (a :class:`~repro.obs.events.CampaignEvents`) receives
+    ``cell.started`` / ``cell.retried`` / ``cell.timeout`` records as the
+    supervisor makes those decisions.
     """
     import multiprocessing as mp
 
@@ -242,7 +251,8 @@ def supervised_map(tasks, context, jobs=None, telemetry_dir=None,
     n = len(tasks)
     if jobs <= 1 or n <= 1:
         return _serial_supervised(tasks, context, progress, retry, chaos,
-                                  on_error, labels, keys, on_result)
+                                  on_error, labels, keys, on_result,
+                                  events=events)
 
     prime_designs(context, prime)
     blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
@@ -323,6 +333,9 @@ def supervised_map(tasks, context, jobs=None, telemetry_dir=None,
         if attempt < retry.max_retries:
             if session is not None:
                 session.cell_retries.labels(reason=reason).inc()
+            if events is not None:
+                events.emit("cell.retried", index=index, reason=reason,
+                            attempt=attempt)
             delay = retry.delay(index, attempt)
             heapq.heappush(ready,
                            (time.monotonic() + delay, index, attempt + 1))
@@ -376,6 +389,9 @@ def supervised_map(tasks, context, jobs=None, telemetry_dir=None,
                     continue
                 busy[wid] = (index, attempt,
                              now + cell_timeout if cell_timeout else None)
+                if events is not None and index not in started_at:
+                    events.emit("cell.started", index=index,
+                                label=_label(index))
                 started_at.setdefault(index, now)
 
             # How long may we block?  Until the nearest deadline, or until
@@ -425,6 +441,9 @@ def supervised_map(tasks, context, jobs=None, telemetry_dir=None,
                     busy.pop(wid)
                     if session is not None:
                         session.cell_timeouts.inc()
+                    if events is not None:
+                        events.emit("cell.timeout", index=index,
+                                    attempt=attempt)
                     _retire(wid, "timeout")
                     _attempt_failed(
                         index, attempt, "timeout",

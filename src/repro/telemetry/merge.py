@@ -67,6 +67,17 @@ def merge_metrics_dicts(dicts):
                 family.get("type", "counter"), seen["values"],
                 family["values"],
             )
+    # Quantile summaries cannot be merged sample-wise; re-estimate them
+    # from the merged cumulative buckets.
+    from .registry import quantiles_from_buckets
+
+    for family in merged.values():
+        if family.get("type") != "histogram":
+            continue
+        for value in family["values"]:
+            if "quantiles" in value:
+                value["quantiles"] = quantiles_from_buckets(
+                    value.get("buckets", ()), value.get("count", 0))
     return dict(sorted(merged.items()))
 
 
@@ -86,6 +97,8 @@ def _render_prometheus(merged):
                     lines.append(f"{name}_bucket{bl} {bucket['cumulative']}")
                 lines.append(f"{name}_sum{label_str} {value['sum']}")
                 lines.append(f"{name}_count{label_str} {value['count']}")
+                for key, quantile in value.get("quantiles", {}).items():
+                    lines.append(f"{name}_{key}{label_str} {quantile}")
             else:
                 lines.append(f"{name}{label_str} {value['value']}")
     return "\n".join(lines) + "\n"

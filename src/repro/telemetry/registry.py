@@ -25,7 +25,14 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
+    "EXPORT_QUANTILES",
+    "quantiles_from_buckets",
 ]
+
+# Quantile summaries attached to every exported histogram, as
+# ``<name>_p50``/``_p90``/``_p99`` samples (Prometheus) and a
+# ``"quantiles"`` dict (JSON).
+EXPORT_QUANTILES = (0.5, 0.9, 0.99)
 
 # Latency buckets (seconds) sized for a software control loop: 100 us
 # resolution at the bottom, multi-second synthesis phases at the top.
@@ -97,6 +104,34 @@ class Histogram:
             total += n
             out.append((bound, total))
         return out
+
+    def quantile(self, q):
+        """Estimated ``q``-quantile by bucket interpolation.
+
+        Prometheus ``histogram_quantile`` semantics: linear interpolation
+        inside the bucket the rank falls into, the lowest bucket
+        interpolates from 0, and a rank in the +Inf bucket returns the
+        highest finite bound (the estimate cannot exceed what the buckets
+        resolve — heavy tails saturate there).  Empty histograms return
+        0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        prev_bound, prev_cum = 0.0, 0
+        for bound, cum in self.cumulative():
+            if cum >= rank:
+                if bound == float("inf"):
+                    return self.buckets[-1]
+                width = cum - prev_cum
+                if width == 0:
+                    return bound
+                frac = (rank - prev_cum) / width
+                return prev_bound + (bound - prev_bound) * frac
+            prev_bound, prev_cum = bound, cum
+        return self.buckets[-1]
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -223,6 +258,11 @@ class MetricsRegistry:
                         lines.append(f"{family.name}_bucket{bl} {cum}")
                     lines.append(f"{family.name}_sum{base} {_fmt(child.sum)}")
                     lines.append(f"{family.name}_count{base} {child.count}")
+                    for q in EXPORT_QUANTILES:
+                        lines.append(
+                            f"{family.name}_p{int(q * 100)}{base} "
+                            f"{_fmt(child.quantile(q))}"
+                        )
                 else:
                     lines.append(f"{family.name}{base} {_fmt(child.value)}")
         return "\n".join(lines) + "\n"
@@ -243,6 +283,10 @@ class MetricsRegistry:
                             for b, c in child.cumulative()
                             if b != float("inf")
                         ],
+                        "quantiles": {
+                            f"p{int(q * 100)}": child.quantile(q)
+                            for q in EXPORT_QUANTILES
+                        },
                     })
                 else:
                     values.append({"labels": labels, "value": child.value})
@@ -252,6 +296,36 @@ class MetricsRegistry:
                 "values": values,
             }
         return out
+
+
+def quantiles_from_buckets(buckets, count, quantiles=EXPORT_QUANTILES):
+    """Quantile estimates from exported bucket dicts (offline path).
+
+    ``buckets`` is the JSON form — ``[{"le": bound, "cumulative": n},
+    ...]`` with finite bounds only — and ``count`` the total sample
+    count; same interpolation as :meth:`Histogram.quantile`.  Used to
+    (re)compute summaries for merged or historical ``metrics.json``
+    snapshots.
+    """
+    pairs = sorted((float(b["le"]), int(b["cumulative"])) for b in buckets)
+    out = {}
+    for q in quantiles:
+        key = f"p{int(q * 100)}"
+        if count == 0 or not pairs:
+            out[key] = 0.0
+            continue
+        rank = q * count
+        prev_bound, prev_cum = 0.0, 0
+        value = pairs[-1][0]  # +Inf-bucket ranks saturate at the top bound
+        for bound, cum in pairs:
+            if cum >= rank:
+                width = cum - prev_cum
+                frac = (rank - prev_cum) / width if width else 1.0
+                value = prev_bound + (bound - prev_bound) * frac
+                break
+            prev_bound, prev_cum = bound, cum
+        out[key] = value
+    return out
 
 
 def _validate_name(name):

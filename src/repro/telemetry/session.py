@@ -61,7 +61,8 @@ def active_session():
 class TelemetrySession:
     """Everything one instrumented run emits, plus its exporters."""
 
-    def __init__(self, out_dir=None, flight_capacity=64, span_keep=8192):
+    def __init__(self, out_dir=None, flight_capacity=64, span_keep=8192,
+                 profile=False, profile_sample=1):
         self.out_dir = None
         jsonl = chrome = None
         if out_dir is not None:
@@ -75,6 +76,16 @@ class TelemetrySession:
         self.flight = FlightRecorder(capacity=flight_capacity,
                                      out_dir=self.out_dir)
         self.closed = False
+        # Optional per-phase control-loop profiler (``--profile``):
+        # aggregates span durations into the control_phase_seconds
+        # histogram; ``profile_sample=N`` keeps one period in N.
+        self.profiler = None
+        if profile:
+            from ..obs.profiler import PhaseProfiler
+
+            self.profiler = PhaseProfiler(self.registry,
+                                          sample_every=profile_sample)
+            self.tracer.profiler = self.profiler
         reg = self.registry
         # --- the shared metric families (one handle each, created once) ---
         self.periods = reg.counter(

@@ -11,33 +11,70 @@ context, so it is fast enough to point at any finished run.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 __all__ = ["summarize_dir", "load_spans", "load_flight_dumps"]
 
 
 def load_spans(directory):
-    """Parse ``spans.jsonl``; returns a list of record dicts."""
+    """Parse ``spans.jsonl``; returns a list of record dicts.
+
+    A session killed mid-write (SIGKILL, full disk, chaos harness) leaves
+    a torn final line; corrupt lines are skipped with a counted warning so
+    the surviving records stay readable.
+    """
     path = Path(directory) / "spans.jsonl"
     if not path.exists():
         return []
     records = []
+    skipped = 0
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+    if skipped:
+        warnings.warn(
+            f"skipped {skipped} torn/corrupt line(s) in {path}",
+            RuntimeWarning, stacklevel=2)
     return records
 
 
 def load_flight_dumps(directory):
-    """Load every ``flight-*.json`` payload, in sequence order."""
+    """Load every ``flight-*.json`` payload, in sequence order.
+
+    A dump torn mid-write is skipped with a counted warning — the
+    recorder dumps exactly because something is going wrong, so partial
+    artifacts are expected, not exceptional.
+    """
     dumps = []
+    skipped = 0
     for path in sorted(Path(directory).glob("flight-*.json")):
-        with open(path) as handle:
-            payload = json.load(handle)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (ValueError, OSError):
+            skipped += 1
+            continue
+        if not isinstance(payload, dict) or "sequence" not in payload:
+            skipped += 1
+            continue
         payload["_path"] = path.name
         dumps.append(payload)
+    if skipped:
+        warnings.warn(
+            f"skipped {skipped} torn/corrupt flight dump(s) in {directory}",
+            RuntimeWarning, stacklevel=2)
     return dumps
 
 
@@ -131,6 +168,10 @@ def summarize_dir(directory):
         raise FileNotFoundError(f"not a telemetry directory: {directory}")
     spans = load_spans(directory)
     dumps = load_flight_dumps(directory)
+    if not spans and not dumps and not (directory / "metrics.json").exists():
+        raise FileNotFoundError(
+            f"no telemetry artifacts (spans.jsonl / metrics.json / "
+            f"flight-*.json) in {directory}")
     n_periods = max((r.get("trace_id", 0) for r in spans), default=0)
     n_spans = sum(1 for r in spans if r.get("phase") == "span")
     n_instants = len(spans) - n_spans

@@ -116,6 +116,9 @@ class Tracer:
         self.spans = deque(maxlen=keep)  # recent records, in-memory
         self.span_count = 0
         self.closed = False
+        # Optional per-phase profiler (repro.obs.profiler.PhaseProfiler);
+        # None keeps the finish path at one attribute check.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     def begin_period(self, board_time=None):
@@ -160,6 +163,8 @@ class Tracer:
         if span.attrs:
             record.update(span.attrs)
         self._emit(record)
+        if self.profiler is not None:
+            self.profiler.observe(span.name, record["dur_us"], span.trace_id)
 
     def _emit(self, record):
         self.spans.append(record)
@@ -205,13 +210,17 @@ class Tracer:
             return
         self.flush()
         if self._chrome_path is not None:
+            # Spans are recorded at *finish* time, so a nested span lands
+            # before its enclosing parent; sort by start timestamp so the
+            # exported array is ts-monotonic (what trace viewers and the
+            # schema tests expect).
+            events = sorted(
+                (chrome_event(record) for record in self._iter_records()),
+                key=lambda e: e["ts"],
+            )
             with open(self._chrome_path, "w") as chrome:
                 chrome.write("[\n")
-                first = True
-                for record in self._iter_records():
-                    prefix = "" if first else ",\n"
-                    chrome.write(prefix + json.dumps(chrome_event(record)))
-                    first = False
+                chrome.write(",\n".join(json.dumps(e) for e in events))
                 chrome.write("\n]\n")
         if self._jsonl is not None:
             self._jsonl.close()

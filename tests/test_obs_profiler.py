@@ -1,0 +1,164 @@
+"""Phase profiler and histogram quantile export (registry + merge)."""
+
+import json
+
+import pytest
+
+from repro.obs.profiler import PHASE_OF, PhaseProfiler, phase_summary
+from repro.telemetry import MetricsRegistry, TelemetrySession, deactivate
+from repro.telemetry.merge import merge_metrics_dicts
+from repro.telemetry.registry import quantiles_from_buckets
+
+
+@pytest.fixture(autouse=True)
+def _no_global_session():
+    deactivate()
+    yield
+    deactivate()
+
+
+# ---------------------------------------------------------------------------
+# Histogram.quantile (satellite: p50/p90/p99 export)
+# ---------------------------------------------------------------------------
+class TestHistogramQuantile:
+    def _hist(self, buckets=(1.0, 10.0, 100.0)):
+        return MetricsRegistry().histogram("lat_seconds", buckets=buckets)
+
+    def test_empty_histogram_is_zero(self):
+        h = self._hist()._default
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.99) == 0.0
+
+    def test_single_sample(self):
+        fam = self._hist()
+        fam.observe(5.0)  # lands in the (1, 10] bucket
+        h = fam._default
+        for q in (0.5, 0.9, 0.99):
+            assert 1.0 <= h.quantile(q) <= 10.0
+
+    def test_heavy_tail_separates_quantiles(self):
+        fam = self._hist()
+        for _ in range(98):
+            fam.observe(0.5)  # bulk in the first bucket
+        fam.observe(50.0)
+        fam.observe(50.0)  # tail in the (10, 100] bucket
+        h = fam._default
+        assert h.quantile(0.5) <= 1.0
+        assert h.quantile(0.99) > 10.0
+        assert h.quantile(0.5) <= h.quantile(0.9) <= h.quantile(0.99)
+
+    def test_overflow_saturates_at_highest_finite_bound(self):
+        fam = self._hist(buckets=(1.0, 2.0))
+        fam.observe(1000.0)  # +Inf bucket only
+        assert fam._default.quantile(0.99) == pytest.approx(2.0)
+
+    def test_invalid_q_rejected(self):
+        h = self._hist()._default
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_interpolation_within_bucket(self):
+        fam = self._hist(buckets=(0.0, 10.0))
+        for _ in range(100):
+            fam.observe(5.0)  # uniform mass assumed across (0, 10]
+        assert fam._default.quantile(0.5) == pytest.approx(5.0)
+
+
+class TestQuantileExport:
+    def _registry(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("step_seconds", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.05, 0.5):
+            fam.observe(v)
+        return reg
+
+    def test_prometheus_exposes_quantile_lines(self):
+        text = self._registry().render_prometheus()
+        for line in ("step_seconds_p50", "step_seconds_p90",
+                     "step_seconds_p99"):
+            assert line in text
+
+    def test_json_snapshot_carries_quantiles(self):
+        snapshot = self._registry().to_dict()
+        quantiles = snapshot["step_seconds"]["values"][0]["quantiles"]
+        assert set(quantiles) == {"p50", "p90", "p99"}
+        assert quantiles["p50"] <= quantiles["p90"] <= quantiles["p99"]
+
+    def test_offline_quantiles_match_live(self):
+        reg = self._registry()
+        h = reg.histogram("step_seconds")._default
+        value = reg.to_dict()["step_seconds"]["values"][0]
+        offline = quantiles_from_buckets(value["buckets"], value["count"])
+        for q, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+            assert offline[key] == pytest.approx(h.quantile(q))
+
+    def test_merge_recomputes_quantiles(self):
+        reg_a, reg_b = self._registry(), self._registry()
+        merged = merge_metrics_dicts([reg_a.to_dict(), reg_b.to_dict()])
+        value = merged["step_seconds"]["values"][0]
+        assert value["count"] == 8
+        # Same shape of distribution, doubled mass: quantiles unchanged.
+        original = reg_a.to_dict()["step_seconds"]["values"][0]["quantiles"]
+        for key, quantile in value["quantiles"].items():
+            assert quantile == pytest.approx(original[key])
+
+
+# ---------------------------------------------------------------------------
+# PhaseProfiler
+# ---------------------------------------------------------------------------
+class TestPhaseProfiler:
+    def test_span_names_map_to_paper_phases(self):
+        assert PHASE_OF["sample"] == "sensing"
+        assert PHASE_OF["optimize"] == "optimizer"
+        assert PHASE_OF["hw.step"] == PHASE_OF["sw.step"] == "controller"
+        assert PHASE_OF["actuate.hw"] == PHASE_OF["actuate.sw"] == "actuation"
+        assert PHASE_OF["sim"] == "plant_step"
+
+    def test_observe_and_summary(self):
+        reg = MetricsRegistry()
+        prof = PhaseProfiler(reg)
+        for trace_id in range(1, 11):
+            prof.observe("sample", 10.0, trace_id)
+            prof.observe("sim", 300.0, trace_id)
+            prof.observe("unknown.span", 1.0, trace_id)
+        summary = prof.summary()
+        assert summary["sensing"]["count"] == 10
+        assert summary["plant_step"]["mean_us"] == pytest.approx(300.0)
+        assert summary["sensing"]["p50_us"] > 0
+        assert "other" in summary  # unmapped names still priced
+        assert "sensing" in prof.render()
+
+    def test_sampling_skips_offsample_periods(self):
+        prof = PhaseProfiler(MetricsRegistry(), sample_every=4)
+        for trace_id in range(1, 41):
+            prof.observe("sample", 10.0, trace_id)
+        assert prof.sampled == 10  # trace_id % 4 == 0
+        assert prof.skipped == 30
+        assert prof.summary()["sensing"]["count"] == 10
+
+    def test_session_wires_profiler_into_tracer(self, tmp_path):
+        session = TelemetrySession(tmp_path / "tel", profile=True)
+        assert session.tracer.profiler is session.profiler
+        with session.span("sample"):
+            pass
+        with session.span("sim"):
+            pass
+        summary = session.profiler.summary()
+        assert summary["sensing"]["count"] == 1
+        assert summary["plant_step"]["count"] == 1
+        session.close()
+        # The profile histogram lands in the exported snapshot.
+        metrics = json.loads((tmp_path / "tel" / "metrics.json").read_text())
+        assert "control_phase_seconds" in metrics
+        assert phase_summary(metrics)["sensing"]["count"] == 1
+
+    def test_profiling_off_by_default(self, tmp_path):
+        session = TelemetrySession(tmp_path / "tel")
+        assert session.profiler is None
+        assert session.tracer.profiler is None
+        session.close()
+
+    def test_phase_summary_of_unprofiled_metrics(self):
+        assert phase_summary({"other_metric": {"type": "counter"}}) == {}

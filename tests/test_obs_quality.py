@@ -1,0 +1,235 @@
+"""Control-quality analytics: step response, exposure, churn, reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.board import default_xu3_spec
+from repro.experiments import run_workload
+from repro.experiments.bank_runner import run_cells_banked
+from repro.experiments.schemes import DesignContext
+from repro.obs import (
+    QualityReport,
+    analyze_matrix,
+    analyze_run,
+    analyze_trace,
+    exposure,
+    step_response,
+    transition_count,
+)
+
+SPEC = default_xu3_spec()
+
+
+@pytest.fixture(scope="module")
+def spec_context():
+    """Spec-only context: heuristic schemes run without synthesis."""
+    return DesignContext(spec=SPEC, characterization=None)
+
+
+# ---------------------------------------------------------------------------
+# step_response
+# ---------------------------------------------------------------------------
+class TestStepResponse:
+    def test_first_order_settling(self):
+        # y(t) = 1 - exp(-t): within 5% of final after t ≈ 3 time constants.
+        t = np.arange(0.0, 10.0, 0.1)
+        y = 1.0 - np.exp(-t)
+        resp = step_response(t, y, signal="y")
+        assert resp.settled
+        assert resp.initial == pytest.approx(0.0)
+        assert resp.final == pytest.approx(1.0, abs=0.02)
+        assert 2.0 < resp.settling_time < 4.0
+        assert resp.overshoot_pct < 1.0  # monotone approach: no overshoot
+
+    def test_overshoot_measured_against_step_size(self):
+        t = np.arange(0.0, 10.0, 0.1)
+        y = np.ones_like(t)
+        y[:5] = 0.0
+        y[5:10] = 1.5  # 50% overshoot of a unit step, then settles
+        resp = step_response(t, y)
+        assert resp.overshoot_pct == pytest.approx(50.0, abs=2.0)
+        assert resp.settled
+
+    def test_flat_signal_settles_instantly(self):
+        t = np.arange(0.0, 5.0, 0.5)
+        resp = step_response(t, np.full_like(t, 3.0))
+        assert resp.settled
+        assert resp.settling_time == 0.0
+        assert resp.overshoot_pct == 0.0
+
+    def test_never_settling_signal_flagged(self):
+        t = np.arange(0.0, 10.0, 0.1)
+        y = np.sin(3.0 * t)  # oscillates forever around 0
+        resp = step_response(t, y)
+        assert not resp.settled
+
+    def test_step_time_offsets_measurement(self):
+        t = np.arange(0.0, 10.0, 0.1)
+        y = np.where(t < 5.0, 0.0, 1.0)
+        resp = step_response(t, y, step_time=5.0)
+        assert resp.step_time == pytest.approx(5.0)
+        assert resp.initial == pytest.approx(1.0)  # first sample at/after step
+
+    def test_empty_series(self):
+        resp = step_response([], [], signal="none")
+        assert resp.settled
+        assert resp.settling_time == 0.0
+
+
+# ---------------------------------------------------------------------------
+# exposure / churn
+# ---------------------------------------------------------------------------
+class TestExposure:
+    def test_two_violation_episodes(self):
+        series = [1.0, 4.0, 4.0, 1.0, 5.0, 1.0]  # two excursions above 3
+        exp = exposure(series, limit=3.0, dt=0.5)
+        assert exp.violations == 2
+        assert exp.time_above == pytest.approx(1.5)  # 3 samples * 0.5 s
+        assert exp.peak == pytest.approx(5.0)
+        assert exp.integral == pytest.approx((1.0 + 1.0 + 2.0) * 0.5)
+
+    def test_starts_above_counts_as_violation(self):
+        exp = exposure([9.0, 1.0], limit=3.0, dt=1.0)
+        assert exp.violations == 1
+
+    def test_never_above_reports_observed_peak(self):
+        exp = exposure([1.0, 2.5, 2.0], limit=3.0, dt=1.0)
+        assert exp.violations == 0
+        assert exp.time_above == 0.0
+        assert exp.integral == 0.0
+        assert exp.peak == pytest.approx(2.5)  # worst value still reported
+
+    def test_empty_series(self):
+        exp = exposure([], limit=3.0, dt=1.0)
+        assert exp.violations == 0 and exp.peak == 0.0
+
+
+class TestTransitionCount:
+    def test_counts_changes_only(self):
+        assert transition_count([1, 1, 2, 2, 1, 1]) == 2
+
+    def test_short_series(self):
+        assert transition_count([]) == 0
+        assert transition_count([5]) == 0
+
+
+# ---------------------------------------------------------------------------
+# analyze_trace / QualityReport
+# ---------------------------------------------------------------------------
+def _synthetic_trace(n=100, dt=0.05):
+    t = np.arange(n) * dt
+    power = np.where(t < 1.0, 4.0, 2.0)  # above the 3.3 W cap for 1 s
+    return {
+        "times": t,
+        "power_big": power,
+        "power_little": np.full(n, 0.4),
+        "temperature": 60.0 + 10.0 * (1.0 - np.exp(-t)),
+        "bips_total": np.full(n, 5.0),
+        "freq_big": np.repeat([1.8e9, 1.4e9], n // 2),
+        "cores_big": np.full(n, 4.0),
+        "emergency": np.zeros(n),
+    }
+
+
+class TestAnalyzeTrace:
+    def test_kpis_from_synthetic_trace(self):
+        report = analyze_trace(_synthetic_trace(), SPEC,
+                               scheme="s", workload="w")
+        assert report.samples == 100
+        assert report.duration == pytest.approx(5.0)
+        assert report.power_cap.limit == pytest.approx(SPEC.power_limit_big)
+        assert report.power_cap.violations == 1
+        assert report.power_cap.time_above == pytest.approx(1.0)
+        assert report.thermal.violations == 0
+        assert report.dvfs_transitions == 1
+        assert report.hotplug_transitions == 0
+        assert report.dvfs_per_sec == pytest.approx(0.2)
+        assert {r.signal for r in report.responses} >= {"power_big",
+                                                        "temperature"}
+        assert report.exd == pytest.approx(report.energy * report.duration)
+        assert report.exd_timeline[-1][1] == pytest.approx(report.exd,
+                                                           rel=0.05)
+
+    def test_supervisor_residency(self):
+        history = [(0.0, "NOMINAL"), (0.5, "NOMINAL"), (1.0, "DEGRADED")]
+        report = analyze_trace(_synthetic_trace(), SPEC, supervisor=history)
+        assert report.residency["NOMINAL"] == pytest.approx(
+            2 * SPEC.control_period)
+        assert report.residency["DEGRADED"] == pytest.approx(
+            SPEC.control_period)
+
+    def test_extra_step_events(self):
+        report = analyze_trace(_synthetic_trace(), SPEC,
+                               steps=[("power_big", 1.0)])
+        assert any(r.signal == "power_big@1s" for r in report.responses)
+
+    def test_json_round_trip(self):
+        report = analyze_trace(_synthetic_trace(), SPEC,
+                               scheme="s", workload="w")
+        decoded = json.loads(report.to_json())
+        assert decoded["scheme"] == "s"
+        assert decoded["power_cap"]["violations"] == 1
+        assert decoded["responses"][0]["signal"] == "power_big"
+        # Everything JSON-native: a second round trip is identity.
+        assert json.loads(json.dumps(decoded)) == decoded
+
+    def test_render_mentions_headlines(self):
+        text = analyze_trace(_synthetic_trace(), SPEC,
+                             scheme="s", workload="w").render()
+        assert "power cap" in text and "churn" in text and "settled" in text
+
+    def test_response_lookup(self):
+        report = analyze_trace(_synthetic_trace(), SPEC)
+        assert report.response("power_big").signal == "power_big"
+        with pytest.raises(KeyError):
+            report.response("nope")
+
+
+# ---------------------------------------------------------------------------
+# analyze_run / analyze_matrix — on real recorded runs
+# ---------------------------------------------------------------------------
+class TestAnalyzeRun:
+    def test_requires_trace(self, spec_context):
+        metrics = run_workload("coordinated-heuristic", "gamess",
+                               spec_context, max_time=10.0, record=False)
+        with pytest.raises(ValueError, match="record=True"):
+            analyze_run(metrics, SPEC)
+
+    def test_energy_matches_runner_ground_truth(self, spec_context):
+        metrics = run_workload("coordinated-heuristic", "gamess",
+                               spec_context, max_time=20.0, record=True)
+        report = analyze_run(metrics, SPEC)
+        assert report.energy == pytest.approx(metrics.energy)
+        assert report.duration == pytest.approx(metrics.execution_time)
+        assert report.exd == pytest.approx(
+            metrics.energy * metrics.execution_time)
+        assert report.samples > 0
+
+    def test_scalar_and_bank_lane_reports_identical(self, spec_context):
+        """The analyzer is lane-agnostic: scalar loop and BoardBank lane
+        produce bit-identical traces, hence bit-identical reports."""
+        cell = ("coordinated-heuristic", "gamess", 7)
+        scalar = run_workload(*cell[:2], spec_context, seed=7,
+                              max_time=20.0, record=True)
+        banked, = run_cells_banked([cell], spec_context, max_time=20.0,
+                                   record=True)
+        r_scalar = analyze_run(scalar, SPEC)
+        r_banked = analyze_run(banked, SPEC)
+        d_scalar, d_banked = r_scalar.to_dict(), r_banked.to_dict()
+        # notes carry lane provenance (the bank adds its own bookkeeping);
+        # every KPI must match exactly.
+        d_scalar.pop("notes")
+        d_banked.pop("notes")
+        assert d_scalar == d_banked
+
+    def test_analyze_matrix_skips_traceless_cells(self, spec_context):
+        with_trace = run_workload("coordinated-heuristic", "gamess",
+                                  spec_context, max_time=10.0, record=True)
+        without = run_workload("coordinated-heuristic", "gamess",
+                               spec_context, max_time=10.0, record=False)
+        results = {"gamess": {"a": with_trace, "b": without}}
+        reports = analyze_matrix(results, SPEC)
+        assert set(reports["gamess"]) == {"a"}
+        assert isinstance(reports["gamess"]["a"], QualityReport)
