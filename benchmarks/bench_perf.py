@@ -1,6 +1,6 @@
-"""Benchmark: the perf tentpole — fast stepping, warm cache, parallel matrix.
+"""Benchmark: the perf tentpole — fast stepping, banking, cache, matrix.
 
-Measures the three optimizations this repo's experiment harness stacks and
+Measures the optimizations this repo's experiment harness stacks and
 records them in ``BENCH_perf.json``:
 
 1. **Vectorized period stepping** — ``Board.run_period`` vs scalar
@@ -9,10 +9,17 @@ records them in ``BENCH_perf.json``:
    execution-rate, and power-constant computation out of the loop) while
    remaining bit-identical — equality of final time/energy/temperature is
    asserted here too.
-2. **Persistent design cache** — cold vs warm ``DesignContext.create`` +
+2. **Board bank** — B=16 lockstep aggregate steps/s vs one fast-path
+   board (floor: >= 4x), then the **fused-schedule B-sweep**:
+   ``run_schedule_bank`` over B in {4, 16, 64, 256}, whose best width
+   must beat the per-period bank rate by >= 3x.
+3. **Banked characterization** — the full excitation campaign (24
+   campaigns, heavy per-period hotplug/placement churn) banked vs
+   scalar, bit-identical and >= 1.5x.
+4. **Persistent design cache** — cold vs warm ``DesignContext.create`` +
    ``prime_designs`` wall-clock.  Warm must hit the cache for every
    artifact (characterization + all synthesized controllers).
-3. **Matrix speedup** — a (schemes x workloads) sweep: the *baseline* is
+5. **Matrix speedup** — a (schemes x workloads) sweep: the *baseline* is
    what the seed harness did (cold context, scalar stepping, serial); the
    *optimized* path is a warm cache + ``run_period`` + ``--jobs N``.  The
    quick CI mode shrinks the matrix but still asserts the stack wins.
@@ -184,6 +191,137 @@ def bench_bank(reps=3, periods=300):
     }
 
 
+SWEEP_WIDTHS = (4, 16, 64, 256)  # the ISSUE-pinned B-sweep
+SWEEP_QUICK_WIDTHS = (4, 16, 64)  # CI smoke drops the 256-lane point
+SWEEP_FLOOR = 3.0  # best-B fused aggregate vs the per-period B=16 bank
+
+
+def _sweep_schedule(periods):
+    """``_bank_actuate``'s schedule as explicit per-period command lists."""
+    fb = [0.8 + 0.1 * (p % 5) for p in range(periods)]
+    fl = [0.5 + 0.05 * (p % 4) for p in range(periods)]
+    return fb, fl
+
+
+def bench_bank_sweep(reps=3, periods=300, widths=SWEEP_WIDTHS):
+    """Fused-kernel aggregate steps/s across bank widths.
+
+    ``BoardBank.run_schedule_bank`` fuses whole blocks of the same DVFS
+    schedule ``bench_bank`` drives period-by-period, so lane 0 at every
+    width must finish bit-identical to the single fast-path reference —
+    asserted here along with ``fused_ticks`` actually covering the run
+    (a silently never-fusing kernel would still pass the identity check).
+    The floor is *relative*: the best width must beat the per-period
+    B=16 bank rate by ``SWEEP_FLOOR``x on the same machine, which holds
+    on a single core because fusion removes interpreted per-period
+    driver work rather than adding parallelism.
+    """
+    from repro.board import Board, BoardBank, default_xu3_spec
+    from repro.workloads import make_mix
+
+    steps_ref, _, ref_board = _single_run(periods)
+    fb, fl = _sweep_schedule(periods)
+    spec = default_xu3_spec()
+    points = []
+    for width in widths:
+        rate = 0.0
+        fused_frac = 0.0
+        lane0 = None
+        for _ in range(reps):
+            boards = [Board(make_mix("blmc"), spec, seed=7 + i,
+                            record=False) for i in range(width)]
+            bank = BoardBank(boards, telemetry=None)
+            gc.disable()
+            t0 = time.perf_counter()
+            try:
+                executed = bank.run_schedule_bank(fb, fl)
+                elapsed = time.perf_counter() - t0
+            finally:
+                gc.enable()
+            rate = max(rate, sum(executed) / elapsed)
+            fused_frac = bank.fused_ticks / max(1, bank.vector_ticks)
+            lane0 = boards[0]
+        assert lane0.time == ref_board.time, \
+            f"B={width} lane 0 time diverged"
+        assert lane0.energy == ref_board.energy, \
+            f"B={width} lane 0 energy diverged"
+        assert (
+            lane0.thermal.temperature == ref_board.thermal.temperature
+        ), f"B={width} lane 0 temperature diverged"
+        assert sum(executed) == steps_ref * width, \
+            f"B={width} step counts diverged"
+        assert fused_frac > 0.9, \
+            f"B={width} fused kernel covered only {fused_frac:.1%} of ticks"
+        points.append({"boards": width, "steps_per_sec": rate,
+                       "fused_frac": fused_frac})
+    best = max(points, key=lambda pt: pt["steps_per_sec"])
+    return {
+        "periods": periods,
+        "points": points,
+        "best_boards": best["boards"],
+        "best_steps_per_sec": best["steps_per_sec"],
+        "bit_identical": True,
+        "floor": SWEEP_FLOOR,
+    }
+
+
+CHAR_FLOOR = 1.5  # banked characterization vs the scalar campaign loop
+
+
+def bench_characterize(samples=96, reps=2):
+    """Banked vs scalar excitation campaigns, bit-identity asserted.
+
+    Doubling the program list gives 24 concurrent campaigns (B=24) with
+    distinct seeds per duplicate — the bank's design regime — while
+    ``samples=96`` keeps both sides around a second and amortizes the
+    bank's plan-cache warmup (shorter campaigns understate the
+    steady-state rate the floor pins).  The excitation
+    actuates cores *and* placement every period, so this measures the
+    churn-tolerant per-lane re-plan path, not the fused DVFS kernel.
+    """
+    import numpy as np
+    from repro.board import default_xu3_spec
+    from repro.core.characterize import characterize_board
+
+    programs = ("swaptions", "vips", "astar", "perlbench", "milc",
+                "namd") * 2
+    spec = default_xu3_spec()
+    scalar_s = float("inf")
+    banked_s = float("inf")
+    scalar_res = banked_res = None
+    for _ in range(reps):
+        gc.disable()
+        t0 = time.perf_counter()
+        try:
+            scalar_res = characterize_board(
+                spec, programs, samples_per_program=samples, banked=False
+            )
+            scalar_s = min(scalar_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            banked_res = characterize_board(
+                spec, programs, samples_per_program=samples, banked=True
+            )
+            banked_s = min(banked_s, time.perf_counter() - t0)
+        finally:
+            gc.enable()
+    identical = all(
+        np.array_equal(getattr(scalar_res, f).inputs,
+                       getattr(banked_res, f).inputs)
+        and np.array_equal(getattr(scalar_res, f).outputs,
+                           getattr(banked_res, f).outputs)
+        for f in ("hw_data", "sw_data", "joint_data")
+    )
+    return {
+        "campaigns": 2 * len(programs),
+        "samples": samples,
+        "scalar_sec": scalar_s,
+        "banked_sec": banked_s,
+        "speedup": scalar_s / banked_s,
+        "bit_identical": identical,
+        "floor": CHAR_FLOOR,
+    }
+
+
 def bench_cache(samples, seed, cache_dir):
     """Cold vs warm context construction through the persistent cache."""
     from repro.experiments import DesignContext, prime_designs
@@ -294,6 +432,25 @@ def main(argv=None):
           f"bank {results['bank']['bank_steps_per_sec']:,.0f} aggregate "
           f"steps/s -> {results['bank']['speedup']:.2f}x")
 
+    widths = SWEEP_QUICK_WIDTHS if args.quick else SWEEP_WIDTHS
+    print(f"== bank sweep: fused schedule kernel, B in {widths} ==")
+    results["bank_sweep"] = bench_bank_sweep(widths=widths)
+    for pt in results["bank_sweep"]["points"]:
+        print(f"  B={pt['boards']:>3}: {pt['steps_per_sec']:,.0f} aggregate "
+              f"steps/s (fused {pt['fused_frac']:.1%})")
+    sweep_x = (results["bank_sweep"]["best_steps_per_sec"]
+               / results["bank"]["bank_steps_per_sec"])
+    results["bank_sweep"]["speedup_vs_bank"] = sweep_x
+    print(f"  best B={results['bank_sweep']['best_boards']} -> "
+          f"{sweep_x:.2f}x the per-period B={BANK_BOARDS} bank")
+
+    print("== characterize: banked vs scalar campaigns ==")
+    results["characterize"] = bench_characterize()
+    print(f"  scalar {results['characterize']['scalar_sec']:.2f}s, banked "
+          f"{results['characterize']['banked_sec']:.2f}s -> "
+          f"{results['characterize']['speedup']:.2f}x, bit-identical: "
+          f"{results['characterize']['bit_identical']}")
+
     with tempfile.TemporaryDirectory(prefix="bench-perf-cache-") as cache_dir:
         print("== design cache: cold vs warm context ==")
         results["cache"], _ = bench_cache(samples, seed, cache_dir)
@@ -329,6 +486,19 @@ def main(argv=None):
         failures.append(
             f"bank speedup {results['bank']['speedup']:.2f}x < 4x at "
             f"B={results['bank']['boards']}"
+        )
+    if results["bank_sweep"]["speedup_vs_bank"] < SWEEP_FLOOR:
+        failures.append(
+            f"fused sweep best {results['bank_sweep']['speedup_vs_bank']:.2f}x"
+            f" < {SWEEP_FLOOR}x the per-period bank "
+            f"(B={results['bank_sweep']['best_boards']})"
+        )
+    if not results["characterize"]["bit_identical"]:
+        failures.append("banked characterization diverged from scalar")
+    if results["characterize"]["speedup"] < CHAR_FLOOR:
+        failures.append(
+            f"banked characterization {results['characterize']['speedup']:.2f}x"
+            f" < {CHAR_FLOOR}x"
         )
     if results["cache"]["warm_misses"] != 0:
         failures.append(

@@ -36,6 +36,18 @@ operating point (same spec object, effective frequencies, core counts,
 and per-core phase characteristics) reuse one window plan's math
 across lanes *and* across control periods.
 
+On top of the per-period kernel, :meth:`BoardBank.run_schedule_bank`
+*fuses* whole DVFS schedules: it validates and snaps up to
+``block_periods`` upcoming frequency commands at once, plans every lane
+for every distinct operating point in the block, proves one no-trip
+temperature bound and one credit horizon for the whole block, and then
+advances all lanes ``K x period_steps`` ticks in a single resident
+pass — board state is gathered and scattered once per block instead of
+once per period, and no per-board Python actuation code runs between
+fused periods.  Blocks that cannot be proven quiet fall back to the
+exact per-period path one period at a time and retry fusing from the
+next period.
+
 Exactness contract
 ------------------
 Every lane performs, per tick, the *same floating-point operations in
@@ -47,21 +59,31 @@ the ``B`` boards independently.  Boards that diverge into scalar-only
 territory are masked out of the lockstep kernel and finished through
 the existing scalar/fastpath machinery:
 
-* boards with fault hooks or draining stalls are refused by the planner
-  and delegated to :meth:`Board.run_period` for the whole call;
-* boards with a registered per-tick hook (e.g. a fault injector's
-  ``advance``) always run the scalar per-tick loop;
+* a lane with a draining hotplug/migration stall peels exactly the
+  stalled ticks through the scalar stepper, then rejoins the lockstep
+  kernel the moment the planner accepts it again (lanes whose placement
+  epoch is unchanged since their last stall-free check skip the scan
+  entirely);
+* boards with fault hooks or a registered per-tick hook (e.g. a fault
+  injector's ``advance``) always run the scalar per-tick loop;
 * mid-window, the moment a board's emergency firmware changes state or
   an application's runnable-thread set changes, the lockstep window ends
-  (the offending tick is still exact) and every remaining board is
-  re-planned.
+  (the offending tick is still exact), only that board's plan is
+  invalidated, and every lane — including the divergent one, under its
+  refreshed plan — re-enters the vector kernel at the next window.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .fastpath import WindowPlan, _emergency_snapshot, plan_window
+from .fastpath import (
+    WindowPlan,
+    _emergency_snapshot,
+    _membership_changed,
+    plan_window,
+    run_window,
+)
 from .power import _REFERENCE_TEMP
 from .specs import BIG, LITTLE
 
@@ -283,12 +305,32 @@ class BoardBank:
         self._sched_cache = {}
         self._lane_cache = {}
         self._slice_cache = {}
+        # Full WindowPlan objects keyed by the complete live state they
+        # were planned from (thread/app identity, placement content,
+        # effective operating point, emergency flags) — operating points
+        # recur when excitation cycles a small level set, and a matching
+        # key proves the cached plan (and its works/layout identity, which
+        # keeps the schedule caches warm) is valid verbatim.
+        self._plan_by_state = {}
+        # Last placement epoch at which each lane was verified stall-free:
+        # every stall-charging path (hotplug, placement apply) bumps the
+        # board's _placement_epoch, so an unchanged epoch proves the
+        # stall-peel pre-pass has nothing to drain and can be skipped.
+        self._stall_free = [None] * n
+        # Fused-kernel state: validated/snapped schedule entries keyed by
+        # raw command pair, and whole-block no-trip temperature bounds
+        # keyed by the block's operating-point set.
+        self._snap_cache = {}
+        self._fused_ub = {}
         self._build_constants()
         # Introspection counters (mirrored into telemetry when enabled).
         self.vector_ticks = 0  # board-ticks executed by the vector kernel
         self.scalar_ticks = 0  # board-ticks finished via scalar/fastpath
         self.windows = 0  # vectorized windows executed
-        self.events = {"emergency": 0, "membership": 0, "plan_refused": 0}
+        self.fused_blocks = 0  # multi-period fused blocks executed
+        self.fused_ticks = 0  # board-ticks executed inside fused blocks
+        self.events = {"emergency": 0, "membership": 0, "plan_refused": 0,
+                       "stall_peel": 0}
 
     def _build_constants(self):
         """Per-board spec/model constants, gathered once as full arrays."""
@@ -379,6 +421,8 @@ class BoardBank:
             "vector_ticks": self.vector_ticks,
             "scalar_ticks": self.scalar_ticks,
             "windows": self.windows,
+            "fused_blocks": self.fused_blocks,
+            "fused_ticks": self.fused_ticks,
             "events": dict(self.events),
         }
 
@@ -416,6 +460,40 @@ class BoardBank:
                 pending.append(i)
                 remaining[i] = n_steps
         while pending:
+            # Stall-peel pre-pass: a draining hotplug/migration stall would
+            # refuse a plan for only a tick or two, so drain it with single
+            # scalar ticks *before* planning — the peeled lanes then rejoin
+            # the same vector window as everyone else (keeping the window's
+            # lane set stable for the slice/lane/schedule caches) instead
+            # of dropping to the scalar path for the whole call.
+            still = []
+            stall_free = self._stall_free
+            for i in pending:
+                board = self.boards[i]
+                # Stalls are only ever charged by paths that bump the
+                # board's _placement_epoch, so a lane verified stall-free
+                # at its current epoch needs no scan at all.
+                if stall_free[i] != board._placement_epoch:
+                    while (
+                        remaining[i] > 0
+                        and not board.done
+                        and self._transient_refusal(i)
+                    ):
+                        self.events["plan_refused"] += 1
+                        self.events["stall_peel"] += 1
+                        if self.telemetry is not None:
+                            self.telemetry.bank_events.labels(
+                                reason="plan_refused"
+                            ).inc()
+                        executed[i] += self._peel_tick(i)
+                        remaining[i] -= 1
+                    if remaining[i] > 0 or board.done:
+                        # (remaining == 0 means the loop may have exited
+                        # with the stall still draining — don't record.)
+                        stall_free[i] = board._placement_epoch
+                if remaining[i] > 0 and not board.done:
+                    still.append(i)
+            pending = still
             plans = {}
             memo = self._plan_memo
             if len(memo) > 4096:  # runaway-key backstop; plans re-memoize
@@ -424,6 +502,7 @@ class BoardBank:
                 self._replan_cache.clear()
                 self._sched_cache.clear()
                 self._lane_cache.clear()
+            retry = []
             for i in pending:
                 plan = self._plan_for(i)
                 if plan is None:
@@ -432,13 +511,39 @@ class BoardBank:
                         self.telemetry.bank_events.labels(
                             reason="plan_refused"
                         ).inc()
-                    executed[i] += self._run_scalar(i, remaining[i])
+                    if self._transient_refusal(i):
+                        # A draining hotplug/migration stall refuses a plan
+                        # for only a tick or two: peel exactly one scalar
+                        # tick (which drains min(stall, dt)) and retry the
+                        # planner, instead of condemning the lane to the
+                        # scalar path for the whole call.
+                        self.events["stall_peel"] += 1
+                        executed[i] += self._peel_tick(i)
+                        remaining[i] -= 1
+                        if remaining[i] > 0 and not self.boards[i].done:
+                            retry.append(i)
+                    else:
+                        executed[i] += self._run_scalar(i, remaining[i])
                 else:
                     plans[i] = plan
             pending = [i for i in pending if i in plans]
             if not pending:
-                break
+                pending = retry  # only peeled lanes left: re-plan them
+                continue
             window = min(remaining[i] for i in pending)
+            if window < 4:
+                # Tiny remainder (stall peels de-sync lanes by a tick or
+                # two): per-lane fastpath stepping beats the vector
+                # window's fixed gather/scatter cost at this size.
+                survivors = []
+                for i in pending:
+                    ran = self._run_tiny(i, plans[i], window)
+                    executed[i] += ran
+                    remaining[i] -= ran
+                    if remaining[i] > 0 and not self.boards[i].done:
+                        survivors.append(i)
+                pending = survivors + retry
+                continue
             ran = self._run_vector_window(pending, plans, window)
             survivors = []
             for i in pending:
@@ -446,7 +551,7 @@ class BoardBank:
                 remaining[i] -= ran
                 if remaining[i] > 0 and not self.boards[i].done:
                     survivors.append(i)
-            pending = survivors
+            pending = survivors + retry
         return executed
 
     # ------------------------------------------------------------------
@@ -475,15 +580,15 @@ class BoardBank:
         entry = self._replan_cache.get(index)
         sensors = board.power_sensors
         runtimes = board.clusters
-        if (
-            entry is not None
-            and board.fault_hooks is None
+        clean = (
+            board.fault_hooks is None
             and board.temp_sensor.fault_hook is None
             and sensors[BIG].fault_hook is None
             and sensors[LITTLE].fault_hook is None
             and runtimes[BIG].pending_hotplug_stall <= 0
             and runtimes[LITTLE].pending_hotplug_stall <= 0
-        ):
+        )
+        if entry is not None and clean:
             plan = entry["plan"]
             ems = _emergency_snapshot(board)
             if (
@@ -535,6 +640,31 @@ class BoardBank:
                         entry["epoch"] = board._actuation_epoch
                         variants[vkey] = new_plan
                         return new_plan
+        # Tier 2.5: the full live state recurs (excitation sweeps cycle a
+        # small set of knob levels over stretches of stable membership).
+        # The key pins thread/app objects by identity — strong references,
+        # so a match can only mean the very same live threads in the very
+        # same placement at the very same operating point — making a
+        # previously planned WindowPlan valid verbatim, works/layout
+        # identity included.
+        state_key = self._plan_state_key(board) if clean else None
+        if state_key is not None:
+            by_state = self._plan_by_state.get(index)
+            if by_state is None:
+                by_state = self._plan_by_state[index] = {}
+            vplan = by_state.get(state_key)
+            if vplan is not None:
+                self._replan_cache[index] = {
+                    "plan": vplan,
+                    "epoch": board._actuation_epoch,
+                    "pepoch": board._placement_epoch,
+                    "cores": (
+                        board._effective_cores(BIG),
+                        board._effective_cores(LITTLE),
+                    ),
+                    "variants": {},
+                }
+                return vplan
         plan = plan_window(board, memo=self._plan_memo)
         if plan is None:
             self._replan_cache.pop(index, None)
@@ -552,7 +682,145 @@ class BoardBank:
             ),
             "variants": {},
         }
+        if state_key is not None:
+            if len(by_state) > 128:
+                by_state.clear()
+            by_state[state_key] = plan
         return plan
+
+    def _plan_state_key(self, index_or_board):
+        """Complete plan-determining live state of one board, or ``None``.
+
+        Everything :func:`plan_window` reads is covered: runnable-thread
+        sets per application (thread identity implies its phase — threads
+        are recreated on every phase entry), the placement assignment
+        content, effective frequencies and core counts (which fold in the
+        emergency caps), and the emergency snapshot.  Returns ``None``
+        when planning would refuse anyway (migration stall, nothing
+        runnable) — callers then fall through to :func:`plan_window` for
+        the authoritative refusal.
+        """
+        board = index_or_board
+        apps_sig = []
+        for app in board.applications:
+            if app.done:
+                continue
+            runnable = app.runnable_threads()
+            for thread in runnable:
+                if thread.migration_stall > 0:
+                    return None
+            apps_sig.append((app, tuple(runnable)))
+        if not apps_sig:
+            return None
+        assignment = board.placement.assignment
+        return (
+            tuple(apps_sig),
+            tuple(tuple(core) for core in assignment[BIG]),
+            tuple(tuple(core) for core in assignment[LITTLE]),
+            board._effective_frequency(BIG),
+            board._effective_cores(BIG),
+            board._effective_frequency(LITTLE),
+            board._effective_cores(LITTLE),
+            _emergency_snapshot(board),
+        )
+
+    def _transient_refusal(self, index):
+        """Was this plan refusal caused only by a draining stall?
+
+        Hotplug stalls drain by ``min(stall, dt)`` per tick and migration
+        stalls drain inside ``core_execution`` the same way, so a refusal
+        caused by either clears within a tick or two — unlike fault hooks
+        (installed for a whole faulted region) or an empty runnable set
+        (which no amount of stepping resolves until an app event).
+        """
+        board = self.boards[index]
+        if board.fault_hooks is not None:
+            return False
+        if board.temp_sensor.fault_hook is not None:
+            return False
+        sensors = board.power_sensors
+        if sensors[BIG].fault_hook is not None:
+            return False
+        if sensors[LITTLE].fault_hook is not None:
+            return False
+        stalled = (
+            board.clusters[BIG].pending_hotplug_stall > 0
+            or board.clusters[LITTLE].pending_hotplug_stall > 0
+        )
+        migrating = False
+        runnable = False
+        for app in board.applications:
+            if app.done:
+                continue
+            for thread in app.runnable_threads():
+                runnable = True
+                if thread.migration_stall > 0:
+                    migrating = True
+                    break
+            if migrating:
+                break
+        return runnable and (stalled or migrating)
+
+    def _peel_tick(self, index):
+        """Advance one board exactly one scalar tick (stall drain)."""
+        self._replan_cache.pop(index, None)
+        board = self.boards[index]
+        board.step()
+        if self.track_violations:
+            spec = board.spec
+            if board.thermal.temperature > spec.temp_limit:
+                self.temp_violation_time[index] += spec.sim_dt
+            if board._instant_power[BIG] > spec.power_limit_big:
+                self.power_violation_time[index] += spec.sim_dt
+        self.scalar_ticks += 1
+        if self.telemetry is not None:
+            self.telemetry.bank_scalar_ticks.inc(1)
+        return 1
+
+    def _run_tiny(self, index, plan, n_ticks):
+        """Advance one board ``<= n_ticks`` ticks under its window plan.
+
+        The per-lane fastpath (:func:`run_window`) performs exactly the
+        same float operations as the vector window, tick for tick, so it
+        is interchangeable bit-for-bit — and for one or two ticks it skips
+        the vector window's fixed per-call gather/scatter cost.  Mirrors
+        the vector window's bookkeeping: event counters, replan-cache
+        eviction on membership change, and violation clocks.
+        """
+        board = self.boards[index]
+        spec = board.spec
+        track = self.track_violations
+        ran = 0
+        while ran < n_ticks:
+            step = run_window(board, plan, 1 if track else n_ticks - ran)
+            ran += step
+            if track:
+                if board.thermal.temperature > spec.temp_limit:
+                    self.temp_violation_time[index] += spec.sim_dt
+                if board._instant_power[BIG] > spec.power_limit_big:
+                    self.power_violation_time[index] += spec.sim_dt
+            stop = False
+            if _emergency_snapshot(board) != plan.emergency_snapshot:
+                self.events["emergency"] += 1
+                if self.telemetry is not None:
+                    self.telemetry.bank_events.labels(
+                        reason="emergency"
+                    ).inc()
+                stop = True
+            if _membership_changed(plan.apps):
+                self._replan_cache.pop(index, None)
+                self.events["membership"] += 1
+                if self.telemetry is not None:
+                    self.telemetry.bank_events.labels(
+                        reason="membership"
+                    ).inc()
+                stop = True
+            if stop or step == 0:
+                break
+        self.scalar_ticks += ran
+        if self.telemetry is not None and ran:
+            self.telemetry.bank_scalar_ticks.inc(ran)
+        return ran
 
     # ------------------------------------------------------------------
     # Scalar fallback
@@ -589,63 +857,43 @@ class BoardBank:
     # ------------------------------------------------------------------
     # The vectorized lockstep kernel
     # ------------------------------------------------------------------
-    def _run_vector_window(self, indices, plans, max_ticks):
-        """Advance every planned board ``<= max_ticks`` ticks in lockstep.
-
-        Returns the number of ticks executed (shared across boards: the
-        window ends for everyone at the first board event, after the
-        offending tick — exactly where scalar stepping would re-plan).
-        """
-        boards = [self.boards[i] for i in indices]
-        B = len(boards)
-        dt = self._dt
-        key_boards = tuple(indices)
-
-        # --- constants, sliced to this window's lanes (cached) ----------
+    def _slices(self, key_boards, boards):
+        """Model constants and per-lane objects, sliced to one lane set."""
         S = self._slice_cache.get(key_boards)
-        if S is None:
-            ix = np.asarray(indices, dtype=np.intp)
-            C = self._const
-            S = {
-                name: C[name][ix]
-                for name in ("static", "ambient", "resistance", "lweight",
-                             "alpha", "temp_trip", "temp_clear",
-                             "throttle_freq", "temp_limit", "noise_rms")
-            }
-            for name in ("limit", "thresh", "pcap", "sdt", "speriod",
-                         "trip_delay", "clear_delay", "min_hold"):
-                S[name] = C[name][:, ix]
-            S["ix"] = ix
-            # Per-lane object lists (board identity is fixed for the
-            # bank's lifetime, so these are as cacheable as the consts).
-            S["thermals"] = [b.thermal for b in boards]
-            S["sens_b"] = [b.power_sensors[BIG] for b in boards]
-            S["sens_l"] = [b.power_sensors[LITTLE] for b in boards]
-            S["pc_b"] = [b.perf_counters[BIG] for b in boards]
-            S["pc_l"] = [b.perf_counters[LITTLE] for b in boards]
-            S["em"] = [b.emergency for b in boards]
-            if len(self._slice_cache) > 64:
-                self._slice_cache.clear()
-            self._slice_cache[key_boards] = S
-        ix = S["ix"]
-        static = S["static"]
-        ambient = S["ambient"]
-        resistance = S["resistance"]
-        lweight = S["lweight"]
-        alpha = S["alpha"]
-        temp_trip = S["temp_trip"]
-        temp_clear = S["temp_clear"]
-        throttle_freq = S["throttle_freq"]
-        limit_m = S["limit"]
-        thresh_m = S["thresh"]
-        sdt_m = S["sdt"]
-        speriod_m = S["speriod"]
-        noise_rms = S["noise_rms"]
+        if S is not None:
+            return S
+        ix = np.asarray(key_boards, dtype=np.intp)
+        C = self._const
+        S = {
+            name: C[name][ix]
+            for name in ("static", "ambient", "resistance", "lweight",
+                         "alpha", "temp_trip", "temp_clear",
+                         "throttle_freq", "temp_limit", "noise_rms")
+        }
+        for name in ("limit", "thresh", "pcap", "sdt", "speriod",
+                     "trip_delay", "clear_delay", "min_hold"):
+            S[name] = C[name][:, ix]
+        S["ix"] = ix
+        # Per-lane object lists (board identity is fixed for the
+        # bank's lifetime, so these are as cacheable as the consts).
+        S["thermals"] = [b.thermal for b in boards]
+        S["sens_b"] = [b.power_sensors[BIG] for b in boards]
+        S["sens_l"] = [b.power_sensors[LITTLE] for b in boards]
+        S["pc_b"] = [b.perf_counters[BIG] for b in boards]
+        S["pc_l"] = [b.perf_counters[LITTLE] for b in boards]
+        S["em"] = [b.emergency for b in boards]
+        if len(self._slice_cache) > 64:
+            self._slice_cache.clear()
+        self._slice_cache[key_boards] = S
+        return S
 
-        # --- step-invariant plan terms, clusters stacked on axis 0 ------
-        # Cached against the identity of the (memo-owned) cluster plans;
-        # the cache entry holds references to those plans, so an id() match
-        # on live objects can only mean the very same plans.
+    def _lane_terms(self, key_boards, indices, plans):
+        """Per-lane step-invariant plan terms, clusters stacked on axis 0.
+
+        Cached against the identity of the (memo-owned) cluster plans;
+        the cache entry holds references to those plans, so an id() match
+        on live objects can only mean the very same plans.
+        """
         pb = [plans[i].big for i in indices]
         pl = [plans[i].little for i in indices]
         lane_key = (key_boards, self._plan_gen,
@@ -664,11 +912,596 @@ class BoardBank:
                 np.array([[p.instructions for p in pb],
                           [p.instructions for p in pl]]),
                 bool((leak_arr >= 0.0).all()),
-                [None],  # cached no-trip temperature bound (see below)
+                [None],  # cached no-trip temperature bound
             )
             if len(self._lane_cache) > 256:
                 self._lane_cache.clear()
             self._lane_cache[lane_key] = lanes
+        return lanes
+
+    def _credit_schedule_for(self, key_boards, indices, plans):
+        """A (cached) :class:`_CreditSchedule` for one window's plans."""
+        works_list = [plans[i].works for i in indices]
+        board_gen = self._board_gen
+        sched_key = (key_boards, self._plan_gen,
+                     tuple((i, id(w), board_gen[i])
+                           for i, w in zip(indices, works_list)))
+        cached = self._sched_cache.get(sched_key)
+        if (
+            cached is not None
+            and all(a is b for a, b in zip(cached[0].plan_ident, works_list))
+        ):
+            return cached
+        schedule = _CreditSchedule(indices, plans)
+        schedule.plan_ident = works_list
+        guards = [_MembershipGuard(plans[i]) for i in indices]
+        if len(self._sched_cache) > 256:
+            self._sched_cache.clear()
+        self._sched_cache[sched_key] = (schedule, guards)
+        return schedule, guards
+
+    # ------------------------------------------------------------------
+    # Fused multi-period kernel
+    # ------------------------------------------------------------------
+    def run_schedule_bank(self, freqs_big, freqs_little, only=None,
+                          block_periods=32):
+        """Advance every selected board through a shared DVFS schedule.
+
+        ``freqs_big``/``freqs_little`` are per-period frequency commands
+        (GHz): period ``p`` issues ``set_cluster_frequency`` with both
+        values on every selected board, then advances one control period
+        — exactly the campaign loop callers write by hand around
+        :meth:`run_period_bank`, with bit-identical resulting board state.
+
+        The win is *fusion*: the kernel precompiles up to ``block_periods``
+        upcoming periods at a time — actuation commands validated and
+        snapped once per distinct ``(big, little)`` pair, window plans
+        resolved per distinct operating point, per-core credit vectors and
+        the no-trip emergency bound proven for the whole block — and then
+        advances all lanes the whole block in one resident pass: board
+        state is gathered into the lane matrix once per block instead of
+        once per period, and no Python-level driver code runs between
+        periods.  Whenever a block cannot be proven quiet (a throttled
+        lane, a draining stall, an application within its phase-budget
+        horizon, a fault hook, mixed board specs, a non-finite command),
+        the kernel falls back to the per-period path for one period and
+        retries fusing from the next — per-lane re-plans, never full-bank
+        bailout.
+
+        Returns the per-board executed tick counts, like
+        :meth:`run_period_bank`.
+        """
+        fb_list = list(freqs_big)
+        fl_list = list(freqs_little)
+        if len(fb_list) != len(fl_list):
+            raise ValueError(
+                f"schedule length mismatch: {len(fb_list)} big vs "
+                f"{len(fl_list)} little entries"
+            )
+        P = len(fb_list)
+        executed = [0] * len(self.boards)
+        if only is None:
+            selected = list(range(len(self.boards)))
+        else:
+            selected = list(only)
+        selected = [i for i in selected if not self.boards[i].done]
+        if not selected or P == 0:
+            return executed
+        steps = {self.boards[i].spec.period_steps() for i in selected}
+        if len(steps) != 1:
+            raise ValueError(
+                f"lockstep schedule requires one shared period length, "
+                f"got {sorted(steps)}"
+            )
+        period_steps = steps.pop()
+        p = 0
+        while p < P and selected:
+            fused = 0
+            if block_periods > 0:
+                fused = self._run_fused_schedule(
+                    selected, fb_list, fl_list, p,
+                    min(block_periods, P - p), period_steps, executed,
+                )
+            if fused == 0:
+                # Exact per-period fallback: real actuation calls, then
+                # the (churn-tolerant) per-period vector path.
+                for i in selected:
+                    board = self.boards[i]
+                    board.set_cluster_frequency(BIG, fb_list[p])
+                    board.set_cluster_frequency(LITTLE, fl_list[p])
+                ran = self.run_period_bank(period_steps, only=selected)
+                for i in selected:
+                    executed[i] += ran[i]
+                p += 1
+            else:
+                p += fused
+            selected = [i for i in selected if not self.boards[i].done]
+        return executed
+
+    def _resolve_entry(self, spec, raw_big, raw_little):
+        """Replicate ``_validate_command`` + DVFS snap for one schedule
+        entry; returns ``(fb, fl, rejected_big, rejected_little)`` or
+        ``None`` for a non-finite command (which the exact path must
+        handle: the previous frequency survives, making the effective
+        schedule state-dependent)."""
+        key = (id(spec), raw_big, raw_little)
+        cached = self._snap_cache.get(key)
+        if cached is not None and cached[0] is spec:
+            return cached[1]
+        out = []
+        rej = []
+        for name, raw in ((BIG, raw_big), (LITTLE, raw_little)):
+            rng = spec.cluster(name).freq_range
+            try:
+                value = float(raw)
+                finite = bool(np.isfinite(value))
+            except (TypeError, ValueError):
+                finite = False
+            if not finite:
+                return None  # not cacheable: NaN keys never match
+            if value < rng.low - 1e-9 or value > rng.high + 1e-9:
+                rej.append(1)
+                value = float(min(max(value, rng.low), rng.high))
+            else:
+                rej.append(0)
+            out.append(rng.snap(value))
+        entry = (out[0], out[1], rej[0], rej[1])
+        if len(self._snap_cache) > 1024:
+            self._snap_cache.clear()
+        self._snap_cache[key] = (spec, entry)
+        return entry
+
+    def _set_frequency_raw(self, board, fb, fl):
+        """Write already-snapped frequencies with epoch semantics."""
+        for name, f in ((BIG, fb), (LITTLE, fl)):
+            runtime = board.clusters[name]
+            if f != runtime.frequency:
+                board._actuation_epoch += 1
+                runtime.frequency = f
+
+    def _run_fused_schedule(self, indices, fb_list, fl_list, p, K,
+                            period_steps, executed):
+        """Fuse up to ``K`` periods of the schedule starting at ``p``.
+
+        Returns the number of periods actually fused (0 = the caller must
+        fall back to the exact per-period path for period ``p``).  Only
+        mutates board state when it returns nonzero — except the
+        actuation/placement epochs and plan caches, which are
+        cache-bookkeeping and may tick conservatively during probing.
+        """
+        boards = self.boards
+        spec0 = boards[indices[0]].spec
+        if not self.enable_vector_path or not self._const["monotone"]:
+            return 0
+        for i in indices:
+            board = boards[i]
+            if (
+                board.spec is not spec0
+                or i in self._tick_hooks
+                or not board.enable_fast_path
+                or board.fault_hooks is not None
+            ):
+                return 0
+        key_boards = tuple(indices)
+        S = self._slices(key_boards, [boards[i] for i in indices])
+        em = S["em"]
+        for e in em:
+            state = e.state
+            if (
+                state.thermal_throttled
+                or state.power_throttled[BIG]
+                or state.power_throttled[LITTLE]
+            ):
+                return 0
+
+        # --- resolve + dedup the block's schedule entries ---------------
+        entries = []
+        for q in range(p, p + K):
+            ent = self._resolve_entry(spec0, fb_list[q], fl_list[q])
+            if ent is None:
+                break  # non-finite command: exact path owns carry-forward
+            entries.append(ent)
+        K = len(entries)
+        if K == 0:
+            return 0
+        op_index = {}
+        ops = []
+        op_of = []
+        for fb, fl, _, _ in entries:
+            okey = (fb, fl)
+            if okey not in op_index:
+                op_index[okey] = len(ops)
+                ops.append(okey)
+            op_of.append(op_index[okey])
+
+        # --- probe: window plans per lane per distinct operating point --
+        # Planning needs each board *at* the operating point, so the probe
+        # writes the snapped frequencies (epoch semantics preserved) and
+        # restores the final state afterwards.  Plans come from the tier
+        # caches — after the first block a steady schedule costs one dict
+        # hit per lane per distinct op.
+        f_initial = [
+            (boards[i].clusters[BIG].frequency,
+             boards[i].clusters[LITTLE].frequency)
+            for i in indices
+        ]
+        plans_by_op = []
+        ok = True
+        for fb, fl in ops:
+            plans = {}
+            for i in indices:
+                self._set_frequency_raw(boards[i], fb, fl)
+                plan = self._plan_for(i)
+                if plan is None:
+                    ok = False  # stall draining / membership refusal
+                    break
+                plans[i] = plan
+            if not ok:
+                break
+            plans_by_op.append(plans)
+        if not ok:
+            for i, (fb, fl) in zip(indices, f_initial):
+                self._set_frequency_raw(boards[i], fb, fl)
+            return 0
+
+        # --- credit horizon across the whole block ----------------------
+        # One _CreditSchedule per op; the cell lists are structurally
+        # identical (same threads, same placement — only the per-tick
+        # amounts differ with frequency), so they can share one live value
+        # array and the most conservative horizon bounds the whole block.
+        schedules = []
+        for e, (fb, fl) in enumerate(ops):
+            sched, _ = self._credit_schedule_for(
+                key_boards, indices, plans_by_op[e]
+            )
+            schedules.append(sched)
+        base = schedules[0]
+        base.refresh()
+        safe = base.safe_ticks(K * period_steps)
+        cells0 = base.cells
+        for sched in schedules[1:]:
+            if len(sched.cells) != len(cells0) or any(
+                a is not b
+                for (_, a), (_, b) in zip(sched.cells, cells0)
+            ):
+                # Structure diverged (shouldn't happen for pure DVFS
+                # moves); stay exact via the per-period path.
+                for i, (fb, fl) in zip(indices, f_initial):
+                    self._set_frequency_raw(boards[i], fb, fl)
+                return 0
+            sched.refresh()
+            safe = min(safe, sched.safe_ticks(K * period_steps))
+            sched.vals = base.vals  # shared live values
+            sched.scattered = False
+        k_fused = min(K, safe // period_steps if period_steps else 0)
+        if k_fused == 0:
+            for i, (fb, fl) in zip(indices, f_initial):
+                self._set_frequency_raw(boards[i], fb, fl)
+            return 0
+
+        # --- whole-block no-trip bound (see _run_vector_window) ---------
+        # The fixed point runs over the elementwise max of every op's
+        # power map: power is monotone nondecreasing in temperature for
+        # every op (leak_ok), so a common Tub with target_e(Tub) <= Tub
+        # for all ops bounds the trajectory through any op sequence.
+        terms_by_op = [
+            self._lane_terms(key_boards, indices, plans_by_op[e])
+            for e in range(len(ops))
+        ]
+        if not all(t[7] for t in terms_by_op):  # leak_ok per op
+            for i, (fb, fl) in zip(indices, f_initial):
+                self._set_frequency_raw(boards[i], fb, fl)
+            return 0
+        ambient = S["ambient"]
+        resistance = S["resistance"]
+        lweight = S["lweight"]
+        thresh_m = S["thresh"]
+        limit_m = S["limit"]
+        temp_trip = S["temp_trip"]
+        T0 = np.array([t.temperature for t in S["thermals"]])
+
+        def power_ub(Tub):
+            p_ubs = []
+            for t in terms_by_op:
+                dyn_m, leak_m, ltc_m, idle_m = t[2], t[3], t[4], t[5]
+                factor = 1.0 + ltc_m * (Tub - _REFERENCE_TEMP)
+                p_ubs.append(dyn_m + leak_m * np.maximum(factor, 0.2)
+                             + idle_m)
+            return p_ubs
+
+        def target_of(p_ubs):
+            target = None
+            for p_ub in p_ubs:
+                t_e = ambient + resistance * (p_ub[0] + lweight * p_ub[1])
+                target = t_e if target is None else np.maximum(target, t_e)
+            return target
+
+        fkey = (key_boards, self._plan_gen,
+                tuple(id(t) for t in terms_by_op))
+        holder = self._fused_ub.get(fkey)
+        if holder is None:
+            if len(self._fused_ub) > 256:
+                self._fused_ub.clear()
+            holder = self._fused_ub[fkey] = [None]
+        quiet = False
+        ub = holder[0]
+        if ub is not None and bool((T0 <= ub).all()):
+            quiet = True
+        else:
+            Tub = T0
+            p_ubs = None
+            for _ in range(6):
+                p_ubs = power_ub(Tub)
+                target = target_of(p_ubs)
+                if (target <= Tub).all():
+                    break
+                Tub = np.maximum(Tub, target)
+            else:
+                # Tub was raised to max(Tub, target) on the last pass, so
+                # first re-verify the bound at the raised candidate; if
+                # float arithmetic still hasn't closed, pad past the fixed
+                # point (any X with target(X) <= X bounds the trajectory
+                # by the same induction) and verify once.
+                p_ubs = power_ub(Tub)
+                target = target_of(p_ubs)
+                if not (target <= Tub).all():
+                    gap = float((target - Tub).max())
+                    if gap < 1e-3:
+                        Tub = Tub + 2.0 * gap + 1e-9
+                        p_ubs = power_ub(Tub)
+                        target = target_of(p_ubs)
+                        if not (target <= Tub).all():
+                            p_ubs = None
+                    else:
+                        p_ubs = None
+            if (
+                p_ubs is not None
+                and (Tub < temp_trip - 1e-9).all()
+                and all((p_ub < thresh_m - 1e-9).all() for p_ub in p_ubs)
+                and all((p_ub < limit_m - 1e-9).all() for p_ub in p_ubs)
+            ):
+                quiet = True
+                holder[0] = Tub
+        if not quiet:
+            for i, (fb, fl) in zip(indices, f_initial):
+                self._set_frequency_raw(boards[i], fb, fl)
+            return 0
+
+        # --- commit: leave each board at the last fused period's op -----
+        fb_last, fl_last = ops[op_of[k_fused - 1]]
+        for i in indices:
+            self._set_frequency_raw(boards[i], fb_last, fl_last)
+        # Rejected-command bookkeeping, exactly one increment per clamped
+        # command per board per period (integer adds commute with the
+        # stepping, so batching them is exact).
+        rej_b = sum(entries[q][2] for q in range(k_fused))
+        rej_l = sum(entries[q][3] for q in range(k_fused))
+        if rej_b or rej_l:
+            for i in indices:
+                board = boards[i]
+                board.rejected_actuations["frequency"] += rej_b + rej_l
+                if board.telemetry is not None:
+                    board.telemetry.rejected.labels(kind="frequency").inc(
+                        rej_b + rej_l
+                    )
+
+        self._run_fused_block(
+            indices, S, op_of[:k_fused], ops, plans_by_op, terms_by_op,
+            schedules, period_steps,
+        )
+        ticks = k_fused * period_steps
+        for i in indices:
+            executed[i] += ticks
+        return k_fused
+
+    def _run_fused_block(self, indices, S, op_of, ops, plans_by_op,
+                         terms_by_op, schedules, period_steps):
+        """Advance all lanes ``len(op_of)`` periods in one resident pass.
+
+        Preconditions (established by :meth:`_run_fused_schedule`): every
+        lane is planned for every distinct operating point, the whole
+        block is proven emergency-quiet (the per-tick firmware machine
+        collapses to the under-limit clocks, exactly like the per-period
+        quiet path), and the credit horizon covers every tick.  Board
+        state is gathered once, stepped ``periods x period_steps`` ticks
+        with per-period rebinding of the plan-constant matrices, and
+        scattered once — the per-tick float sequence is identical to
+        :meth:`_run_vector_window`'s proven-quiet path, so the result is
+        bit-identical to per-period stepping.
+        """
+        boards = [self.boards[i] for i in indices]
+        B = len(boards)
+        dt = self._dt
+        K = len(op_of)
+        total = K * period_steps
+        ix = S["ix"]
+        static = S["static"]
+        ambient = S["ambient"]
+        resistance = S["resistance"]
+        lweight = S["lweight"]
+        alpha = S["alpha"]
+        sdt_m = S["sdt"]
+        speriod_m = S["speriod"]
+        noise_rms = S["noise_rms"]
+
+        sens_b = S["sens_b"]
+        sens_l = S["sens_l"]
+        thermals = S["thermals"]
+        em = S["em"]
+        g = np.array([
+            [t.temperature for t in thermals],
+            [b.energy for b in boards],
+            [s._accumulated for s in sens_b],
+            [s._accumulated for s in sens_l],
+            [s._latched for s in sens_b],
+            [s._latched for s in sens_l],
+            [c.total_giga for c in S["pc_b"]],
+            [c.total_giga for c in S["pc_l"]],
+            [s._elapsed for s in sens_b],
+            [s._elapsed for s in sens_l],
+            [b.time for b in boards],
+            [e._under_power_time[BIG] for e in em],
+            [e._under_power_time[LITTLE] for e in em],
+        ])
+        T = g[0]
+        energy = g[1]
+        acc_m = g[2:4]
+        latch_m = g[4:6]
+        itotal_m = g[6:8]
+        elap_m = g[8:10]
+        time_arr = g[10]
+        under_m = g[11:13]
+        inc = np.empty((7, B))
+        inc[2:4] = sdt_m
+        inc[4:7] = dt
+
+        # Per-board RNG noise for the whole block (block draw == the
+        # scalar path's sequential draws; the block always completes, so
+        # no rewind is ever needed).
+        noise = np.zeros((B, total))
+        for k, board in enumerate(boards):
+            if noise_rms[k] > 0:
+                noise[k] = board.temp_sensor._rng.normal(
+                    scale=noise_rms[k], size=total
+                )
+
+        track = self.track_violations
+        temp_limit = S["temp_limit"] if track else None
+        limit_m = S["limit"]
+        tv = self.temp_violation_time
+        pv = self.power_violation_time
+        any_record = any(b.trace is not None for b in boards)
+        no_emergency = np.zeros(B, dtype=bool) if any_record else None
+
+        p_m = None
+        for q in range(K):
+            e = op_of[q]
+            terms = terms_by_op[e]
+            dyn_m, leak_m, ltc_m, idle_m, instr_m = terms[2:7]
+            inc[0:2] = instr_m
+            sched = schedules[e]
+            if any_record:
+                hist = {name: [] for name in ("power", "temperature",
+                                              "time")}
+            for _ in range(period_steps):
+                factor = 1.0 + ltc_m * (T - _REFERENCE_TEMP)
+                p_m = dyn_m + leak_m * np.maximum(factor, 0.2) + idle_m
+                sched.tick()
+                p_b = p_m[0]
+                p_l = p_m[1]
+                target = ambient + resistance * (p_b + lweight * p_l)
+                T = T + alpha * (target - T)
+                energy += (p_b + p_l + static) * dt
+                acc_m += p_m * sdt_m
+                g[6:13] += inc
+                latching = elap_m + 1e-12 >= speriod_m
+                if latching.any():
+                    latch_m = np.where(latching, acc_m / elap_m, latch_m)
+                    acc_m[latching] = 0.0
+                    elap_m[latching] = 0.0
+                if track:
+                    hot = T > temp_limit
+                    if hot.any():
+                        tv[ix[hot]] += dt
+                    loud = p_b > limit_m[0]
+                    if loud.any():
+                        pv[ix[loud]] += dt
+                if any_record:
+                    hist["power"].append(p_m)
+                    hist["temperature"].append(T)
+                    hist["time"].append(time_arr.copy())
+            if any_record:
+                # Per-period trace flush: the recorded frequencies are the
+                # op's snapped values (quiet block: no emergency caps).
+                fb, fl = ops[e]
+                hist["freq_big"] = [np.full(B, fb)] * period_steps
+                hist["freq_little"] = [np.full(B, fl)] * period_steps
+                hist["emergency"] = [no_emergency] * period_steps
+                for k, board in enumerate(boards):
+                    if board.trace is not None:
+                        self._extend_trace(board, k, hist, period_steps,
+                                           plans_by_op[e][indices[k]])
+
+        schedules[0].scatter()
+        last_temp = T + noise[:, total - 1]
+
+        T_out = T.tolist()
+        energy_out = energy.tolist()
+        time_out = time_arr.tolist()
+        acc_out = acc_m.tolist()
+        elap_out = elap_m.tolist()
+        latch_out = latch_m.tolist()
+        itotal_out = itotal_m.tolist()
+        last_out = last_temp.tolist()
+        under_out = under_m.tolist()
+        pb_out = p_m[0].tolist()
+        pl_out = p_m[1].tolist()
+        last_plans = plans_by_op[op_of[-1]]
+        for k, board in enumerate(boards):
+            thermals[k].temperature = T_out[k]
+            board.energy = energy_out[k]
+            board.time = time_out[k]
+            sensor = sens_b[k]
+            sensor._accumulated = acc_out[0][k]
+            sensor._elapsed = elap_out[0][k]
+            sensor._latched = latch_out[0][k]
+            sensor = sens_l[k]
+            sensor._accumulated = acc_out[1][k]
+            sensor._elapsed = elap_out[1][k]
+            sensor._latched = latch_out[1][k]
+            S["pc_b"][k].total_giga = itotal_out[0][k]
+            S["pc_l"][k].total_giga = itotal_out[1][k]
+            board.temp_sensor._last = last_out[k]
+            e = em[k]
+            e._under_power_time[BIG] = under_out[0][k]
+            e._under_power_time[LITTLE] = under_out[1][k]
+            # Scalar stepping zeroes the over-threshold timers on every
+            # under-threshold tick, and every quiet-block tick is under
+            # threshold; throttle flags, trip counts, and hold clocks
+            # provably did not move.
+            e._over_power_time[BIG] = 0.0
+            e._over_power_time[LITTLE] = 0.0
+            board._instant_power = {BIG: pb_out[k], LITTLE: pl_out[k]}
+            board._instant_bips = last_plans[indices[k]].bips
+        self.windows += 1
+        self.fused_blocks += 1
+        self.fused_ticks += total * B
+        self.vector_ticks += total * B
+        if self.telemetry is not None:
+            self.telemetry.bank_windows.inc()
+            self.telemetry.bank_board_ticks.inc(total * B)
+
+    def _run_vector_window(self, indices, plans, max_ticks):
+        """Advance every planned board ``<= max_ticks`` ticks in lockstep.
+
+        Returns the number of ticks executed (shared across boards: the
+        window ends for everyone at the first board event, after the
+        offending tick — exactly where scalar stepping would re-plan).
+        """
+        boards = [self.boards[i] for i in indices]
+        B = len(boards)
+        dt = self._dt
+        key_boards = tuple(indices)
+
+        # --- constants, sliced to this window's lanes (cached) ----------
+        S = self._slices(key_boards, boards)
+        ix = S["ix"]
+        static = S["static"]
+        ambient = S["ambient"]
+        resistance = S["resistance"]
+        lweight = S["lweight"]
+        alpha = S["alpha"]
+        temp_trip = S["temp_trip"]
+        temp_clear = S["temp_clear"]
+        throttle_freq = S["throttle_freq"]
+        limit_m = S["limit"]
+        thresh_m = S["thresh"]
+        sdt_m = S["sdt"]
+        speriod_m = S["speriod"]
+        noise_rms = S["noise_rms"]
+
+        # --- step-invariant plan terms, clusters stacked on axis 0 ------
+        lanes = self._lane_terms(key_boards, indices, plans)
         _, _, dyn_m, leak_m, ltc_m, idle_m, instr_m, leak_ok, ub_holder = lanes
         window_credits = [plans[i].credits for i in indices]
 
@@ -689,14 +1522,21 @@ class BoardBank:
         ):
             schedule, guards = cached_sched
             schedule.refresh()
-        else:
+        elif max_ticks >= 4:
             schedule = _CreditSchedule(indices, plans)
             schedule.plan_ident = works_list
             guards = [_MembershipGuard(plans[i]) for i in indices]
             if len(self._sched_cache) > 256:
                 self._sched_cache.clear()
             self._sched_cache[sched_key] = (schedule, guards)
-        n_vec = schedule.safe_ticks(max_ticks)
+        else:
+            # Tiny remainder window (e.g. the one-tick tail left when a
+            # stall peel de-syncs a lane from the rest of the period):
+            # building a credit schedule costs more than it could save, so
+            # credit in Python from tick zero — the exact path anyway.
+            schedule = None
+            guards = [_MembershipGuard(plans[i]) for i in indices]
+        n_vec = 0 if schedule is None else schedule.safe_ticks(max_ticks)
 
         # --- mutable board state, copied into lanes ---------------------
         # One array build for all the float lanes.  Rows 6..12 (retired
@@ -772,7 +1612,37 @@ class BoardBank:
                             break
                         Tub = np.maximum(Tub, target)
                     else:
-                        p_ub = None  # no contraction: exact machine
+                        # Tub was raised to max(Tub, target) on the last
+                        # pass, so re-verify the bound at the raised
+                        # candidate first.  If float arithmetic still
+                        # hasn't closed (the gap contracts geometrically
+                        # but float equality can take a dozen iterations),
+                        # any X with target(X) <= X bounds the trajectory
+                        # by the same induction: pad the candidate past
+                        # the fixed point and verify the bound once.
+                        factor = 1.0 + ltc_m * (Tub - _REFERENCE_TEMP)
+                        p_ub = (dyn_m + leak_m * np.maximum(factor, 0.2)
+                                + idle_m)
+                        target = ambient + resistance * (
+                            p_ub[0] + lweight * p_ub[1]
+                        )
+                        if not (target <= Tub).all():
+                            gap = float((target - Tub).max())
+                            if gap < 1e-3:
+                                Tub = Tub + 2.0 * gap + 1e-9
+                                factor = 1.0 + ltc_m * (
+                                    Tub - _REFERENCE_TEMP
+                                )
+                                p_ub = (dyn_m
+                                        + leak_m * np.maximum(factor, 0.2)
+                                        + idle_m)
+                                target = ambient + resistance * (
+                                    p_ub[0] + lweight * p_ub[1]
+                                )
+                                if not (target <= Tub).all():
+                                    p_ub = None  # no contraction: exact
+                            else:
+                                p_ub = None  # no contraction: exact
                     if (
                         p_ub is not None
                         and (Tub < temp_trip - 1e-9).all()
@@ -853,7 +1723,7 @@ class BoardBank:
             if ticks < n_vec:
                 schedule.tick()
             else:
-                if not schedule.scattered:
+                if schedule is not None and not schedule.scattered:
                     schedule.scatter()
                 now = time_arr + dt
                 for k in range(B):
@@ -985,7 +1855,8 @@ class BoardBank:
             if stop:
                 break
 
-        schedule.scatter()
+        if schedule is not None:
+            schedule.scatter()
         # The last sensed temperature: final true temperature plus the
         # final tick's noise draw (T is not rebound after its update, so
         # computing this once here matches the per-tick value exactly).

@@ -139,11 +139,15 @@ class Board:
         self._bips_buf = {BIG: 0.0, LITTLE: 0.0}
         self._busy_buf = {BIG: [], LITTLE: []}
         # Monotonic change counters consumed by BoardBank's plan-reuse
-        # logic: _actuation_epoch ticks on every actuation-API call,
-        # _placement_epoch only on calls that can move threads or cores
-        # (DVFS leaves thread placement — and hence the plan's placement
-        # layout — untouched).  Bumping conservatively (even for clamped
-        # or no-op commands) costs only a cache miss, never correctness.
+        # logic: _actuation_epoch ticks on every actuation call that lands
+        # a real state change, _placement_epoch only on calls that can
+        # move threads or cores (DVFS leaves thread placement — and hence
+        # the plan's placement layout — untouched).  No-op commands
+        # (repeating the current frequency/count, an identical placement
+        # deal, a rejected value) change nothing a plan depends on, so
+        # they must not invalidate cached plans; every stall-charging
+        # path bumps _placement_epoch, which the bank also uses to skip
+        # redundant stall scans.
         self._actuation_epoch = 0
         self._placement_epoch = 0
         self._default_placement()
@@ -184,7 +188,6 @@ class Board:
         Invalid commands are clamped-and-counted (see ``_validate_command``);
         a non-finite command leaves the current frequency untouched.
         """
-        self._actuation_epoch += 1
         spec = self.spec.cluster(cluster_name)
         freq_ghz = self._validate_command(
             "frequency", freq_ghz, spec.freq_range.low, spec.freq_range.high
@@ -193,12 +196,16 @@ class Board:
             return
         if self.fault_hooks is not None and self.fault_hooks.blocks_dvfs(cluster_name):
             return  # DVFS write silently dropped (injected actuator fault)
-        self.clusters[cluster_name].frequency = spec.freq_range.snap(freq_ghz)
+        runtime = self.clusters[cluster_name]
+        snapped = spec.freq_range.snap(freq_ghz)
+        if snapped != runtime.frequency:
+            # Re-commanding the current frequency is a no-op and must not
+            # invalidate cached plans (excitation sequences hold levels).
+            self._actuation_epoch += 1
+            runtime.frequency = snapped
 
     def set_active_cores(self, cluster_name, count):
         """Hotplug cores on/off; clamped to [1, 4]; charges a stall."""
-        self._actuation_epoch += 1
-        self._placement_epoch += 1
         spec = self.spec.cluster(cluster_name)
         runtime = self.clusters[cluster_name]
         count = self._validate_command("cores", count, 1, spec.n_cores)
@@ -210,14 +217,16 @@ class Board:
             return  # hotplug request silently dropped (injected fault)
         count = int(round(count))
         if count != runtime.cores_on:
+            # Only a real hotplug moves threads; repeating the current
+            # count is a no-op and must not invalidate cached plans.
+            self._actuation_epoch += 1
+            self._placement_epoch += 1
             runtime.pending_hotplug_stall += self.spec.hotplug_cost_s
             runtime.cores_on = count
             self._repack_overflow(cluster_name)
 
     def set_placement_knobs(self, n_threads_big, tpc_big, tpc_little):
         """Software-layer actuation: the three aggregate placement knobs."""
-        self._actuation_epoch += 1
-        self._placement_epoch += 1
         total_cores = self.spec.big.n_cores + self.spec.little.n_cores
         n_threads_big = self._validate_command(
             "placement", n_threads_big, 0, 4 * total_cores
@@ -237,10 +246,16 @@ class Board:
             self.clusters[BIG].cores_on,
             self.clusters[LITTLE].cores_on,
         )
+        if new_assignment == self.placement.assignment:
+            return  # identical deal: no migrations, keep cached plans valid
+        self._actuation_epoch += 1
+        self._placement_epoch += 1
         self.placement.apply(new_assignment, self.spec.migration_cost_s)
 
     def set_raw_placement(self, assignment):
         """Direct per-core assignment (used by heuristic OS controllers)."""
+        if assignment == self.placement.assignment:
+            return  # identical deal: no migrations, keep cached plans valid
         self._actuation_epoch += 1
         self._placement_epoch += 1
         self.placement.apply(assignment, self.spec.migration_cost_s)
@@ -383,8 +398,9 @@ class Board:
         ticks actually executed.
         """
         executed = 0
+        fast = self.enable_fast_path  # hoisted: one attribute read per call
         while executed < n_steps and not self.done:
-            plan = plan_window(self) if self.enable_fast_path else None
+            plan = plan_window(self) if fast else None
             if plan is None:
                 self.step()
                 executed += 1
@@ -399,11 +415,18 @@ class Board:
         by the experiment runner instead, so this is mostly for tests.
         """
         end = self.time + duration if duration is not None else max_time
-        while self.time < end:
-            if duration is None and self.done:
-                break
-            self.step()
-            if callback is not None:
+        if callback is None:
+            # Hoisted is-None check: the common no-callback loop pays no
+            # per-tick branch for the disabled path.
+            while self.time < end:
+                if duration is None and self.done:
+                    break
+                self.step()
+        else:
+            while self.time < end:
+                if duration is None and self.done:
+                    break
+                self.step()
                 callback(self)
         return self
 

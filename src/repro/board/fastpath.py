@@ -165,14 +165,44 @@ def plan_window(board, memo=None):
                 for (thread, _), done in zip(core_threads, work):
                     credits.append((phase_of[thread][0], thread, done))
     else:
-        bw_scale = board._bandwidth_scale(phase_of)
+        # The joint key above misses whenever *any* knob moved, but each
+        # quantity below depends on only a slice of it, so sub-memo the
+        # slices: the DRAM-contention factor is a pure function of the
+        # placed phase characteristics, and each cluster's plan/credit
+        # arithmetic is a pure function of that cluster's operating point
+        # plus the shared contention factor.  Exact for the same reason
+        # the joint memo is: cached numbers are pure functions of the key.
+        bw_scale = None
+        if memo is not None:
+            bw_key = ("bw", id(spec), sb, sl)
+            bw_cached = memo.get(bw_key)
+            if bw_cached is not None and bw_cached[0] is spec:
+                bw_scale = bw_cached[1]
+        if bw_scale is None:
+            bw_scale = board._bandwidth_scale(phase_of)
+            if memo is not None:
+                memo[bw_key] = (spec, bw_scale)
         plans = {}
         credits = []
         bips = {}
         works = {}
         for name in (BIG, LITTLE):
             cspec = spec.cluster(name)
-            freq, cores_active, per_core, _ = layout[name]
+            freq, cores_active, per_core, sig = layout[name]
+            centry = None
+            if memo is not None:
+                ckey = ("cluster", id(spec), name, freq, cores_active,
+                        sig, bw_scale)
+                centry = memo.get(ckey)
+                if centry is not None and centry[0] is not spec:
+                    centry = None
+            if centry is not None:
+                _, plans[name], cluster_works, bips[name] = centry
+                works[name] = cluster_works
+                for core_threads, work in zip(per_core, cluster_works):
+                    for (thread, _), done in zip(core_threads, work):
+                        credits.append((phase_of[thread][0], thread, done))
+                continue
             busy_activity = []
             instructions = 0.0
             cluster_works = []
@@ -208,6 +238,8 @@ def plan_window(board, memo=None):
                     powered=True,
                 )
             bips[name] = instructions / dt
+            if memo is not None:
+                memo[ckey] = (spec, plans[name], cluster_works, bips[name])
         if memo is not None:
             memo[key] = (spec, plans, bips, works)
     return WindowPlan(
@@ -263,6 +295,10 @@ def run_window(board, plan, max_steps):
     pb, pl = plan.big, plan.little
     credits = plan.credits
     snapshot = plan.emergency_snapshot
+    # Hoisted is-None checks: whether the board records a trace is fixed
+    # for the board's lifetime, so the disabled path pays one branch per
+    # window instead of one per tick.
+    record = board.trace is not None
     steps = 0
     while steps < max_steps:
         temperature = thermal.temperature
@@ -296,7 +332,7 @@ def run_window(board, plan, max_steps):
         board._instant_power = power
         board._instant_bips = plan.bips
         board.time += dt
-        if board.trace is not None:
+        if record:
             board._record(power)
         steps += 1
         if _emergency_snapshot(board) != snapshot:

@@ -190,7 +190,13 @@ def characterize_board(
     campaigns as one lockstep :class:`~repro.board.bank.BoardBank`; the
     rows — and therefore every downstream model fit and deviation bound —
     are bit-identical to the per-campaign scalar loop (``banked=False``,
-    kept as the differential reference).
+    kept as the differential reference).  The excitation re-actuates
+    cores and placement every control period, so lanes continuously
+    leave and re-enter the vector kernel; the bank peels each lane's
+    hotplug-stall ticks through the scalar stepper and re-plans only
+    the churned lane, which keeps the campaign >= 1.5x faster than the
+    scalar loop at this default width (floor measured by
+    ``benchmarks/bench_perf.py``).
     """
     hw_inputs = ["n_big_cores", "n_little_cores", "freq_big", "freq_little",
                  "n_threads_big", "tpc_big", "tpc_little"]

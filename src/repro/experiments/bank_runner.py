@@ -23,6 +23,12 @@ oracle assert the composition.
 The monolithic-LQG scheme drives a different loop (single fused
 controller, no coordinator) and is not banked; callers route it through
 :func:`run_workload` instead.
+
+Each cell's ``notes["bank"]`` carries the bank's full lockstep
+accounting (``vector_ticks`` / ``scalar_ticks`` / ``fused_blocks`` /
+``fused_ticks`` plus stall-peel and refusal events), so sweep summaries
+can report how much of a campaign actually rode the vector and fused
+kernels.
 """
 
 from __future__ import annotations

@@ -308,6 +308,164 @@ class TestBankFallback:
 
 
 # ---------------------------------------------------------------------------
+# Fused multi-period schedule kernel (run_schedule_bank)
+# ---------------------------------------------------------------------------
+def _schedule_pair(spec, workloads, fb, fl, block_periods, seed0=11,
+                   record=True, reference_fast_path=True):
+    """``run_schedule_bank`` vs the per-board per-period reference loop."""
+    def make(k):
+        w = workloads[k]
+        apps = make_mix(w[4:]) if w.startswith("mix:") else make_application(w)
+        return Board(apps, spec=spec, seed=seed0 + k, record=record,
+                     telemetry=None)
+
+    banked = [make(k) for k in range(len(workloads))]
+    bank = BoardBank(banked, telemetry=None)
+    executed = bank.run_schedule_bank(fb, fl, block_periods=block_periods)
+
+    reference = [make(k) for k in range(len(workloads))]
+    ref_ticks = [0] * len(reference)
+    for k, board in enumerate(reference):
+        board.enable_fast_path = reference_fast_path
+        for p in range(len(fb)):
+            if board.done:
+                break
+            board.set_cluster_frequency(BIG, fb[p])
+            board.set_cluster_frequency(LITTLE, fl[p])
+            if reference_fast_path:
+                ref_ticks[k] += board.run_period(spec.period_steps())
+            else:
+                for _ in range(spec.period_steps()):
+                    if board.done:
+                        break
+                    board.step()
+                    ref_ticks[k] += 1
+    return bank, banked, reference, executed, ref_ticks
+
+
+def _cyclic_schedule(periods):
+    """A fusible DVFS cycle: operating points cool enough that the
+    whole-block no-trip bound holds for every workload used here (a hot
+    lane would make the kernel — correctly — refuse to fuse)."""
+    fb = [0.8 + 0.1 * (p % 4) for p in range(periods)]
+    fl = [0.5 + 0.05 * (p % 4) for p in range(periods)]
+    return fb, fl
+
+
+class TestFusedSchedule:
+    def test_matches_per_period_loop_and_fuses(self):
+        """The fused kernel must both engage and stay bit-identical —
+        including clamp-and-count of out-of-range commands inside a
+        fused block."""
+        spec = default_xu3_spec()
+        workloads = ["blackscholes", "mcf", "mix:blmc", "gamess"]
+        fb, fl = _cyclic_schedule(40)
+        fb[5] = -3.0  # below range: clamped, counted, still fusible
+        fl[23] = 99.0  # above range likewise
+        bank, banked, reference, executed, ref_ticks = _schedule_pair(
+            spec, workloads, fb, fl, block_periods=16
+        )
+        assert bank.fused_blocks > 0, "fused kernel never engaged"
+        assert executed == ref_ticks
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"board {k}")
+            assert a.rejected_actuations == b.rejected_actuations, \
+                f"board {k} rejected counters"
+
+    @pytest.mark.parametrize("block", [1, 7, 64])
+    def test_k_boundary_cases(self, block):
+        """K=1 (degenerate blocks), 40 % 7 != 0 (partial final block),
+        and block > P (whole schedule in one block) all stay exact."""
+        spec = default_xu3_spec()
+        workloads = ["blackscholes", "mix:blmc"]
+        fb, fl = _cyclic_schedule(40)
+        bank, banked, reference, executed, ref_ticks = _schedule_pair(
+            spec, workloads, fb, fl, block_periods=block
+        )
+        assert bank.fused_blocks > 0
+        assert executed == ref_ticks
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"block={block} board {k}")
+
+    def test_nonfinite_entries_carry_forward(self):
+        """NaN/inf commands must be dropped-and-counted with the previous
+        frequency surviving — the exact per-period path owns those
+        periods, fused blocks resume after them."""
+        spec = default_xu3_spec()
+        workloads = ["blackscholes", "gamess"]
+        fb, fl = _cyclic_schedule(30)
+        fb[10] = float("nan")
+        fl[17] = float("inf")
+        bank, banked, reference, executed, ref_ticks = _schedule_pair(
+            spec, workloads, fb, fl, block_periods=8
+        )
+        assert bank.fused_blocks > 0
+        assert executed == ref_ticks
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"board {k}")
+            assert a.nonfinite_commands == b.nonfinite_commands, \
+                f"board {k} nonfinite counters"
+
+    def test_lane_completes_mid_schedule(self):
+        """A lane finishing its program must drop out exactly where the
+        reference does (the credit horizon shrinks its fused blocks as
+        the end approaches; it can never die inside one)."""
+        spec = default_xu3_spec()
+        workloads = ["vips", "swaptions", "vips"]
+        periods = 800
+        fb = [1.2 + 0.1 * (p % 2) for p in range(periods)]
+        fl = [0.8 + 0.05 * (p % 3) for p in range(periods)]
+        bank, banked, reference, executed, ref_ticks = _schedule_pair(
+            spec, workloads, fb, fl, block_periods=16, record=False
+        )
+        assert executed == ref_ticks
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            assert a.done and b.done, f"board {k} did not complete"
+            _assert_boards_identical(a, b, label=f"board {k}")
+
+    def test_emergency_churn_keeps_vector_path(self):
+        """A schedule hot enough to trip the emergency firmware must fall
+        back per-period (never a whole-bank scalar bailout): the divergent
+        lane peels, every lane re-enters the vector kernel."""
+        spec = default_xu3_spec()
+        workloads = ["mix:blmc", "mix:stga", "mix:blst", "mix:mcga"]
+        periods = 120
+        fb = [2.0] * periods
+        fl = [1.4] * periods
+        bank, banked, reference, executed, ref_ticks = _schedule_pair(
+            spec, workloads, fb, fl, block_periods=16
+        )
+        assert any(
+            b.emergency.state.trip_count > 0 for b in banked
+        ), "scenario no longer trips the emergency firmware"
+        counters = bank.counters()
+        assert counters["vector_ticks"] > counters["scalar_ticks"], \
+            "emergency churn pushed the bank off the vector path"
+        assert executed == ref_ticks
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"board {k}")
+
+    def test_schedule_length_mismatch_raises(self):
+        spec = default_xu3_spec()
+        board = Board(make_application("mcf"), spec=spec, seed=1,
+                      record=False)
+        bank = BoardBank([board], telemetry=None)
+        with pytest.raises(ValueError, match="length mismatch"):
+            bank.run_schedule_bank([1.0, 1.2], [0.8])
+
+    def test_only_restricts_schedule(self):
+        spec = default_xu3_spec()
+        boards = [Board(make_application("mcf"), spec=spec, seed=k,
+                        record=False) for k in range(3)]
+        bank = BoardBank(boards, telemetry=None)
+        fb, fl = _cyclic_schedule(5)
+        executed = bank.run_schedule_bank(fb, fl, only=[1])
+        assert executed[0] == 0 and executed[2] == 0
+        assert executed[1] == 5 * spec.period_steps()
+        assert boards[0].time == 0.0 and boards[2].time == 0.0
+
+
+# ---------------------------------------------------------------------------
 # Property: random specs, random schedules, scalar reference
 # ---------------------------------------------------------------------------
 class TestBankProperties:
@@ -326,6 +484,57 @@ class TestBankProperties:
         )
         for k, (a, b) in enumerate(zip(banked, reference)):
             _assert_boards_identical(a, b, label=f"board {k}")
+
+    @given(spec=board_specs(), seed=st.integers(min_value=0, max_value=9999),
+           block=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_fused_schedule_matches_pure_scalar(self, spec, seed, block):
+        """Random specs, random full-range DVFS schedules (hot points trip
+        the emergency firmware on some examples), and a random mid-run
+        hotplug: the fused kernel must replay pure-scalar boards
+        bit-exactly whatever mix of fused blocks, per-period fallback,
+        and stall peeling the run goes through."""
+        rng = np.random.default_rng(seed)
+        workloads = ["blackscholes", "mcf", "gamess"]
+        periods = 6
+        rb = spec.cluster(BIG).freq_range
+        rl = spec.cluster(LITTLE).freq_range
+        fb = [float(x) for x in rng.uniform(rb.low, rb.high, periods)]
+        fl = [float(x) for x in rng.uniform(rl.low, rl.high, periods)]
+        split = int(rng.integers(1, periods))
+        cores_b = int(rng.integers(1, spec.cluster(BIG).n_cores + 1))
+        cores_l = int(rng.integers(1, spec.cluster(LITTLE).n_cores + 1))
+
+        def make(k):
+            return Board(make_application(workloads[k]), spec=spec,
+                         seed=seed + k, record=True, telemetry=None)
+
+        banked = [make(k) for k in range(len(workloads))]
+        bank = BoardBank(banked, telemetry=None)
+        bank.run_schedule_bank(fb[:split], fl[:split], block_periods=block)
+        for board in banked:
+            if not board.done:
+                board.set_active_cores(BIG, cores_b)
+                board.set_active_cores(LITTLE, cores_l)
+        bank.run_schedule_bank(fb[split:], fl[split:], block_periods=block)
+
+        for k in range(len(workloads)):
+            board = make(k)
+            board.enable_fast_path = False
+            steps = spec.period_steps()
+            for p in range(periods):
+                if board.done:
+                    break
+                if p == split:
+                    board.set_active_cores(BIG, cores_b)
+                    board.set_active_cores(LITTLE, cores_l)
+                board.set_cluster_frequency(BIG, fb[p])
+                board.set_cluster_frequency(LITTLE, fl[p])
+                for _ in range(steps):
+                    if board.done:
+                        break
+                    board.step()
+            _assert_boards_identical(banked[k], board, label=f"board {k}")
 
 
 # ---------------------------------------------------------------------------
@@ -423,6 +632,15 @@ class TestBankIntegration:
         assert result.agree, result.render()
         assert result.max_ulp == 0.0
         assert result.tolerance_ulp == 0.0
+
+    def test_oracle_bank_schedule_agrees(self):
+        from repro.verify.oracles import oracle_bank_schedule
+
+        result = oracle_bank_schedule(periods=20)
+        assert result.agree, result.render()
+        assert result.max_ulp == 0.0
+        assert result.tolerance_ulp == 0.0
+        assert result.details["fused_blocks"] > 0
 
     def test_oracle_bank_matrix_agrees(self, design_context):
         from repro.verify.oracles import oracle_bank_matrix
