@@ -20,7 +20,8 @@ import sys
 import time
 from pathlib import Path
 
-ARTIFACTS = ("BENCH_perf.json", "BENCH_runtime.json", "BENCH_obs.json")
+ARTIFACTS = ("BENCH_perf.json", "BENCH_runtime.json", "BENCH_obs.json",
+             "BENCH_rack.json")
 HISTORY = "BENCH_history.jsonl"
 
 
@@ -80,10 +81,33 @@ def _floors_obs(obs):
                f"{limit * 100:.0f}%")
 
 
+def _floors_rack(rack):
+    overhead = rack["overhead"]
+    limit = overhead.get("limit_frac", 0.05)
+    if overhead["overhead_frac"] >= limit:
+        yield (f"rack: control overhead "
+               f"{overhead['overhead_frac'] * 100:.2f}% >= "
+               f"{limit * 100:.0f}% of stepping")
+    throughput = rack["throughput"]
+    if not throughput.get("bit_identical", True):
+        yield "rack: banked campaign diverged from scalar stepping"
+    floor = throughput.get("floor_steps_per_sec", 2000.0)
+    for cell in throughput["cells"]:
+        if cell["banked_steps_per_sec"] < floor:
+            yield (f"rack: banked throughput at n={cell['n_boards']} "
+                   f"{cell['banked_steps_per_sec']:.0f} steps/s < "
+                   f"{floor:.0f}")
+        if cell["scalar_steps_per_sec"] < floor:
+            yield (f"rack: scalar throughput at n={cell['n_boards']} "
+                   f"{cell['scalar_steps_per_sec']:.0f} steps/s < "
+                   f"{floor:.0f}")
+
+
 FLOORS = {
     "BENCH_perf.json": _floors_perf,
     "BENCH_runtime.json": _floors_runtime,
     "BENCH_obs.json": _floors_obs,
+    "BENCH_rack.json": _floors_rack,
 }
 
 

@@ -10,6 +10,7 @@ Commands
 ``exhaustion``        the guardband-exhaustion detection experiment
 ``resilience``        the fault-matrix sweep under the safe-mode supervisor
 ``three-layer``       the Sec. III-D three-layer demonstration
+``rack``              the rack-scale (third layer) campaign triple
 ``trace``             summarize a recorded telemetry directory
 ``status``            live progress/ETA/health of a (running) campaign
 ``report``            combined markdown/HTML campaign report
@@ -173,6 +174,17 @@ def main(argv=None):
     for name in figure_commands:
         p_fig = sub.add_parser(name, help=f"regenerate {name}")
         _add_context_args(p_fig)
+
+    p_rack = sub.add_parser(
+        "rack",
+        help="rack-scale campaign: facility cap distribution over a "
+             "board bank (cap step, job stream, fault reallocation)",
+    )
+    _add_context_args(p_rack)
+    p_rack.add_argument("--quick", action="store_true",
+                        help="reduced job stream / shorter horizons")
+    p_rack.add_argument("--boards", type=int, default=4,
+                        help="boards in the rack (default 4)")
 
     p_res = sub.add_parser(
         "resilience",
@@ -387,6 +399,19 @@ def _dispatch(args, figure_commands):
         )
         print(report.render())
         return 0 if report.ok else 1
+
+    if args.command == "rack":
+        # Rack campaigns build their own plant specs — no characterization
+        # context needed, so skip the design-flow spin-up entirely.
+        from repro.experiments import rack as rack_experiment
+
+        result = rack_experiment.run(
+            None, quick=args.quick, seed=args.seed, jobs=args.jobs,
+            batch=args.batch, n_boards=args.boards,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        print(result.render())
+        return 0
 
     context = _make_context(args)
 

@@ -414,6 +414,23 @@ class BoardBank:
         else:
             self._tick_hooks[index] = hook
 
+    def invalidate_board(self, index):
+        """Retire every cached plan and schedule for one board.
+
+        Plan reuse (:meth:`_plan_for`) is conditioned on the board's
+        actuation/placement epochs and on membership-guard evictions —
+        none of which tick when a caller mutates the board's workload
+        out-of-band (e.g. a rack dispatcher appending a freshly arrived
+        job's applications, or detaching an abandoned one).  Any such
+        caller must invalidate the lane before the next bank window, or
+        a provably-stale cached plan could keep crediting the old thread
+        set.
+        """
+        self._replan_cache.pop(index, None)
+        self._plan_by_state.pop(index, None)
+        self._board_gen[index] += 1
+        self._stall_free[index] = None
+
     def counters(self):
         """Snapshot of the bank's lockstep/fallback accounting."""
         return {

@@ -30,8 +30,10 @@ from .profiler import PhaseProfiler, phase_summary
 from .quality import (
     Exposure,
     QualityReport,
+    RackQuality,
     StepResponse,
     analyze_matrix,
+    analyze_rack,
     analyze_run,
     analyze_trace,
     exposure,
@@ -46,9 +48,11 @@ __all__ = [
     "Exposure",
     "PhaseProfiler",
     "QualityReport",
+    "RackQuality",
     "StepResponse",
     "analyze_events",
     "analyze_matrix",
+    "analyze_rack",
     "analyze_run",
     "analyze_trace",
     "build_report",

@@ -42,6 +42,8 @@ __all__ = [
     "transition_count",
     "analyze_trace",
     "analyze_run",
+    "analyze_rack",
+    "RackQuality",
     "analyze_matrix",
 ]
 
@@ -369,3 +371,160 @@ def analyze_matrix(results, spec):
         if row:
             reports[workload] = row
     return reports
+
+
+# ---------------------------------------------------------------------------
+# Rack-level KPIs (the third layer)
+# ---------------------------------------------------------------------------
+@dataclass
+class RackQuality:
+    """Control-quality KPIs for one rack campaign (JSON-serializable).
+
+    The rack layer's health is judged on four axes: did the facility cap
+    hold (``cap_exposure``), did jobs meet their SLAs, how hard did the
+    budget distributor work (``budget_churn_per_period`` — W of budget
+    moved per rack period, the rack analogue of DVFS churn), and did the
+    cooling envelope stay comfortable (``inlet_peak`` vs the derate
+    threshold).
+    """
+
+    controller: str
+    periods: int
+    duration: float  # simulated seconds
+    energy: float  # J
+    exd: float  # J·s
+    jobs_admitted: int
+    jobs_completed: int
+    sla_misses: int
+    requeues: int
+    cap_exposure: Exposure = None  # true rack power vs effective cap
+    inlet_peak: float = 0.0  # °C
+    inlet_envelope: Exposure = None  # inlet vs cooling max_inlet
+    derate_time: float = 0.0  # s the usable cap sat below the spec cap
+    budget_churn_total: float = 0.0  # W moved across all period edges
+    budget_churn_per_period: float = 0.0
+    rejected_budgets: int = 0
+    queue_depth_peak: int = 0
+    queue_depth_mean: float = 0.0
+    responses: list = field(default_factory=list)  # StepResponse entries
+    notes: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return asdict(self)
+
+    def to_json(self, **kwargs):
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def render(self):
+        lines = [
+            f"rack quality: {self.controller}  "
+            f"t={self.duration:.1f}s  E={self.energy:.1f}J  "
+            f"ExD={self.exd:.0f}",
+            f"  jobs: {self.jobs_completed}/{self.jobs_admitted} completed, "
+            f"{self.sla_misses} SLA miss(es), {self.requeues} requeue(s)",
+        ]
+        if self.cap_exposure is not None:
+            lines.append(
+                f"  cap: {self.cap_exposure.violations} violation(s), "
+                f"{self.cap_exposure.time_above:.1f}s above, "
+                f"peak {self.cap_exposure.peak:.2f}W, "
+                f"{self.cap_exposure.integral:.2f} W·s"
+            )
+        lines.append(
+            f"  budgets: {self.budget_churn_per_period:.2f} W/period churn "
+            f"({self.budget_churn_total:.1f} W total), "
+            f"{self.rejected_budgets} clamp(s)"
+        )
+        lines.append(
+            f"  cooling: inlet peak {self.inlet_peak:.1f}°C, "
+            f"derated {self.derate_time:.1f}s"
+        )
+        lines.append(
+            f"  queue: peak {self.queue_depth_peak}, "
+            f"mean {self.queue_depth_mean:.2f}"
+        )
+        for resp in self.responses:
+            verdict = "settled" if resp.settled else "NOT settled"
+            lines.append(
+                f"  {resp.signal}: {verdict} in {resp.settling_time:.1f}s, "
+                f"overshoot {resp.overshoot_pct:.1f}% (→ {resp.final:.2f})"
+            )
+        return "\n".join(lines)
+
+
+def analyze_rack(result, spec=None, step_time=None):
+    """Build a :class:`RackQuality` from a recorded rack campaign.
+
+    ``result`` is a :class:`~repro.rack.rack.RackRunResult` whose rack
+    was constructed with ``record=True``.  ``spec`` defaults to the
+    result's controller view; pass the :class:`~repro.rack.spec.RackSpec`
+    explicitly when available.  ``step_time`` optionally marks a cap-step
+    event to score the rack power's settling response against.
+    """
+    trace = result.trace
+    if trace is None or not trace.times:
+        raise ValueError(
+            "rack quality analysis needs a recorded trace; "
+            "re-run with record=True"
+        )
+    arrays = trace.as_arrays()
+    times = arrays["times"]
+    dt = float(times[1] - times[0]) if times.size > 1 else 1.0
+    power = arrays["power_true"]
+    cap_eff = arrays["cap_eff"]
+    cap_nominal = arrays["cap"]
+    over = power - cap_eff
+    above = over > 0
+    edges = int(np.sum(np.diff(above.astype(np.int8)) == 1))
+    if above.size and above[0]:
+        edges += 1
+    cap_exposure = Exposure(
+        limit=float(cap_eff[-1]) if cap_eff.size else 0.0,
+        violations=edges,
+        time_above=float(np.sum(above) * dt),
+        peak=float(power.max()) if power.size else 0.0,
+        integral=float(over[above].sum() * dt) if above.any() else 0.0,
+    )
+    inlet = arrays["inlet"]
+    max_inlet = None
+    if spec is not None:
+        max_inlet = spec.cooling.max_inlet
+    inlet_env = (exposure(inlet, max_inlet, dt)
+                 if max_inlet is not None else None)
+    churn = arrays["churn"]
+    responses = []
+    if step_time is not None:
+        # Score the controller's own actuation (the budget total tracking
+        # the cap) and the plant power separately: workload phase changes
+        # put W-scale disturbances on the power signal that say nothing
+        # about the distributor's settling.
+        responses.append(step_response(
+            times, arrays["budget_total"], step_time=step_time,
+            signal="budget_total",
+        ))
+        responses.append(step_response(
+            times, power, step_time=step_time, signal="rack_power",
+        ))
+    queue = arrays["queue_depth"]
+    return RackQuality(
+        controller=result.controller,
+        periods=result.periods,
+        duration=result.elapsed,
+        energy=result.energy,
+        exd=result.exd,
+        jobs_admitted=result.jobs_admitted,
+        jobs_completed=result.jobs_completed,
+        sla_misses=result.sla_misses,
+        requeues=result.requeues,
+        cap_exposure=cap_exposure,
+        inlet_peak=float(inlet.max()) if inlet.size else 0.0,
+        inlet_envelope=inlet_env,
+        derate_time=float(np.sum(cap_eff < cap_nominal - 1e-12) * dt),
+        budget_churn_total=float(churn.sum()),
+        budget_churn_per_period=float(churn.mean()) if churn.size else 0.0,
+        rejected_budgets=result.rejected_budgets,
+        queue_depth_peak=int(queue.max()) if queue.size else 0,
+        queue_depth_mean=float(queue.mean()) if queue.size else 0.0,
+        responses=responses,
+        notes=dict(result.controller_info),
+    )

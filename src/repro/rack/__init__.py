@@ -1,0 +1,55 @@
+"""repro.rack: the third Yukta layer — a facility controller over boards.
+
+Public surface:
+
+* :mod:`repro.rack.spec` — :class:`RackSpec` and friends (the plant);
+* :mod:`repro.rack.layer` — the declared rack-layer interface;
+* :mod:`repro.rack.controllers` — SSV and heuristic cap distributors
+  plus the per-board budget governor;
+* :mod:`repro.rack.rack` — the :class:`Rack` runtime loop.
+"""
+
+from .controllers import (
+    BoardReading,
+    BudgetGovernor,
+    HeuristicRackController,
+    SSVRackController,
+    select_integral_gain,
+)
+from .layer import BUDGET_QUANTUM, rack_layer_spec
+from .rack import (
+    Rack,
+    RackJob,
+    RackRunResult,
+    RackTrace,
+    instantiate_job_workload,
+)
+from .spec import (
+    CoolingSpec,
+    JobSpec,
+    RackBoardFault,
+    RackSpec,
+    default_rack_spec,
+    heterogeneous_rack_spec,
+)
+
+__all__ = [
+    "BUDGET_QUANTUM",
+    "BoardReading",
+    "BudgetGovernor",
+    "CoolingSpec",
+    "HeuristicRackController",
+    "JobSpec",
+    "Rack",
+    "RackBoardFault",
+    "RackJob",
+    "RackRunResult",
+    "RackSpec",
+    "RackTrace",
+    "SSVRackController",
+    "default_rack_spec",
+    "heterogeneous_rack_spec",
+    "instantiate_job_workload",
+    "rack_layer_spec",
+    "select_integral_gain",
+]

@@ -1,0 +1,83 @@
+"""The rack layer's interface declaration, in the paper's Table II/III form.
+
+The Yukta methodology asks every layer to *declare* its interface before
+any modelling happens: the inputs it actuates (with quantization and
+weights), the outputs it monitors (with deviation-bound fractions), the
+external signals it imports from neighbouring layers, and an uncertainty
+guardband.  :func:`rack_layer_spec` is that declaration for the third
+(facility) layer:
+
+* **inputs** — one power budget per board, quantized to the budget grid
+  the distribution controller actuates on;
+* **outputs** — the three declared per-board sensors the controller is
+  allowed to read (power, headroom, queue depth) plus the rack-level
+  total power it regulates;
+* **externals** — the cooling plant's inlet temperature (imported from
+  the facility, exactly like the board layers import each other's knobs).
+
+Board layers below import ``budget_<i>`` as an external signal — the
+per-board budget governor tracks it with DVFS — so the stack composes the
+same way the paper's hardware and software layers do, one level up.
+"""
+
+from __future__ import annotations
+
+from ..core.layer import LayerSpec
+from ..signals import ExternalSignal, InputSignal, OutputSignal, QuantizedRange
+from .spec import RackSpec
+
+__all__ = ["BUDGET_QUANTUM", "rack_layer_spec"]
+
+# Budgets are actuated on a 50 mW grid: fine enough that quantization is
+# far below the sensor noise floor, coarse enough to declare honestly as
+# an input level set.
+BUDGET_QUANTUM = 0.05
+
+
+def rack_layer_spec(rack: RackSpec, guardband=0.4) -> LayerSpec:
+    """The facility layer's declaration for one rack."""
+    inputs = []
+    outputs = []
+    for i, board in enumerate(rack.boards):
+        ceiling = (board.power_limit_big + board.power_limit_little
+                   + board.board_static_power)
+        inputs.append(InputSignal(
+            f"budget_{i}",
+            QuantizedRange(rack.budget_floor, ceiling, step=BUDGET_QUANTUM),
+            weight=1.0,
+            unit="W",
+        ))
+        outputs.append(OutputSignal(
+            f"power_{i}", 0.10, value_range=ceiling, critical=True, unit="W",
+        ))
+        outputs.append(OutputSignal(
+            f"headroom_{i}", 0.20, value_range=ceiling, critical=False,
+            unit="W",
+        ))
+        outputs.append(OutputSignal(
+            f"queue_depth_{i}", 0.20, value_range=16.0, critical=False,
+            unit="jobs",
+        ))
+    outputs.append(OutputSignal(
+        "power_total", 0.10, value_range=rack.power_cap, critical=True,
+        enforce_as_limit=True, unit="W",
+    ))
+    externals = [
+        ExternalSignal(
+            "inlet_temp", "facility",
+            allowed=QuantizedRange(rack.cooling.supply_temp,
+                                   rack.cooling.max_inlet + 20.0, step=0.1),
+        ),
+    ]
+    return LayerSpec(
+        name="rack",
+        goal=(
+            f"distribute <= {rack.power_cap:.1f} W across "
+            f"{rack.n_boards} boards to minimize SLA misses subject to the "
+            "cooling envelope"
+        ),
+        inputs=inputs,
+        outputs=outputs,
+        externals=externals,
+        guardband=float(guardband),
+    )

@@ -42,6 +42,11 @@ __all__ = [
     "write_golden",
     "verify_goldens",
     "regen_goldens",
+    "RACK_GOLDEN_MATRIX",
+    "RACK_GOLDEN_SIGNALS",
+    "capture_rack_trace",
+    "regen_rack_goldens",
+    "verify_rack_goldens",
 ]
 
 GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
@@ -276,4 +281,108 @@ def verify_goldens(context, golden_dir=None, matrix=None, rtol=_DEFAULT_RTOL,
             results[f"{scheme}/{workload}"] = compare_traces(
                 goldens[(scheme, workload)], fresh, rtol=rtol, atol=atol
             )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Rack goldens: canonical third-layer campaigns as reviewed artifacts
+# ---------------------------------------------------------------------------
+# controller x scenario; "fault" drops board 1 offline mid-campaign.
+RACK_GOLDEN_MATRIX = (
+    ("rack-ssv", "stream"),
+    ("rack-uniform", "stream"),
+    ("rack-ssv", "fault"),
+)
+
+RACK_GOLDEN_SIGNALS = (
+    "times", "cap_eff", "power_true", "budget_total", "inlet",
+    "queue_depth", "churn", "online",
+)
+
+
+def _rack_scenario(scenario, seed):
+    """The canonical rack plant for one golden scenario."""
+    from ..rack import JobSpec, RackBoardFault, heterogeneous_rack_spec
+
+    workloads = ("blackscholes@0.08", "mcf@0.1", "streamcluster@0.08",
+                 "x264@0.08", "canneal@0.08", "bodytrack@0.1")
+    jobs = tuple(
+        JobSpec(name=f"j{i}", workload=workloads[i % len(workloads)],
+                arrival=3.0 * i, sla=70.0)
+        for i in range(6)
+    )
+    faults = ()
+    if scenario == "fault":
+        faults = (RackBoardFault(board=1, start=10.0, duration=12.0,
+                                 kind="offline"),)
+    elif scenario != "stream":
+        raise ValueError(f"unknown rack golden scenario {scenario!r}")
+    return heterogeneous_rack_spec(n_boards=4, jobs=jobs, faults=faults)
+
+
+def capture_rack_trace(controller, scenario, seed=7, max_time=200.0):
+    """Run one canonical rack cell and package it as a JSON-able dict."""
+    from ..experiments.rack import make_rack_controller
+    from ..rack import Rack
+
+    spec = _rack_scenario(scenario, seed)
+    rack = Rack(spec, controller=make_rack_controller(controller, spec),
+                use_bank=True, record=True, seed=seed, telemetry=None)
+    result = rack.run(max_time=max_time)
+    arrays = result.trace.as_arrays()
+    signals = {
+        name: [float(v) for v in arrays[name]]
+        for name in RACK_GOLDEN_SIGNALS
+    }
+    for k in range(spec.n_boards):
+        signals[f"budget_{k}"] = [float(v) for v in arrays["budgets"][:, k]]
+    return {
+        "format": _FORMAT,
+        "meta": {
+            "controller": controller,
+            "scenario": scenario,
+            "seed": seed,
+            "max_time": max_time,
+            "boards": spec.n_boards,
+            "rack_period": spec.rack_period,
+            "power_cap": spec.power_cap,
+        },
+        "summary": {
+            "periods": int(result.periods),
+            "energy": float(result.energy),
+            "makespan": float(result.makespan),
+            "jobs_completed": int(result.jobs_completed),
+            "sla_misses": int(result.sla_misses),
+            "requeues": int(result.requeues),
+        },
+        "signals": signals,
+    }
+
+
+def regen_rack_goldens(golden_dir=None, matrix=None, log=None):
+    """Re-mint every rack golden trace in the canonical matrix."""
+    paths = []
+    for controller, scenario in (matrix or RACK_GOLDEN_MATRIX):
+        trace = capture_rack_trace(controller, scenario)
+        paths.append(write_golden(trace, controller, scenario, golden_dir))
+        if log is not None:
+            log(f"golden regenerated: {paths[-1]}")
+    return paths
+
+
+def verify_rack_goldens(golden_dir=None, matrix=None, rtol=_DEFAULT_RTOL,
+                        atol=_DEFAULT_ATOL):
+    """Replay the rack matrix against its goldens; missing files are loud."""
+    results = {}
+    for controller, scenario in (matrix or RACK_GOLDEN_MATRIX):
+        cell = f"{controller}/{scenario}"
+        golden = load_golden(controller, scenario, golden_dir)
+        if golden is None:
+            results[cell] = [TraceMismatch(
+                "golden-file-missing", float("nan"), float("nan"),
+                float("inf"),
+            )]
+            continue
+        fresh = capture_rack_trace(controller, scenario)
+        results[cell] = compare_traces(golden, fresh, rtol=rtol, atol=atol)
     return results

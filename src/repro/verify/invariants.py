@@ -415,3 +415,52 @@ class InvariantMonitor:
                        board_time, value=moves, bound=accepts + reverts)
         book.moves, book.accepts, book.reverts = moves, accepts, reverts
         return self.violations[before:]
+
+    def check_rack(self, time=0.0, budgets=(), floors=(), cap=0.0,
+                   online=(), admitted=0, queued=0, running=0, completed=0):
+        """Audit one rack control period (the third layer's invariants).
+
+        Three conservation laws, checked live by :class:`~repro.rack.rack.
+        Rack` whenever a monitor is active:
+
+        * distributed budgets never exceed the effective rack cap;
+        * no online board's budget falls below its declared floor (and no
+          budget is ever negative; offline boards hold exactly zero);
+        * jobs are conserved — every admitted job is queued, running, or
+          completed, exactly once.
+        """
+        self.periods_checked += 1
+        before = len(self.violations)
+        tol = self.tolerance
+        budgets = list(budgets)
+        floors = list(floors)
+        online = list(online) if online else [True] * len(budgets)
+        total = sum(budgets)
+        if total > cap + tol:
+            self._emit("rack.cap",
+                       f"distributed budgets {total:.6f} W exceed the "
+                       f"effective cap {cap:.6f} W", time,
+                       value=total, bound=cap)
+        for i, budget in enumerate(budgets):
+            if budget < -tol:
+                self._emit("rack.budget-nonnegative",
+                           f"board {i} budget negative: {budget}", time,
+                           value=budget, bound=0.0)
+            if online[i]:
+                floor = floors[i] if i < len(floors) else 0.0
+                if budget < floor - tol:
+                    self._emit("rack.floor",
+                               f"board {i} budget {budget:.6f} W below its "
+                               f"declared floor {floor:.6f} W", time,
+                               value=budget, bound=floor)
+            elif budget > tol:
+                self._emit("rack.offline-budget",
+                           f"offline board {i} holds budget {budget}", time,
+                           value=budget, bound=0.0)
+        accounted = queued + running + completed
+        if admitted != accounted:
+            self._emit("rack.job-accounting",
+                       f"{admitted} admitted != {queued} queued + {running} "
+                       f"running + {completed} completed", time,
+                       value=accounted, bound=admitted)
+        return self.violations[before:]

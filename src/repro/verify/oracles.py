@@ -712,3 +712,171 @@ def oracle_lqg_reference(model=None, n_u=None, output_weights=None,
         details={"rtol": rtol, "worst_rel_error": worst_rel,
                  "closed_loop_stable": result.closed_loop_stable},
     )
+
+
+# ---------------------------------------------------------------------------
+# Rack oracles: the third layer on the bank vs on scalar boards
+# ---------------------------------------------------------------------------
+def oracle_rack(seed=3, max_time=120.0, n_boards=4):
+    """Rack-on-BoardBank vs rack-on-scalar-boards; must be 0 ULP.
+
+    One heterogeneous rack (mixed board specs), a job stream, and both
+    fault kinds (a board dropping offline, a power sensor dropping out)
+    run twice: once with the fused-schedule bank underneath, once
+    stepping each board through scalar ``run_period``.  Every rack trace
+    signal, every per-board budget row, and every board's physical end
+    state must agree to the bit.  Non-vacuity: the banked run must have
+    actually fused (fused_ticks > 0), the rack must actually be
+    heterogeneous (≥ 2 distinct specs), and both faults must have fired.
+    """
+    from ..board.specs import BIG, LITTLE
+    from ..rack import (
+        JobSpec,
+        Rack,
+        RackBoardFault,
+        SSVRackController,
+        heterogeneous_rack_spec,
+    )
+
+    workloads = ("blackscholes@0.08", "mcf@0.1", "streamcluster@0.08",
+                 "x264@0.08", "canneal@0.08", "bodytrack@0.1")
+    jobs = tuple(
+        JobSpec(name=f"j{i}", workload=workloads[i % len(workloads)],
+                arrival=3.0 * i, sla=70.0)
+        for i in range(6)
+    )
+    faults = (
+        RackBoardFault(board=1, start=10.0, duration=14.0, kind="offline"),
+        RackBoardFault(board=2, start=8.0, duration=10.0,
+                       kind="power-sensor"),
+    )
+    spec = heterogeneous_rack_spec(n_boards=n_boards, jobs=jobs,
+                                   faults=faults)
+
+    def _run(use_bank):
+        rack = Rack(spec, controller=SSVRackController(spec),
+                    use_bank=use_bank, record=True, record_boards=True,
+                    seed=seed, telemetry=None)
+        return rack, rack.run(max_time=max_time)
+
+    rack_banked, banked = _run(True)
+    rack_scalar, scalar = _run(False)
+
+    cmp = _Comparator(tolerance_ulp=0.0)
+    a_arrays = banked.trace.as_arrays()
+    b_arrays = scalar.trace.as_arrays()
+    for signal in sorted(a_arrays):
+        cmp.check_array(f"rack/{signal}", a_arrays[signal],
+                        b_arrays[signal])
+    for k, (a, b) in enumerate(zip(rack_banked.boards, rack_scalar.boards)):
+        loc = f"board {k}"
+        cmp.check(loc, "time", a.time, b.time)
+        cmp.check(loc, "energy", a.energy, b.energy)
+        cmp.check(loc, "temperature", a.thermal.temperature,
+                  b.thermal.temperature)
+        for name in (BIG, LITTLE):
+            cmp.check(loc, f"power_sensor_{name}",
+                      a.power_sensors[name].read(),
+                      b.power_sensors[name].read())
+            cmp.check(loc, f"frequency_{name}",
+                      a.clusters[name].frequency, b.clusters[name].frequency)
+        trace_a = a.trace.as_arrays()
+        trace_b = b.trace.as_arrays()
+        for signal in sorted(trace_a):
+            cmp.check_array(f"{loc}/{signal}", trace_a[signal],
+                            trace_b[signal])
+    cmp.check("rack", "jobs_completed", float(banked.jobs_completed),
+              float(scalar.jobs_completed))
+    cmp.check("rack", "sla_misses", float(banked.sla_misses),
+              float(scalar.sla_misses))
+    cmp.check("rack", "requeues", float(banked.requeues),
+              float(scalar.requeues))
+
+    # Agreement without coverage proves nothing.
+    counters = banked.bank_counters or {}
+    cmp.check("coverage", "fused_kernel_engaged",
+              float(counters.get("fused_ticks", 0) > 0), 1.0)
+    distinct_specs = len({id(b) for b in spec.boards})
+    cmp.check("coverage", "heterogeneous_rack",
+              float(distinct_specs >= 2), 1.0)
+    cmp.check("coverage", "offline_fault_fired",
+              float(banked.requeues > 0), 1.0)
+    sensor_scalars = counters.get("events", {}).get("plan_refused", 0)
+    cmp.check("coverage", "sensor_fault_forced_scalar",
+              float(sensor_scalars > 0), 1.0)
+    return cmp.result("rack-bank-vs-scalar", details={
+        "boards": n_boards, "jobs": len(jobs),
+        "distinct_specs": distinct_specs,
+        "counters": counters,
+        "requeues": banked.requeues,
+    })
+
+
+def oracle_rack_resume(seed=5, max_time=200.0, jobs=2, checkpoint_dir=None):
+    """Interrupt a rack campaign, resume it, compare; must be 0 ULP.
+
+    The rack job-stream cells run as engine ``("call", ...)`` tasks under
+    a chaos policy that fails every other cell with no retry budget,
+    journaling the survivors (the PR 6 checkpoint machinery).  The resume
+    pass must stitch journaled + fresh cells into results bit-identical
+    to an uninterrupted serial run.  Non-vacuous: fails unless the chaos
+    actually dropped at least one cell and the resume actually replayed
+    journaled cells from disk.
+    """
+    import tempfile
+
+    from ..experiments.engine import parallel_map
+    from ..experiments.rack import CONTROLLERS, _stream_cell
+    from ..runtime import (
+        CellFailure,
+        ChaosPolicy,
+        CheckpointJournal,
+        RetryPolicy,
+    )
+
+    tmp = None
+    if checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-rack-resume-")
+        checkpoint_dir = tmp.name
+    try:
+        tasks = [
+            ("call", (_stream_cell, (controller, 4, 6, True, True, seed,
+                                     max_time), {}))
+            for controller in CONTROLLERS
+        ]
+        fresh = parallel_map(tasks, None, jobs=None, prime=())
+        journal = CheckpointJournal(checkpoint_dir)
+        chaos = ChaosPolicy(error_cells=tuple(range(1, len(tasks), 2)))
+        interrupted = parallel_map(
+            tasks, None, jobs=jobs, prime=(), checkpoint=journal,
+            chaos=chaos, backoff=RetryPolicy(max_retries=0),
+            on_error="collect")
+        dropped = sum(1 for cell in interrupted
+                      if isinstance(cell, CellFailure))
+        resumption = CheckpointJournal(checkpoint_dir)
+        resumed = parallel_map(tasks, None, jobs=jobs, prime=(),
+                               checkpoint=resumption, resume=True)
+        cmp = _Comparator(tolerance_ulp=0.0)
+        for controller, a, b in zip(CONTROLLERS, fresh, resumed):
+            if isinstance(b, CellFailure):
+                cmp.compared += 1
+                if cmp.first is None:
+                    cmp.first = Divergence(controller, "cell", 1.0, 0.0,
+                                           float("inf"))
+                continue
+            for key in sorted(a):
+                if isinstance(a[key], str):
+                    cmp.check(controller, key, float(a[key] == b[key]), 1.0)
+                else:
+                    cmp.check(controller, key, float(a[key]), float(b[key]))
+        result = cmp.result("rack-resume-vs-fresh", details={
+            "controllers": list(CONTROLLERS), "jobs": jobs,
+            "interrupted_cells": dropped,
+            "resumed_cells": resumption.resumed,
+        })
+        if dropped == 0 or resumption.resumed == 0:
+            result.agree = False  # the interruption/resume never happened
+        return result
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

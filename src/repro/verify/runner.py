@@ -21,7 +21,13 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 
-from .golden import GOLDEN_DIR, regen_goldens, verify_goldens
+from .golden import (
+    GOLDEN_DIR,
+    regen_goldens,
+    regen_rack_goldens,
+    verify_goldens,
+    verify_rack_goldens,
+)
 from .invariants import InvariantMonitor, activate_monitor, deactivate_monitor
 from .oracles import (
     oracle_bank,
@@ -31,6 +37,8 @@ from .oracles import (
     oracle_fastpath,
     oracle_lqg_reference,
     oracle_parallel_matrix,
+    oracle_rack,
+    oracle_rack_resume,
     oracle_resume,
 )
 
@@ -129,6 +137,21 @@ def run_verify(quick=True, regen_golden=False, golden_dir=None, samples=None,
             run_workload(scheme, workload, context, seed=7,
                          max_time=horizon, record=False)
             report.monitored_runs.append((scheme, workload))
+        # The rack layer checks its conservation invariants through the
+        # same active monitor (sum of budgets <= cap, floors respected,
+        # jobs neither lost nor duplicated).
+        _log("verify: monitored nominal rack campaign...")
+        from ..rack import JobSpec, Rack, default_rack_spec
+
+        rack_jobs = tuple(
+            JobSpec(name=f"j{i}", workload="mcf@0.08", arrival=3.0 * i,
+                    sla=60.0)
+            for i in range(3)
+        )
+        rack = Rack(default_rack_spec(n_boards=2, jobs=rack_jobs), seed=7,
+                    telemetry=None)
+        rack.run(max_time=60.0 if quick else 120.0)
+        report.monitored_runs.append(("rack-ssv", "job-stream"))
     finally:
         deactivate_monitor()
     _log("verify: " + monitor.summary().splitlines()[0])
@@ -162,6 +185,16 @@ def run_verify(quick=True, regen_golden=False, golden_dir=None, samples=None,
             oracle_resume(context, max_time=8.0 if quick else 20.0,
                           jobs=jobs, checkpoint_dir=tmp)
         )
+    _log("verify: oracle rack-bank-vs-scalar...")
+    report.oracles.append(
+        oracle_rack(max_time=80.0 if quick else 160.0)
+    )
+    _log("verify: oracle rack-resume-vs-fresh...")
+    with tempfile.TemporaryDirectory(prefix="repro-verify-rack-") as tmp:
+        report.oracles.append(
+            oracle_rack_resume(max_time=120.0 if quick else 240.0,
+                               jobs=jobs, checkpoint_dir=tmp)
+        )
     _log("verify: oracle cache-vs-fresh...")
     with tempfile.TemporaryDirectory(prefix="repro-verify-cache-") as tmp:
         report.oracles.append(
@@ -176,6 +209,8 @@ def run_verify(quick=True, regen_golden=False, golden_dir=None, samples=None,
     if regen_golden:
         _log("verify: regenerating golden traces...")
         report.regenerated = regen_goldens(context, golden_dir, log=_log)
+        _log("verify: regenerating rack golden traces...")
+        report.regenerated.extend(regen_rack_goldens(golden_dir, log=_log))
     else:
         _log("verify: comparing golden traces...")
         report.golden = verify_goldens(context, golden_dir)
@@ -185,6 +220,8 @@ def run_verify(quick=True, regen_golden=False, golden_dir=None, samples=None,
             f"{cell} [batch]": mismatches
             for cell, mismatches in batched.items()
         })
+        _log("verify: comparing rack golden traces...")
+        report.golden.update(verify_rack_goldens(golden_dir))
 
     report.elapsed = time.perf_counter() - t0
     return report

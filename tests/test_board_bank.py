@@ -657,3 +657,141 @@ class TestBankIntegration:
         ]
         with pytest.raises(ValueError, match="sim_dt"):
             BoardBank(boards, telemetry=None)
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous banks: two different BoardSpecs sharing one lockstep bank
+# ---------------------------------------------------------------------------
+def _hetero_specs(sim_dt=0.05):
+    spec_a = default_xu3_spec(sim_dt=sim_dt)
+    spec_b = dataclasses.replace(
+        default_xu3_spec(sim_dt=sim_dt),
+        control_period=1.0,
+        ambient_temp=38.0,
+        thermal_resistance=12.5,
+    )
+    return spec_a, spec_b
+
+
+class TestHeterogeneousBank:
+    """Regression: no bank consumer may assume one shared BoardSpec.
+
+    The bank's constants, plan memos, and snap caches are all per-lane /
+    per-spec; these tests pin that with two genuinely different specs
+    (different control periods and thermal constants) in one bank.
+    """
+
+    def test_mixed_specs_period_path_bit_identical(self):
+        spec_a, spec_b = _hetero_specs()
+        steps = spec_a.period_steps()
+        workloads = ["mcf", "gamess", "blackscholes", "fluidanimate"]
+
+        def make(k):
+            spec = spec_a if k % 2 == 0 else spec_b
+            return Board(make_application(workloads[k]), spec=spec,
+                         seed=11 + k, record=True, telemetry=None)
+
+        banked = [make(k) for k in range(4)]
+        bank = BoardBank(banked, telemetry=None)
+        rng = np.random.default_rng(5)
+        freqs = [(float(f), float(g)) for f, g in zip(
+            rng.uniform(0.4, 1.2, 20), rng.uniform(0.4, 1.0, 20))]
+        for fb, fl in freqs:
+            for board in banked:
+                board.set_cluster_frequency(BIG, fb)
+                board.set_cluster_frequency(LITTLE, fl)
+            bank.run_period_bank(steps)
+
+        reference = [make(k) for k in range(4)]
+        for board in reference:
+            for fb, fl in freqs:
+                board.set_cluster_frequency(BIG, fb)
+                board.set_cluster_frequency(LITTLE, fl)
+                board.run_period(steps)
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"hetero board {k}")
+        assert bank.vector_ticks > 0
+
+    def test_mixed_specs_schedule_groups_bit_identical(self):
+        """Same-spec selections ride run_schedule_bank; mixed ones raise."""
+        spec_a, spec_b = _hetero_specs()
+        workloads = ["mcf", "gamess", "blackscholes", "fluidanimate"]
+
+        def make(k):
+            spec = spec_a if k % 2 == 0 else spec_b
+            return Board(make_application(workloads[k]), spec=spec,
+                         seed=3 + k, record=True, telemetry=None)
+
+        banked = [make(k) for k in range(4)]
+        bank = BoardBank(banked, telemetry=None)
+        # Mixed period_steps across the selection must refuse loudly.
+        with pytest.raises(ValueError):
+            bank.run_schedule_bank([0.6] * 4, [0.5] * 4)
+        # Grouped by spec, both groups fuse and match scalar stepping.
+        fb, fl = [0.6, 0.7, 0.6, 0.8], [0.5, 0.5, 0.6, 0.5]
+        for _ in range(3):
+            bank.run_schedule_bank(fb, fl, only=[0, 2], block_periods=4)
+            bank.run_schedule_bank(fb, fl, only=[1, 3], block_periods=4)
+
+        reference = [make(k) for k in range(4)]
+        for k, board in enumerate(reference):
+            steps = (spec_a if k % 2 == 0 else spec_b).period_steps()
+            for _ in range(3):
+                for p in range(4):
+                    board.set_cluster_frequency(BIG, fb[p])
+                    board.set_cluster_frequency(LITTLE, fl[p])
+                    board.run_period(steps)
+        for k, (a, b) in enumerate(zip(banked, reference)):
+            _assert_boards_identical(a, b, label=f"hetero schedule board {k}")
+        assert bank.fused_ticks > 0
+
+    def test_invalidate_board_after_out_of_band_app_append(self):
+        """Out-of-band workload mutation needs invalidate_board.
+
+        Appending an application between windows is invisible to every
+        plan-reuse tier (no actuation or placement epoch ticks), so the
+        bank would keep crediting the stale thread set.  ``invalidate_
+        board`` retires the lane's caches; with it, the bank matches
+        scalar stepping bit-for-bit.
+        """
+        spec = default_xu3_spec(sim_dt=0.05)
+        steps = spec.period_steps()
+
+        def run_banked(invalidate):
+            boards = [
+                Board(make_application("mcf"), spec=spec, seed=1,
+                      record=True, telemetry=None),
+                Board(make_application("gamess"), spec=spec, seed=2,
+                      record=True, telemetry=None),
+            ]
+            bank = BoardBank(boards, telemetry=None)
+            for board in boards:
+                board.set_cluster_frequency(BIG, 1.0)
+                board.set_cluster_frequency(LITTLE, 0.8)
+            for _ in range(10):
+                bank.run_period_bank(steps)
+            boards[0].applications.append(make_application("blackscholes"))
+            if invalidate:
+                bank.invalidate_board(0)
+            for _ in range(10):
+                bank.run_period_bank(steps)
+            return boards[0]
+
+        reference = Board(make_application("mcf"), spec=spec, seed=1,
+                          record=True, telemetry=None)
+        reference.set_cluster_frequency(BIG, 1.0)
+        reference.set_cluster_frequency(LITTLE, 0.8)
+        for _ in range(10):
+            reference.run_period(steps)
+        reference.applications.append(make_application("blackscholes"))
+        for _ in range(10):
+            reference.run_period(steps)
+
+        good = run_banked(invalidate=True)
+        _assert_boards_identical(good, reference, label="invalidated lane")
+
+        # Non-vacuity: without the invalidation the stale plan really does
+        # starve the appended application (this is the bug being pinned).
+        stale = run_banked(invalidate=False)
+        assert stale.applications[1].completed_instructions == 0.0
+        assert reference.applications[1].completed_instructions > 0.0

@@ -476,13 +476,19 @@ class TestRunVerify:
         assert code == 0
         out = capsys.readouterr().out
         assert "VERIFY: PASS" in out
-        assert len(list(tmp_path.glob("*.json"))) == len(GOLDEN_MATRIX)
+        from repro.verify.golden import RACK_GOLDEN_MATRIX
+
+        expected = len(GOLDEN_MATRIX) + len(RACK_GOLDEN_MATRIX)
+        assert len(list(tmp_path.glob("*.json"))) == expected
 
     def test_quick_regen_then_verify(self, tmp_path):
         report = run_verify(quick=True, regen_golden=True,
                             golden_dir=tmp_path, samples=32)
         assert report.ok, report.render()
-        assert len(report.regenerated) == len(GOLDEN_MATRIX)
+        from repro.verify.golden import RACK_GOLDEN_MATRIX
+
+        assert len(report.regenerated) == (len(GOLDEN_MATRIX)
+                                           + len(RACK_GOLDEN_MATRIX))
         rendered = report.render()
         assert "VERIFY: PASS" in rendered
         assert "invariants: OK" in rendered
