@@ -21,7 +21,7 @@ import time
 from pathlib import Path
 
 ARTIFACTS = ("BENCH_perf.json", "BENCH_runtime.json", "BENCH_obs.json",
-             "BENCH_rack.json")
+             "BENCH_rack.json", "BENCH_serve.json")
 HISTORY = "BENCH_history.jsonl"
 
 
@@ -103,11 +103,39 @@ def _floors_rack(rack):
                    f"{floor:.0f}")
 
 
+def _floors_serve(serve):
+    coalesce = serve["coalesce"]
+    floor = coalesce.get("floor", 10.0)
+    if coalesce["speedup"] < floor:
+        yield (f"serve: warm coalesced p50 only {coalesce['speedup']:.1f}x "
+               f"faster than cold (< {floor:g}x)")
+    batching = serve["batching"]
+    floor = batching.get("floor", 1.5)
+    if batching["throughput_ratio"] < floor:
+        yield (f"serve: batched throughput "
+               f"{batching['throughput_ratio']:.2f}x < {floor:g}x solo "
+               f"at equal workers")
+    if not batching.get("bit_identical", True):
+        yield "serve: banked serving diverged from solo serving"
+    if batching.get("bank_batches", 0) < 1:
+        yield "serve: no bank batch ever formed"
+    loadgen = serve["loadgen"]
+    if not loadgen.get("all_ok", False):
+        yield (f"serve: loadgen {loadgen['ok']}/{loadgen['sent']} ok "
+               f"({loadgen.get('errors', '?')} errors, "
+               f"{loadgen.get('rejected', '?')} rejected)")
+    floor = loadgen.get("hit_rate_floor", 0.2)
+    if loadgen["coalesce_hit_rate"] < floor:
+        yield (f"serve: loadgen coalesce hit-rate "
+               f"{loadgen['coalesce_hit_rate']:.2f} < {floor:g}")
+
+
 FLOORS = {
     "BENCH_perf.json": _floors_perf,
     "BENCH_runtime.json": _floors_runtime,
     "BENCH_obs.json": _floors_obs,
     "BENCH_rack.json": _floors_rack,
+    "BENCH_serve.json": _floors_serve,
 }
 
 

@@ -11,6 +11,8 @@ Commands
 ``resilience``        the fault-matrix sweep under the safe-mode supervisor
 ``three-layer``       the Sec. III-D three-layer demonstration
 ``rack``              the rack-scale (third layer) campaign triple
+``serve``             long-lived concurrent experiment server (HTTP/JSON)
+``loadgen``           deterministic open-loop load generator for ``serve``
 ``trace``             summarize a recorded telemetry directory
 ``status``            live progress/ETA/health of a (running) campaign
 ``report``            combined markdown/HTML campaign report
@@ -186,6 +188,64 @@ def main(argv=None):
     p_rack.add_argument("--boards", type=int, default=4,
                         help="boards in the rack (default 4)")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the control-plane service: a concurrent experiment "
+             "server with request coalescing, cross-request bank "
+             "batching, and bounded-queue admission (see docs/SERVING.md)",
+    )
+    _add_context_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8752,
+                         help="listen port (0 = ephemeral; default 8752)")
+    p_serve.add_argument("--batch-wait", type=float, default=0.02,
+                         metavar="S",
+                         help="how long to hold a bankable cell for "
+                              "co-arrivals before dispatching (default "
+                              "0.02 s)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="admission queue bound; overflow gets a "
+                              "structured 429 (default 64)")
+    p_serve.add_argument("--serve-dir", metavar="DIR", default=None,
+                         help="campaign directory for events.jsonl and the "
+                              "default result store (default: a fresh "
+                              "temp dir)")
+    p_serve.add_argument("--default-deadline", type=float, default=None,
+                         metavar="S",
+                         help="deadline applied to requests that do not "
+                              "carry their own deadline_s")
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="fire a deterministic open-loop request burst at a running "
+             "'repro serve' and report rps / p50 / p99 / coalesce rate",
+    )
+    p_load.add_argument("--url", required=True,
+                        help="server base URL, e.g. http://127.0.0.1:8752")
+    p_load.add_argument("--requests", type=int, default=50,
+                        help="requests to fire (default 50)")
+    p_load.add_argument("--rate", type=float, default=20.0,
+                        help="offered arrival rate, req/s (0 = all at "
+                             "once; default 20)")
+    p_load.add_argument("--duplicates", type=float, default=0.3,
+                        help="probability a request repeats an earlier one "
+                             "verbatim (default 0.3)")
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="stream + arrival seed (default 0)")
+    p_load.add_argument("--max-time", type=float, default=6.0,
+                        help="simulated horizon per requested cell "
+                             "(default 6 s)")
+    p_load.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="per-request deadline_s to attach")
+    p_load.add_argument("--record", action="store_true",
+                        help="request full traces (bigger responses)")
+    p_load.add_argument("--timeout", type=float, default=120.0,
+                        help="client-side transport timeout (default 120)")
+    p_load.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of a "
+                             "summary line")
+
     p_res = sub.add_parser(
         "resilience",
         help="fault-matrix sweep under the safe-mode supervisor",
@@ -312,6 +372,24 @@ def main(argv=None):
         module = runpy.run_path(str(bench))
         return module["main"](bench_argv)
 
+    if args.command == "loadgen":
+        import json as _json
+
+        from repro.serve import run_loadgen, wait_ready
+
+        wait_ready(args.url, timeout=args.timeout)
+        report = run_loadgen(
+            args.url, requests=args.requests, rate=args.rate,
+            duplicates=args.duplicates, seed=args.seed,
+            max_time=args.max_time, record=args.record,
+            deadline_s=args.deadline, timeout=args.timeout,
+        )
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0 if report.all_ok else 1
+
     if args.command == "cache":
         from repro.cache import DesignCache
 
@@ -382,6 +460,78 @@ def main(argv=None):
             )
 
 
+def _serve_forever(args, context):
+    """Run the control-plane service in the foreground until SIGINT/TERM.
+
+    The design-artifact cache (``--cache-dir``) and the serve result
+    store are separate concerns: results default to
+    ``<serve-dir>/results`` so a throwaway server never pollutes the
+    global design cache, while ``--cache-dir`` points both at a shared
+    root for warm restarts.  ``--no-cache`` disables the result store
+    (every request executes or coalesces; nothing persists).
+    """
+    import asyncio
+    import signal
+
+    from repro.cache import DesignCache
+    from repro.runtime import RetryPolicy
+    from repro.serve import ExperimentServer
+    from repro.telemetry import active_session
+
+    if getattr(args, "no_cache", False):
+        store = None
+    elif getattr(args, "cache_dir", None):
+        store = DesignCache(args.cache_dir)
+    else:
+        store = True  # resolved to <serve_dir>/results below
+
+    retry = None
+    if getattr(args, "max_retries", None) is not None:
+        retry = RetryPolicy(max_retries=max(int(args.max_retries), 0))
+
+    async def _amain():
+        serve_dir = args.serve_dir
+        server = ExperimentServer(
+            context,
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs or 0,
+            batch=args.batch or 1,
+            batch_wait=args.batch_wait,
+            queue_limit=args.queue_limit,
+            cache=None if store is True else store,
+            serve_dir=serve_dir,
+            default_deadline=args.default_deadline,
+            retry=retry,
+            telemetry=active_session(),
+        )
+        if store is True:
+            server.store = DesignCache(server.serve_dir / "results")
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass
+        print(f"repro serve listening on {server.url} "
+              f"(jobs={server.jobs}, batch={server.batch}, "
+              f"queue_limit={server.queue_limit}, "
+              f"serve_dir={server.serve_dir}) -- Ctrl-C to stop",
+              file=sys.stderr)
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop()
+            print("repro serve: stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _dispatch(args, figure_commands):
     if args.command == "verify":
         from repro.telemetry import active_session
@@ -414,6 +564,9 @@ def _dispatch(args, figure_commands):
         return 0
 
     context = _make_context(args)
+
+    if args.command == "serve":
+        return _serve_forever(args, context)
 
     if args.command == "design":
         print(context.get_hw_design().summary())

@@ -551,16 +551,24 @@ class BoardBank:
             if window < 4:
                 # Tiny remainder (stall peels de-sync lanes by a tick or
                 # two): per-lane fastpath stepping beats the vector
-                # window's fixed gather/scatter cost at this size.
-                survivors = []
-                for i in pending:
-                    ran = self._run_tiny(i, plans[i], window)
+                # window's fixed gather/scatter cost at this size.  Only
+                # the de-synced lanes take it, though — clamping *every*
+                # lane to the shortest remainder would collapse the whole
+                # bank to scalar stepping each time a single lane peels
+                # (each board's float sequence is independent of how
+                # lanes are grouped, so the split is bit-exact).
+                tiny = [i for i in pending if remaining[i] < 4]
+                pending = [i for i in pending if remaining[i] >= 4]
+                for i in tiny:
+                    ran = self._run_tiny(i, plans[i], remaining[i])
                     executed[i] += ran
                     remaining[i] -= ran
                     if remaining[i] > 0 and not self.boards[i].done:
-                        survivors.append(i)
-                pending = survivors + retry
-                continue
+                        retry.append(i)
+                if not pending:
+                    pending = retry
+                    continue
+                window = min(remaining[i] for i in pending)
             ran = self._run_vector_window(pending, plans, window)
             survivors = []
             for i in pending:

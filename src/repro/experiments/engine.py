@@ -45,7 +45,7 @@ from ..telemetry import TelemetrySession, activate, active_session
 from .runner import run_workload, workload_name
 from .schemes import prime_designs
 
-__all__ = ["parallel_map", "run_matrix", "resolve_jobs"]
+__all__ = ["parallel_map", "run_matrix", "resolve_jobs", "execute_task"]
 
 # Worker-process globals, set once by _init_worker.
 _WORKER_CONTEXT = None
@@ -84,25 +84,33 @@ def _init_worker(context_blob, telemetry_dir):
         Finalize(None, _close_worker_session, exitpriority=0)
 
 
-def _run_cell(task):
-    """Worker-side execution of one generic task.
+def execute_task(context, task):
+    """Execute one generic engine task against ``context``, in-process.
 
     ``task`` is ``(kind, payload)``: ``("cell", ...)`` runs one
     (scheme, workload) pair via :func:`run_workload`; ``("call", ...)``
-    invokes an arbitrary module-level function with the worker context
-    prepended (used by the figure sweeps whose cells are not plain
-    run_workload calls).
+    invokes an arbitrary module-level function with ``context`` prepended
+    (used by the figure sweeps and the bank packer, whose cells are not
+    plain run_workload calls).  This is the single execution semantics
+    every runner shares — the serial loop, the worker pools, and the
+    control-plane service (:mod:`repro.serve`) all route through it, which
+    is what makes their results bit-identical.
     """
     kind, payload = task
+    if kind == "cell":
+        scheme, workload, seed, max_time, record = payload
+        return run_workload(scheme, workload, context, seed=seed,
+                            max_time=max_time, record=record)
+    if kind == "call":
+        fn, args, kwargs = payload
+        return fn(context, *args, **kwargs)
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+def _run_cell(task):
+    """Worker-side execution of one task against the installed context."""
     try:
-        if kind == "cell":
-            scheme, workload, seed, max_time, record = payload
-            return run_workload(scheme, workload, _WORKER_CONTEXT, seed=seed,
-                                max_time=max_time, record=record)
-        if kind == "call":
-            fn, args, kwargs = payload
-            return fn(_WORKER_CONTEXT, *args, **kwargs)
-        raise ValueError(f"unknown task kind {kind!r}")
+        return execute_task(_WORKER_CONTEXT, task)
     finally:
         # Keep the worker's on-disk telemetry current: children exit via
         # os._exit, so waiting for interpreter shutdown would lose it.

@@ -1,0 +1,173 @@
+"""Blocking stdlib client for the control-plane service.
+
+A thin wrapper over :mod:`http.client` with connection keep-alive —
+enough for the load generator, the benchmarks, the differential oracle,
+and CI smoke checks.  Every method returns decoded JSON (or text for the
+text endpoints); :meth:`ServeClient.run` returns the full response
+envelope (``ok``/``source``/``fingerprint``/``result``) plus the HTTP
+status under ``"status"``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlencode, urlsplit
+
+__all__ = ["ServeClient", "ServeError", "wait_ready"]
+
+
+class ServeError(RuntimeError):
+    """Transport-level failure talking to the service."""
+
+
+class ServeClient:
+    """One keep-alive HTTP connection to a running experiment server."""
+
+    def __init__(self, url, timeout=60.0):
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+        self._conn = None
+
+    # -- transport -----------------------------------------------------
+    def _connection(self):
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self):
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def request(self, method, path, body=None, timeout=None):
+        """One round trip; returns ``(status, decoded_body)``.
+
+        Retries once on a stale keep-alive connection (the server may
+        have closed it between requests).
+        """
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            if timeout is not None:
+                conn.timeout = timeout
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                status = response.status
+                ctype = response.getheader("Content-Type", "")
+                break
+            except (http.client.HTTPException, ConnectionError, OSError) \
+                    as exc:
+                self.close()
+                if attempt:
+                    raise ServeError(
+                        f"{method} {path} failed: {exc}") from exc
+        if timeout is not None:
+            conn.timeout = self.timeout
+        if "json" in ctype:
+            try:
+                return status, json.loads(raw.decode("utf-8"))
+            except ValueError as exc:
+                raise ServeError(
+                    f"{method} {path}: invalid JSON body: {exc}") from exc
+        return status, raw.decode("utf-8", "replace")
+
+    # -- endpoints -----------------------------------------------------
+    def run(self, request, timeout=None):
+        """POST one experiment request; returns the response envelope.
+
+        ``request`` is a plain dict (see :mod:`repro.serve.protocol`) or
+        a :class:`~repro.serve.protocol.ServeRequest`.
+        """
+        if hasattr(request, "to_dict"):
+            request = request.to_dict()
+        status, body = self.request("POST", "/run", body=request,
+                                    timeout=timeout)
+        if isinstance(body, dict):
+            body["status"] = status
+        return body
+
+    def healthz(self):
+        return self.request("GET", "/healthz")[1]
+
+    def stats(self):
+        return self.request("GET", "/stats")[1]
+
+    def status(self, fmt=None):
+        path = "/status" + (f"?format={fmt}" if fmt else "")
+        return self.request("GET", path)[1]
+
+    def report(self, html=False):
+        return self.request("GET", "/report" + ("?html=1" if html else ""))[1]
+
+    def metrics(self):
+        return self.request("GET", "/metrics")[1]
+
+    def watch(self, max_events=10, timeout=5.0):
+        """Collect up to ``max_events`` service events (own connection).
+
+        The stream is connection-close framed, so this opens a dedicated
+        connection and reads NDJSON lines until the server ends the
+        stream.
+        """
+        query = urlencode({"max_events": max_events, "timeout": timeout})
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout + 10.0)
+        try:
+            conn.request("GET", f"/watch?{query}")
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        events = []
+        for line in raw.decode("utf-8", "replace").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+        return events
+
+    def shutdown(self):
+        try:
+            return self.request("POST", "/shutdown")[1]
+        except ServeError:
+            return {"ok": True, "stopping": True}  # raced the close
+
+
+def wait_ready(url, timeout=30.0, interval=0.1):
+    """Poll ``/healthz`` until the service answers (or raise)."""
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(url, timeout=interval * 5 + 1.0) as client:
+                body = client.healthz()
+            if isinstance(body, dict) and body.get("ok"):
+                return body
+        except (ServeError, OSError) as exc:
+            last = exc
+        time.sleep(interval)
+    raise ServeError(f"service at {url} not ready after {timeout}s: {last}")

@@ -1,0 +1,221 @@
+"""Deterministic open-loop load generator for the experiment service.
+
+Open-loop means arrivals are scheduled ahead of time from a seeded
+exponential process and fired on schedule regardless of how fast the
+server answers — the honest way to measure a service under load (a
+closed-loop client self-throttles and hides queueing collapse).  The
+request *content* stream is deterministic too: a seeded mix of (scheme,
+workload) cells with a configurable duplicate ratio, so coalescing
+behaviour is reproducible run to run.
+
+Each fired request records wall-clock latency, HTTP status, and the
+server-reported ``source`` (executed / coalesced / cache); the summary
+rolls those into requests/s, p50/p99 latency, and the client-observed
+coalesce hit-rate that ``bench_serve.py`` pins with floors.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .client import ServeClient
+
+__all__ = ["LoadgenReport", "default_mix", "generate_requests",
+           "run_loadgen"]
+
+
+def default_mix():
+    """The default request mix: the paper's layered schemes x programs."""
+    return [
+        ("coordinated-heuristic", "blackscholes"),
+        ("coordinated-heuristic", "mcf"),
+        ("decoupled-heuristic", "fluidanimate"),
+        ("yukta-hwssv-osheur", "blackscholes"),
+        ("yukta-hwssv-osssv", "mcf"),
+    ]
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one load-generation burst."""
+
+    sent: int = 0
+    ok: int = 0
+    failed: int = 0
+    rejected: int = 0  # HTTP 429 (admission)
+    timeouts: int = 0  # HTTP 504 (deadline)
+    errors: int = 0  # transport-level failures
+    by_source: dict = field(default_factory=dict)
+    latencies_ms: list = field(default_factory=list)
+    wall_s: float = 0.0
+    offered_rate: float = 0.0
+    duplicate_ratio: float = 0.0
+
+    @property
+    def all_ok(self):
+        return self.ok == self.sent and self.errors == 0
+
+    @property
+    def achieved_rps(self):
+        return self.ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def coalesce_hit_rate(self):
+        """Fraction of answered requests served without a fresh execution."""
+        hits = self.by_source.get("coalesced", 0) + \
+            self.by_source.get("cache", 0)
+        return hits / self.ok if self.ok else 0.0
+
+    def percentile(self, q):
+        if not self.latencies_ms:
+            return 0.0
+        values = sorted(self.latencies_ms)
+        index = min(int(round(q / 100.0 * (len(values) - 1))),
+                    len(values) - 1)
+        return values[index]
+
+    def to_dict(self):
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "by_source": dict(self.by_source),
+            "wall_s": round(self.wall_s, 4),
+            "offered_rate": self.offered_rate,
+            "achieved_rps": round(self.achieved_rps, 2),
+            "duplicate_ratio": self.duplicate_ratio,
+            "coalesce_hit_rate": round(self.coalesce_hit_rate, 4),
+            "p50_ms": round(self.percentile(50), 3),
+            "p99_ms": round(self.percentile(99), 3),
+        }
+
+    def render(self):
+        return (
+            f"loadgen: {self.ok}/{self.sent} ok "
+            f"({self.rejected} rejected, {self.timeouts} timed out, "
+            f"{self.errors} errors) in {self.wall_s:.2f}s -> "
+            f"{self.achieved_rps:.1f} req/s, "
+            f"p50 {self.percentile(50):.1f} ms, "
+            f"p99 {self.percentile(99):.1f} ms, "
+            f"coalesce hit-rate {self.coalesce_hit_rate:.0%} "
+            f"(sources: {self.by_source})"
+        )
+
+
+def generate_requests(n, seed=0, mix=None, duplicates=0.0, max_time=6.0,
+                      record=False, deadline_s=None, seed_base=100):
+    """The deterministic request stream: ``n`` request dicts.
+
+    With probability ``duplicates`` a request repeats an earlier one
+    verbatim (same fingerprint — the coalescing/caching target);
+    otherwise it draws a fresh (scheme, workload) from ``mix`` with a
+    unique cell seed.
+    """
+    rng = random.Random(seed)
+    mix = list(mix) if mix else default_mix()
+    stream = []
+    unique = 0
+    for _ in range(int(n)):
+        if stream and rng.random() < duplicates:
+            stream.append(dict(stream[rng.randrange(len(stream))]))
+            continue
+        scheme, workload = mix[rng.randrange(len(mix))]
+        request = {
+            "kind": "run",
+            "scheme": scheme,
+            "workload": workload,
+            "seed": seed_base + unique,
+            "max_time": float(max_time),
+            "record": bool(record),
+        }
+        if deadline_s is not None:
+            request["deadline_s"] = float(deadline_s)
+        stream.append(request)
+        unique += 1
+    return stream
+
+
+def run_loadgen(url, requests=50, rate=20.0, duplicates=0.3, seed=0,
+                mix=None, max_time=6.0, record=False, deadline_s=None,
+                timeout=120.0, progress=None):
+    """Fire an open-loop burst at ``url``; returns a :class:`LoadgenReport`.
+
+    ``rate`` is the offered arrival rate (requests/second); inter-arrival
+    gaps are exponential draws from ``random.Random(seed)``.  Each request
+    runs on its own thread so a slow response never delays the next
+    arrival (open-loop).  ``rate=0`` fires everything at once (a burst).
+    """
+    stream = generate_requests(requests, seed=seed, mix=mix,
+                               duplicates=duplicates, max_time=max_time,
+                               record=record, deadline_s=deadline_s)
+    rng = random.Random(f"arrivals:{seed}")
+    offsets = []
+    t = 0.0
+    for _ in stream:
+        offsets.append(t)
+        if rate and rate > 0:
+            t += rng.expovariate(rate)
+
+    report = LoadgenReport(offered_rate=float(rate),
+                           duplicate_ratio=float(duplicates))
+    report.sent = len(stream)
+    lock = threading.Lock()
+
+    def _fire(request, offset, start):
+        delay = start + offset - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        t0 = time.perf_counter()
+        outcome = source = None
+        try:
+            with ServeClient(url, timeout=timeout) as client:
+                response = client.run(request, timeout=timeout)
+            status = response.get("status") if isinstance(response, dict) \
+                else None
+            if status == 200:
+                outcome = "ok"
+                source = response.get("source", "?")
+            elif status == 429:
+                outcome = "rejected"
+            elif status == 504:
+                outcome = "timeout"
+            else:
+                outcome = "failed"
+        except Exception:  # noqa: BLE001 - transport failures are data here
+            outcome = "error"
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        with lock:
+            if outcome == "ok":
+                report.ok += 1
+                report.latencies_ms.append(latency_ms)
+                report.by_source[source] = \
+                    report.by_source.get(source, 0) + 1
+            elif outcome == "rejected":
+                report.rejected += 1
+            elif outcome == "timeout":
+                report.timeouts += 1
+            elif outcome == "error":
+                report.errors += 1
+            else:
+                report.failed += 1
+            if progress is not None:
+                progress(len(report.latencies_ms), report.sent)
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=_fire, args=(request, offset, start),
+                         daemon=True)
+        for request, offset in zip(stream, offsets)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+    report.wall_s = time.perf_counter() - start
+    return report

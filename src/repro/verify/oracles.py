@@ -15,6 +15,11 @@ name, both values, and the ULP distance between them:
 * :func:`oracle_cache` — a design context rebuilt from the persistent
   cache vs the same artifacts computed fresh.  Must be **bit-exact**
   (pickle round-trips preserve float bits).
+* :func:`oracle_serve` — the control-plane service answering concurrent
+  requests (coalescing, bank batching, JSON wire round-trip, warm result
+  store) vs direct in-process :func:`run_workload` calls.  Must be
+  **bit-exact** — JSON's shortest-round-trip float repr preserves every
+  bit.
 * :func:`oracle_lqg_reference` — the production LQG synthesis
   (:mod:`repro.lqg.synthesis`, scipy Riccati solvers) vs an independent
   textbook fixed-point Riccati recursion.  Agrees within a documented
@@ -38,6 +43,7 @@ __all__ = [
     "oracle_parallel_matrix",
     "oracle_resume",
     "oracle_cache",
+    "oracle_serve",
     "oracle_lqg_reference",
 ]
 
@@ -591,6 +597,119 @@ def oracle_cache(cache_dir, samples=24, seed=321):
         "cache_hits": cached.cache.hits if cached.cache else 0,
         "cache_misses": cached.cache.misses if cached.cache else 0,
     })
+
+
+# ---------------------------------------------------------------------------
+# Oracle 3b: the control-plane service vs direct in-process execution
+# ---------------------------------------------------------------------------
+def oracle_serve(context, schemes=None, workloads=None, seed=7,
+                 max_time=10.0, batch=3, cache_dir=None):
+    """Answer a concurrent request burst through ``repro serve`` and
+    compare every response against a direct :func:`run_workload` call;
+    must be **0 ULP** across the JSON wire.
+
+    The burst is fired from parallel client threads so the service's
+    concurrent machinery genuinely engages: cells queue together, the
+    batcher packs bankable cells from *different* requests into shared
+    BoardBank lanes, and a duplicated request exercises the coalescing /
+    result-store path.  Afterwards one cell is re-requested warm and must
+    come back from the store bit-identical.  The oracle refuses to pass
+    vacuously: it fails unless at least one response was answered without
+    a fresh execution and at least one bank batch actually formed.
+    """
+    import tempfile
+    import threading
+
+    from ..experiments.runner import run_workload
+    from ..serve import ServeClient, serve_background
+    from ..serve.protocol import metrics_from_wire
+
+    schemes = list(schemes or ["coordinated-heuristic",
+                               "decoupled-heuristic",
+                               "yukta-hwssv-osheur"])
+    workloads = list(workloads or ["blackscholes", "mcf"])
+    cells = [(s, w) for s in schemes for w in workloads]
+
+    direct = {
+        (s, w): run_workload(s, w, context, seed=seed, max_time=max_time,
+                             record=True)
+        for s, w in cells
+    }
+
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-oracle-")
+        cache_dir = tmp.name
+    try:
+        with serve_background(context, jobs=0, batch=batch,
+                              batch_wait=0.25, cache=cache_dir) as handle:
+            # The burst: every cell once, plus the first cell duplicated —
+            # its twin must coalesce onto the in-flight execution (or hit
+            # the store if it raced past completion; both are non-fresh).
+            burst = cells + [cells[0]]
+            responses = [None] * len(burst)
+
+            def _fire(i, scheme, workload):
+                request = {"kind": "run", "scheme": scheme,
+                           "workload": workload, "seed": seed,
+                           "max_time": max_time, "record": True}
+                with ServeClient(handle.url, timeout=600.0) as client:
+                    responses[i] = client.run(request, timeout=600.0)
+
+            threads = [
+                threading.Thread(target=_fire, args=(i, s, w), daemon=True)
+                for i, (s, w) in enumerate(burst)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(600.0)
+
+            with ServeClient(handle.url) as client:
+                warm = client.run({"kind": "run", "scheme": cells[0][0],
+                                   "workload": cells[0][1], "seed": seed,
+                                   "max_time": max_time, "record": True})
+                stats = client.stats()
+
+        cmp = _Comparator(tolerance_ulp=0.0)
+        sources = {}
+        checked = list(zip(burst, responses)) + [(cells[0], warm)]
+        for (scheme, workload), response in checked:
+            loc = (workload, scheme)
+            status = response.get("status", -1) \
+                if isinstance(response, dict) else -1
+            if status != 200:
+                cmp.compared += 1
+                if cmp.first is None:
+                    cmp.first = Divergence(loc, "http_status", 200.0,
+                                           float(status), float("inf"))
+                continue
+            source = response.get("source", "?")
+            sources[source] = sources.get(source, 0) + 1
+            a = direct[(scheme, workload)]
+            b = metrics_from_wire(response["result"])
+            cmp.check(loc, "execution_time", a.execution_time,
+                      b.execution_time)
+            cmp.check(loc, "energy", a.energy, b.energy)
+            cmp.check(loc, "completed", float(a.completed),
+                      float(b.completed))
+            for signal in sorted(a.trace):
+                cmp.check_array(f"{workload}/{scheme}/{signal}",
+                                a.trace[signal], b.trace[signal])
+        serve_stats = stats if isinstance(stats, dict) else {}
+        result = cmp.result("serve-vs-direct", details={
+            "schemes": schemes, "workloads": workloads, "batch": batch,
+            "sources": sources,
+            "bank_batches": serve_stats.get("bank_batches", 0),
+            "banked_cells": serve_stats.get("banked_cells", 0),
+        })
+        non_fresh = sources.get("coalesced", 0) + sources.get("cache", 0)
+        if non_fresh == 0 or serve_stats.get("bank_batches", 0) == 0:
+            result.agree = False  # coalescing / batching never engaged
+        return result
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
 
 
 # ---------------------------------------------------------------------------

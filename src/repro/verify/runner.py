@@ -8,9 +8,10 @@ pillars and folds the outcomes into a :class:`VerifyReport`:
    active :class:`~repro.verify.invariants.InvariantMonitor`; any
    violation fails the report.
 2. **Differential oracles** — fastpath vs scalar, parallel vs serial,
-   interrupted+resumed vs uninterrupted, cached vs fresh synthesis (all
-   bit-exact), and LQG vs the textbook Riccati recursion (documented
-   relative tolerance).
+   interrupted+resumed vs uninterrupted, cached vs fresh synthesis, the
+   control-plane service (coalescing + bank batching + JSON wire) vs
+   direct execution (all bit-exact), and LQG vs the textbook Riccati
+   recursion (documented relative tolerance).
 3. **Golden traces** — the canonical matrix replayed against
    ``tests/golden/`` (or re-minted with ``regen_golden=True``).
 """
@@ -40,6 +41,7 @@ from .oracles import (
     oracle_rack,
     oracle_rack_resume,
     oracle_resume,
+    oracle_serve,
 )
 
 __all__ = ["VerifyReport", "run_verify"]
@@ -184,6 +186,12 @@ def run_verify(quick=True, regen_golden=False, golden_dir=None, samples=None,
         report.oracles.append(
             oracle_resume(context, max_time=8.0 if quick else 20.0,
                           jobs=jobs, checkpoint_dir=tmp)
+        )
+    _log("verify: oracle serve-vs-direct...")
+    with tempfile.TemporaryDirectory(prefix="repro-verify-serve-") as tmp:
+        report.oracles.append(
+            oracle_serve(context, max_time=8.0 if quick else 20.0,
+                         cache_dir=tmp)
         )
     _log("verify: oracle rack-bank-vs-scalar...")
     report.oracles.append(
